@@ -1,0 +1,28 @@
+# Convenience targets (mirror the commands in README / CONTRIBUTING)
+
+.PHONY: install test test-quick bench results examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+test-quick:
+	HYPOTHESIS_PROFILE=quick pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+results:
+	python benchmarks/collect_results.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

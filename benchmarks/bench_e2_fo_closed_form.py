@@ -1,0 +1,70 @@
+"""E2 -- Section 3: closed-form FO evaluation ([KKR90]).
+
+Paper artifact: "the relational calculus over finitely representable
+relations ... admits a declarative semantics and an efficient bottom-up
+evaluation in closed form"; FO has AC0 data complexity.
+
+What this regenerates: evaluation time of fixed FO queries as the
+*data* grows (data complexity!).  Expected shape: low-degree polynomial
+growth for each fixed query; the quantifier *alternation* of the query
+(combined complexity) costs more than data size.
+"""
+
+import pytest
+
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Not, constraint, exists, forall, rel
+from repro.core.atoms import lt
+from repro.encoding.standard import encoding_size
+from repro.queries.library import bounded_query, contains_open_interval_query
+from repro.workloads.generators import random_interval_database
+
+SIZES = [2, 4, 8, 16]
+
+
+def _db(n):
+    return random_interval_database(23, count=n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_projection_query(benchmark, n):
+    """exists y (S(x) and S(y) and x < y): one quantifier, self-join."""
+    db = _db(n)
+    f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+    out = benchmark(lambda: evaluate(f, db))
+    assert out.arity == 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_boolean_bounded_query(benchmark, n):
+    """The FO boundedness sentence (two quantifier blocks)."""
+    db = _db(n)
+    f = bounded_query("S")
+    result = benchmark(lambda: evaluate_boolean(f, db))
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_interior_query(benchmark, n):
+    """The open-interval-containment sentence (forall inside exists)."""
+    db = _db(n)
+    f = contains_open_interval_query("S")
+    benchmark(lambda: evaluate_boolean(f, db))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_negation_query(benchmark, n):
+    """not S(x): complementation against data size."""
+    db = _db(n)
+    f = Not(rel("S", "x"))
+    benchmark(lambda: evaluate(f, db))
+
+
+def test_report_input_sizes(capsys):
+    """Standard-encoding sizes of the benchmark series (the x-axis)."""
+    rows = [(n, encoding_size(_db(n))) for n in SIZES]
+    with capsys.disabled():
+        print("\n[E2] standard-encoding input sizes:")
+        for n, size in rows:
+            print(f"  intervals={n:>3}  encoding={size:>6} bytes")
+    assert all(b > 0 for _, b in rows)

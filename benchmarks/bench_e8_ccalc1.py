@@ -1,0 +1,66 @@
+"""E8 -- Theorem 5.2: PTIME <= C-CALC_1 <= PSPACE.
+
+Paper artifact: one level of set nesting already captures at least
+PTIME (fixpoint simulation with one level of sets [AB87]) and stays in
+PSPACE.
+
+What this regenerates: the cost profile of C-CALC_1 under the
+active-domain semantics -- the parity query (PTIME, non-FO) evaluated by
+enumerating set values over the input's cells -- against the Datalog(not)
+pipeline computing the same query in polynomial time.  Expected shape:
+C-CALC_1 cost grows like 2^(cells) (the PSPACE-ish enumeration),
+Datalog stays polynomial: Datalog wins beyond tiny inputs, confirming
+the inclusion PTIME <= C-CALC_1 is about *expressiveness*, not speed.
+"""
+
+import pytest
+
+from repro.cobjects.calculus import evaluate_ccalc_boolean
+from repro.encoding.ptime import capture_boolean, cardinality_parity_program
+from repro.queries.library import parity_ccalc
+from repro.workloads.generators import point_set
+
+SIZES = [1, 2, 3]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parity_via_ccalc1(benchmark, n):
+    """Active-domain evaluation: 2^(2n+1) candidate sets."""
+    db = point_set(n)
+    formula = parity_ccalc("S")
+    verdict = benchmark(lambda: evaluate_ccalc_boolean(formula, db))
+    assert verdict == (n % 2 == 1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parity_via_datalog_capture(benchmark, n):
+    """The same query through the PTIME pipeline."""
+    db = point_set(n)
+    program = cardinality_parity_program("S")
+    verdict = benchmark(lambda: capture_boolean(program, db, "result_odd"))
+    assert verdict == (n % 2 == 1)
+
+
+def test_report_crossover(capsys):
+    """The language-vs-cost story: both compute parity; the C-CALC_1
+    active-domain blowup is visible immediately."""
+    import time
+
+    rows = []
+    for n in SIZES:
+        db = point_set(n)
+        t0 = time.perf_counter()
+        evaluate_ccalc_boolean(parity_ccalc("S"), db)
+        ccalc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        capture_boolean(cardinality_parity_program("S"), db, "result_odd")
+        datalog = time.perf_counter() - t0
+        rows.append((n, ccalc, datalog))
+    with capsys.disabled():
+        print("\n[E8] parity: C-CALC_1 vs Datalog(not) capture:")
+        print("  |S|   C-CALC_1 (s)   Datalog (s)   ratio")
+        for n, c, d in rows:
+            print(f"  {n:>3}   {c:>12.4f}   {d:>11.4f}   {c / d:>5.1f}x")
+    # the exponential-vs-polynomial gap must widen
+    ratios = [c / d for _, c, d in rows]
+    assert ratios[-1] > ratios[0]

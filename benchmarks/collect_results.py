@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Regenerate every EXPERIMENTS.md table in one run.
+
+Benchmarks (pytest-benchmark) measure *times*; this script collects the
+*verdicts and counts* that the paper's theorems predict -- the
+paper-vs-measured content of EXPERIMENTS.md.  Run:
+
+    python benchmarks/collect_results.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from fractions import Fraction
+
+from repro.cobjects.active_domain import ActiveDomain
+from repro.cobjects.calculus import evaluate_ccalc_boolean
+from repro.cobjects.fixpoint import FixpointQuery, evaluate_fixpoint
+from repro.cobjects.calculus import CAnd, CExists, COr, CRelation
+from repro.cobjects.types import Q, SetType
+from repro.core.atoms import lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import constraint, exists, rel
+from repro.core.relation import Relation
+from repro.core.terms import as_term
+from repro.datalog.engine import evaluate_program
+from repro.encoding.ptime import (
+    capture_boolean,
+    cardinality_parity_program,
+    graph_connectivity_program,
+)
+from repro.encoding.standard import encoding_size
+from repro.genericity.automorphisms import moving
+from repro.genericity.checks import check_boolean_generic, check_generic
+from repro.genericity.ef_games import linear_order, min_distinguishing_rank
+from repro.genericity.formula_search import search_sentence
+from repro.linear.region import count_components, is_connected
+from repro.queries.library import (
+    graph_connectivity_procedural,
+    parity_ccalc,
+    parity_procedural,
+    transitive_closure_program,
+)
+from repro.workloads.generators import (
+    interval_chain,
+    path_graph,
+    point_set,
+    random_finite_graph,
+    random_interval_database,
+)
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def header(text: str) -> None:
+    print()
+    print(f"## {text}")
+    print()
+
+
+def e2_fo_scaling() -> None:
+    header("E2 -- closed-form FO evaluation: data-complexity scaling")
+    f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+    print("| intervals | encoding bytes | eval time (s) |")
+    print("|---|---|---|")
+    for n in (2, 4, 8, 16, 32):
+        db = random_interval_database(23, count=n)
+        _, seconds = timed(lambda: evaluate(f, db))
+        print(f"| {n} | {encoding_size(db)} | {seconds:.4f} |")
+
+
+def e4_ef_table() -> None:
+    header("E4 -- parity lower bound: EF distinguishing ranks")
+    print("| n vs n+1 | min distinguishing rank | 2^(r-1) - 1 <= n |")
+    print("|---|---|---|")
+    for n in (1, 2, 3, 5, 7, 10):
+        rank = min_distinguishing_rank(linear_order(n), linear_order(n + 1), 5)
+        ok = "yes" if rank is not None and 2 ** (rank - 1) - 1 <= n else "-"
+        print(f"| {n} vs {n+1} | {rank if rank is not None else '> 5'} | {ok} |")
+
+
+def e4_search_table() -> None:
+    header("E4 -- exhaustive sentence search (complete certificates)")
+    family = [linear_order(k) for k in range(1, 5)]
+    target = [k % 2 == 1 for k in range(1, 5)]
+    print("| rank | variables | queries enumerated | parity sentence found |")
+    print("|---|---|---|---|")
+    for rank in (0, 1):
+        result = search_sentence(family, target, variables=2, rank=rank)
+        print(f"| {rank} | 2 | {result.queries_explored} | {result.found} |")
+    pair = [linear_order(1), linear_order(2)]
+    found = search_sentence(pair, [True, False], variables=2, rank=2)
+    print(f"| 2 | 2 | {found.queries_explored} | size 1 vs 2 separated: {found.found} |")
+
+
+def e4_hanf_table() -> None:
+    header("E4 -- Hanf locality certificates (connectivity)")
+    import sys
+
+    sys.path.insert(0, "benchmarks")
+    from bench_e4_inexpressibility import graph_structure
+
+    from repro.genericity.locality import hanf_indistinguishable
+    from repro.workloads.generators import cycle_graph, disjoint_cycles
+
+    print("| instance pair | rank | Hanf certificate |")
+    print("|---|---|---|")
+    for n in (4, 5, 6):
+        one = graph_structure(cycle_graph(2 * n))
+        two = graph_structure(disjoint_cycles(n))
+        certified = hanf_indistinguishable(one, two, 1)
+        print(f"| {2*n}-cycle vs two {n}-cycles | 1 | {certified} |")
+
+
+def e12_ablations() -> None:
+    header("E12 -- engine ablations")
+    from repro.core.planner import compile_formula, execute, optimize
+    from repro.datalog.seminaive import evaluate_seminaive
+
+    db = path_graph(8)
+    program = transitive_closure_program()
+    _, naive_time = timed(lambda: evaluate_program(program, db))
+    _, semi_time = timed(lambda: evaluate_seminaive(program, db))
+    qdb = random_interval_database(71, count=10)
+    f = exists(
+        "y",
+        rel("S", "x") & rel("S", "y") & constraint(lt("x", "y"))
+        & constraint(lt("y", -20)),
+    )
+    _, direct_time = timed(lambda: evaluate(f, qdb))
+    plan = optimize(compile_formula(f), qdb)
+    _, plan_time = timed(lambda: execute(plan, qdb))
+    print("| ablation | baseline (s) | variant (s) | speedup |")
+    print("|---|---|---|---|")
+    print(
+        f"| Datalog naive vs semi-naive | {naive_time:.3f} | {semi_time:.3f} "
+        f"| {naive_time / semi_time:.1f}x |"
+    )
+    print(
+        f"| direct eval vs optimized plan | {direct_time:.4f} | {plan_time:.4f} "
+        f"| {direct_time / plan_time:.1f}x |"
+    )
+
+
+def e5_region_table() -> None:
+    header("E5 -- region connectivity (procedural; not FO+)")
+    print("| region | components (measured) | expected |")
+    print("|---|---|---|")
+    rows = [
+        ("4 overlapping intervals", interval_chain(4, overlap=True)["S"], 1),
+        ("4 separated intervals", interval_chain(4, overlap=False)["S"], 4),
+    ]
+    from repro.workloads.generators import checkerboard_region, staircase_region
+
+    rows.append(("3x3 checkerboard (corner-glued)", checkerboard_region(3)["R"], 1))
+    rows.append(("5-step staircase with gap", staircase_region(5, gap=True)["R"], 2))
+    for name, region, expected in rows:
+        got = count_components(region)
+        print(f"| {name} | {got} | {expected} |")
+
+
+def e6_e7_datalog_tables() -> None:
+    header("E6 -- Datalog(not) evaluation is PTIME (scaling + rounds)")
+    print("| path length | fixpoint rounds | tc tuples | time (s) |")
+    print("|---|---|---|---|")
+    for n in (2, 4, 8, 12):
+        db = path_graph(n)
+        result, seconds = timed(
+            lambda: evaluate_program(transitive_closure_program(), db)
+        )
+        print(f"| {n} | {result.rounds} | {len(result['tc'])} | {seconds:.4f} |")
+
+    header("E7 -- PTIME capture pipeline (Theorem 4.4, hard half)")
+    print("| query | instance | reference | captured | agree |")
+    print("|---|---|---|---|---|")
+    for n in (2, 3, 4, 5):
+        db = point_set(n)
+        ref = parity_procedural(db)
+        cap = capture_boolean(cardinality_parity_program("S"), db, "result_odd")
+        print(f"| parity | {n} points | {ref} | {cap} | {ref == cap} |")
+    for seed in range(3):
+        db = random_finite_graph(seed, vertex_count=4, edge_probability=0.4)
+        ref = graph_connectivity_procedural(db)
+        cap = capture_boolean(graph_connectivity_program(), db, "connected")
+        print(f"| connectivity | seed {seed} | {ref} | {cap} | {ref == cap} |")
+
+
+def e8_crossover() -> None:
+    header("E8 -- parity: C-CALC_1 vs the PTIME pipeline")
+    print("| points | C-CALC_1 (s) | Datalog capture (s) | verdicts agree |")
+    print("|---|---|---|---|")
+    for n in (1, 2, 3):
+        db = point_set(n)
+        c_verdict, c_time = timed(lambda: evaluate_ccalc_boolean(parity_ccalc("S"), db))
+        d_verdict, d_time = timed(
+            lambda: capture_boolean(cardinality_parity_program("S"), db, "result_odd")
+        )
+        print(f"| {n} | {c_time:.4f} | {d_time:.4f} | {c_verdict == d_verdict} |")
+
+
+def e9_tower() -> None:
+    header("E9 -- hyper-exponential active domains (Theorems 5.3-5.5)")
+    print("| constants | cells | |adom| h=0 | h=1 | h=2 |")
+    print("|---|---|---|---|---|")
+    for m in (0, 1, 2, 3):
+        ad = ActiveDomain(point_set(m))
+        h0 = ad.domain_size(Q)
+        h1 = ad.domain_size(SetType(Q))
+        h2 = ad.domain_size(SetType(SetType(Q)))
+        h2_text = str(h2) if h2 < 10**9 else f"2^{h1}"
+        print(f"| {m} | {ad.decomposition.cell_count} | {h0} | {h1} | {h2_text} |")
+
+
+def e10_fixpoint() -> None:
+    header("E10 -- C-CALC_0 + fixpoint == Datalog(not) on transitive closure")
+
+    def R(name, *args):
+        return CRelation(name, tuple(as_term(a) for a in args))
+
+    step = COr(
+        (
+            R("E", "x", "y"),
+            CExists(("z",), CAnd((R("TC", "x", "z"), R("E", "z", "y")))),
+        )
+    )
+    print("| path length | identical pointsets | fixpoint time (s) | datalog time (s) |")
+    print("|---|---|---|---|")
+    for n in (3, 5, 7):
+        db = path_graph(n)
+        via_fix, t_fix = timed(
+            lambda: evaluate_fixpoint(FixpointQuery("TC", ("x", "y"), step), db)
+        )
+        via_dl, t_dl = timed(
+            lambda: evaluate_program(transitive_closure_program(), db)["tc"]
+        )
+        same = via_fix.equivalent(via_dl.rename({"a0": "x", "a1": "y"}))
+        print(f"| {n} | {same} | {t_fix:.4f} | {t_dl:.4f} |")
+
+
+def e11_genericity() -> None:
+    header("E11 -- genericity (Definition 3.1)")
+
+    def fo_query(database):
+        f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+        return evaluate(f, database)
+
+    def midpoints(database):
+        values = sorted(t.sample_point()["x"] for t in database["S"].tuples)
+        pts = {(a + b) / 2 for a in values for b in values}
+        return Relation.from_points(("z",), [(p,) for p in pts])
+
+    db = Database()
+    db["S"] = Relation.from_points(("x",), [(0,), (4,)])
+    phi = moving({0: Fraction(0), 2: Fraction(10), 4: Fraction(12)})
+    rows = [
+        ("FO self-join", check_generic(fo_query, point_set(3), count=8).generic, "query"),
+        (
+            "parity (boolean)",
+            check_boolean_generic(lambda d: parity_procedural(d, "S"), point_set(3), count=8).generic,
+            "query",
+        ),
+        ("FO+ midpoints", check_generic(midpoints, db, automorphisms=[phi]).generic, "NOT a query"),
+    ]
+    print("| mapping | passes automorphism checks | paper |")
+    print("|---|---|---|")
+    for name, got, paper in rows:
+        print(f"| {name} | {got} | {paper} |")
+
+
+def main() -> None:
+    print("# Collected experimental results (regenerated)")
+    e2_fo_scaling()
+    e4_ef_table()
+    e4_search_table()
+    e4_hanf_table()
+    e5_region_table()
+    e6_e7_datalog_tables()
+    e8_crossover()
+    e9_tower()
+    e10_fixpoint()
+    e11_genericity()
+    e12_ablations()
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Shared benchmark configuration.
+
+Each ``bench_e*.py`` module regenerates one experiment of
+EXPERIMENTS.md (mapped to the paper in DESIGN.md Section 5).  Run::
+
+    pytest benchmarks/ --benchmark-only
+
+pytest-benchmark prints the per-parameter timing tables; the series
+*shapes* (polynomial vs exponential growth, who wins, crossovers) are
+the reproduction targets, not absolute times.
+"""
+
+import pytest

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""End-to-end CLI workflow: files, queries, and Datalog from the shell.
+
+Shows the library as a *tool*, not just an API: build a database, save
+it in the paper's standard encoding (Section 3), then drive everything
+through ``python -m repro.cli``:
+
+1. ``info``     -- inspect a database file;
+2. ``query``    -- run textual FO queries (closed-form answers);
+3. ``datalog``  -- run a textual Datalog(not) program to fixpoint;
+4. ``reencode`` -- normalize a file (idempotent canonical dump).
+
+Run:  python examples/cli_workflow.py
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import Database, Interval, IntervalSet, Relation
+from repro.encoding.standard import encode_database
+
+
+def build_database() -> Database:
+    """City districts (1-D transect) and a road adjacency graph."""
+    db = Database()
+    db["district"] = IntervalSet(
+        [Interval.closed(0, 3), Interval.closed(5, 9), Interval.point(12)]
+    ).to_relation("x")
+    db["road"] = Relation.from_points(
+        ("x", "y"), [(1, 2), (2, 3), (3, 4), (6, 7)]
+    )
+    return db
+
+
+PROGRAM = """\
+% symmetric reachability over the road graph
+link(x, y) :- road(x, y).
+link(x, y) :- road(y, x).
+reach(x, y) :- link(x, y).
+reach(x, z) :- reach(x, y), link(y, z).
+"""
+
+QUERIES = [
+    ("covered x-range", "exists y (district(x) and x = x)"),
+    ("is 7 inside a district", "district(7)"),
+    ("districts reach past 10", "exists x (district(x) and x > 10)"),
+    ("gap points between districts",
+     "not district(x) and exists a, b (district(a) and district(b) and a < x and x < b)"),
+]
+
+
+def run_cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(result.stderr)
+    return result.stdout
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "city.cdb"
+        db_path.write_text(encode_database(build_database()), encoding="utf-8")
+        program_path = Path(tmp) / "reach.dl"
+        program_path.write_text(PROGRAM, encoding="utf-8")
+
+        print("== repro info ==")
+        print(run_cli("info", str(db_path)))
+
+        for label, query in QUERIES:
+            print(f"== repro query: {label} ==")
+            print(f"$ repro query city.cdb '{query}'")
+            print(run_cli("query", str(db_path), query))
+
+        print("== repro datalog: road reachability ==")
+        print(run_cli("datalog", str(db_path), str(program_path), "--show", "reach", "--raw"))
+
+        print("== repro reencode (canonical dump, idempotent) ==")
+        first = run_cli("reencode", str(db_path))
+        db_path.write_text(first, encoding="utf-8")
+        second = run_cli("reencode", str(db_path))
+        print(first)
+        print(f"idempotent: {first == second}")
+
+
+if __name__ == "__main__":
+    main()

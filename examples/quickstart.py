@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Quickstart: dense-order constraint databases in five minutes.
+
+Walks the core workflow of the library, following Section 2-3 of
+Grumbach & Su (PODS 1995):
+
+1. build *generalized relations* -- finite representations of infinite
+   pointsets -- from constraints;
+2. query them with first-order logic (FO) and get closed-form answers;
+3. verify the closure property: outputs are again generalized relations;
+4. peek at the canonical interval normal form and quantifier
+   elimination.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    Database,
+    GTuple,
+    IntervalSet,
+    Relation,
+    constraint,
+    eliminate_quantifiers,
+    evaluate,
+    evaluate_boolean,
+    exists,
+    forall,
+    ge,
+    le,
+    lt,
+    rel,
+)
+from repro.core.theory import DENSE_ORDER
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Generalized tuples and relations  (paper, Section 2)")
+    print("=" * 64)
+
+    # The paper's running example: the triangle  x <= y and x >= 0 and y <= 10.
+    triangle = GTuple.make(
+        DENSE_ORDER, ("x", "y"), [le("x", "y"), ge("x", 0), le("y", 10)]
+    )
+    print(f"generalized tuple: {triangle}")
+    print(f"contains (1, 5)?   {triangle.contains_point([1, 5])}")
+    print(f"contains (5, 1)?   {triangle.contains_point([5, 1])}")
+
+    # A generalized relation is a finite set of generalized tuples.
+    T = Relation(DENSE_ORDER, ("x", "y"), [triangle])
+    db = Database({"T": T})
+
+    print()
+    print("=" * 64)
+    print("2. FO queries, evaluated bottom-up in closed form  (Section 3)")
+    print("=" * 64)
+
+    # The x-axis shadow of the triangle: exists y. T(x, y)
+    shadow = evaluate(exists("y", rel("T", "x", "y")), db)
+    print("exists y. T(x, y)  -> ", shadow.pretty())
+    print("as canonical intervals:", IntervalSet.from_relation(shadow))
+
+    # Constraint queries mix relations with order constraints freely.
+    slice_ = evaluate(
+        rel("T", "x", "y") & constraint(lt("y", 3)), db
+    )
+    print("\nT intersected with y < 3:")
+    print(slice_.pretty())
+
+    print()
+    print("=" * 64)
+    print("3. Sentences: the axioms of dense order, checked by the engine")
+    print("=" * 64)
+
+    density = forall(
+        ["a", "b"],
+        constraint(lt("a", "b")).implies(
+            exists("m", constraint(lt("a", "m")) & constraint(lt("m", "b")))
+        ),
+    )
+    no_endpoints = forall("a", exists("b", constraint(lt("b", "a"))))
+    has_successor = exists(
+        ["a", "b"],
+        constraint(lt("a", "b"))
+        & forall("m", ~(constraint(lt("a", "m")) & constraint(lt("m", "b")))),
+    )
+    print(f"density holds:            {evaluate_boolean(density)}")
+    print(f"no endpoints holds:       {evaluate_boolean(no_endpoints)}")
+    print(f"discrete successor holds: {evaluate_boolean(has_successor)}  (false: Q is dense!)")
+
+    print()
+    print("=" * 64)
+    print("4. Quantifier elimination  (the engine of closed-form answers)")
+    print("=" * 64)
+
+    f = exists("y", constraint(lt("x", "y")) & constraint(lt("y", "z")))
+    print(f"input:  {f}")
+    print(f"output: {eliminate_quantifiers(f)}   (density of Q at work)")
+
+    print()
+    print("=" * 64)
+    print("5. Set algebra stays finitely representable")
+    print("=" * 64)
+
+    complement = shadow.complement()
+    print("complement of the shadow:", IntervalSet.from_relation(complement))
+    round_trip = complement.complement()
+    print("double complement equals original:", round_trip.equivalent(shadow))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Spatial example: a land registry of rectangular parcels.
+
+The paper motivates constraint databases with spatial data: infinite
+pointsets (regions) stored as finite constraint representations.  This
+example manages a toy land registry:
+
+* parcels are unions of boxes (the paper's Section 2 rectangle
+  encoding: "four constants along with a flag indicating the shape");
+* FO queries answer containment, overlap and shadow questions in
+  closed form;
+* FO *topological* operators compute boundaries (Section 3 relates
+  queries to the order topology);
+* region connectivity -- provably **not** expressible in FO+
+  (Theorem 4.3) -- is answered by the exact gluing-graph algorithm.
+
+Run:  python examples/spatial_land_registry.py
+"""
+
+from fractions import Fraction
+
+from repro.core import Box, BoxSet, Database, evaluate, evaluate_boolean, exists, forall, rel
+from repro.linear.region import connected_components, count_components, is_connected
+from repro.queries.topology import boundary, interior
+
+
+def build_registry() -> Database:
+    """Three parcels: an L-shape, a separate square, and a park."""
+    db = Database()
+    l_shape = BoxSet(
+        [
+            Box.closed((0, 4), (0, 2)),   # horizontal bar
+            Box.closed((0, 2), (2, 6)),   # vertical bar, shares the edge y = 2
+        ]
+    )
+    db["parcel_l"] = l_shape.to_relation(("x", "y"))
+    db["parcel_far"] = BoxSet([Box.closed((10, 12), (10, 12))]).to_relation(("x", "y"))
+    db["park"] = BoxSet(
+        [Box.closed((1, 3), (1, 3)), Box.closed((11, 13), (9, 11))]
+    ).to_relation(("x", "y"))
+    return db
+
+
+def main() -> None:
+    db = build_registry()
+
+    print("== the registry ==")
+    for name in db.names():
+        print(f"  {name}: {len(db[name])} box(es)")
+
+    print("\n== FO queries in closed form ==")
+    # Which x-coordinates does the L-shaped parcel cover?
+    shadow = evaluate(exists("y", rel("parcel_l", "x", "y")), db)
+    print("x-shadow of parcel_l:", shadow.pretty())
+
+    # Does the park overlap the L-shaped parcel?
+    overlap = evaluate_boolean(
+        exists(["x", "y"], rel("parcel_l", "x", "y") & rel("park", "x", "y")), db
+    )
+    print(f"park overlaps parcel_l: {overlap}")
+
+    # Is the far parcel entirely inside the park?  (containment as FO)
+    contained = evaluate_boolean(
+        forall(["x", "y"], rel("parcel_far", "x", "y").implies(rel("park", "x", "y"))),
+        db,
+    )
+    print(f"parcel_far inside park: {contained}")
+
+    # The overlap region itself, as a constraint relation:
+    common = evaluate(rel("parcel_l", "x", "y") & rel("park", "x", "y"), db)
+    print("overlap region:", common.pretty())
+
+    print("\n== topology (FO-definable, Section 3) ==")
+    edge = boundary(db, "parcel_far")
+    print(f"boundary of parcel_far: {len(edge)} constraint tuple(s)")
+    print(f"  contains corner (10, 10)? {edge.contains_point([10, 10])}")
+    print(f"  contains center (11, 11)? {edge.contains_point([11, 11])}")
+    inner = interior(db, "parcel_far")
+    print(f"interior contains center?  {inner.contains_point([11, 11])}")
+
+    print("\n== connectivity (NOT FO+ definable -- Theorem 4.3) ==")
+    for name in db.names():
+        r = db[name]
+        print(
+            f"  {name}: connected={is_connected(r)} "
+            f"components={count_components(r)}"
+        )
+
+    # Merge everything: is the whole registry one connected region?
+    merged = db["parcel_l"].union(db["park"]).union(db["parcel_far"])
+    print(f"\nall parcels merged: {count_components(merged)} component(s)")
+    for i, component in enumerate(connected_components(merged)):
+        xs = evaluate(
+            exists("y", rel("c", "x", "y")), Database({"c": component})
+        )
+        print(f"  component {i}: x-range {xs.pretty()}")
+
+
+if __name__ == "__main__":
+    main()

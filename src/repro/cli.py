@@ -1,0 +1,132 @@
+"""Command-line interface: query constraint databases from the shell.
+
+::
+
+    python -m repro.cli query  DB.cdb  "exists y (T(x, y) and y < 5)"
+    python -m repro.cli datalog DB.cdb PROGRAM.dl --show tc
+    python -m repro.cli info   DB.cdb
+
+``DB.cdb`` files use the standard encoding of Section 3
+(:mod:`repro.encoding.standard`); programs use the Datalog surface
+syntax of :mod:`repro.lang`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.intervals import IntervalSet
+from repro.datalog.engine import evaluate_program
+from repro.encoding.standard import decode_database, encode_database, encoding_size
+from repro.errors import ReproError
+from repro.lang import parse_formula, parse_program
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> Database:
+    with open(path, encoding="utf-8") as handle:
+        return decode_database(handle.read())
+
+
+def _print_relation(relation, as_intervals: bool) -> None:
+    if as_intervals and relation.arity == 1:
+        print(IntervalSet.from_relation(relation))
+    else:
+        print(relation.pretty())
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    print(f"{args.database}: {len(db)} relation(s), {encoding_size(db)} bytes encoded")
+    for name in db.names():
+        relation = db[name]
+        print(f"  {name}/{relation.arity}: {len(relation)} generalized tuple(s)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    formula = parse_formula(args.formula)
+    if args.explain:
+        from repro.core.planner import compile_formula, explain, optimize
+
+        plan = optimize(compile_formula(formula), db)
+        print(explain(plan))
+        return 0
+    result = evaluate(formula, db)
+    if not result.schema:
+        print("true" if not result.is_empty() else "false")
+    else:
+        _print_relation(result, as_intervals=not args.raw)
+    return 0
+
+
+def _cmd_datalog(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    with open(args.program, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    result = evaluate_program(program, db, max_rounds=args.max_rounds)
+    status = "fixpoint" if result.reached_fixpoint else "cut off"
+    print(f"{status} after {result.rounds} round(s)")
+    names = [args.show] if args.show else sorted(program.idb)
+    for name in names:
+        print(f"-- {name}")
+        _print_relation(result[name], as_intervals=not args.raw)
+    return 0
+
+
+def _cmd_roundtrip(args: argparse.Namespace) -> int:
+    db = _load(args.database)
+    sys.stdout.write(encode_database(db))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="dense-order constraint database CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a database file")
+    info.add_argument("database")
+    info.set_defaults(fn=_cmd_info)
+
+    query = sub.add_parser("query", help="evaluate an FO query")
+    query.add_argument("database")
+    query.add_argument("formula")
+    query.add_argument("--raw", action="store_true", help="print constraint tuples")
+    query.add_argument(
+        "--explain", action="store_true", help="print the optimized query plan"
+    )
+    query.set_defaults(fn=_cmd_query)
+
+    datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
+    datalog.add_argument("database")
+    datalog.add_argument("program")
+    datalog.add_argument("--show", help="print only this IDB predicate")
+    datalog.add_argument("--max-rounds", type=int, default=None)
+    datalog.add_argument("--raw", action="store_true")
+    datalog.set_defaults(fn=_cmd_datalog)
+
+    roundtrip = sub.add_parser("reencode", help="normalize a database file")
+    roundtrip.add_argument("database")
+    roundtrip.set_defaults(fn=_cmd_roundtrip)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

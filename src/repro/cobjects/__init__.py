@@ -1,0 +1,121 @@
+"""Complex constraint objects and C-CALC (paper Section 5).
+
+* :mod:`repro.cobjects.types` -- c-types, set-height, flatness;
+* :mod:`repro.cobjects.objects` -- c-objects (points, tuples, regions
+  as first-class finitely representable sets, nested finite sets);
+* :mod:`repro.cobjects.active_domain` -- the active-domain semantics'
+  ranges ("quantifying over cells"), with exact cardinality accounting;
+* :mod:`repro.cobjects.calculus` -- C-CALC syntax and evaluation;
+* :mod:`repro.cobjects.fixpoint` -- the fixpoint extension (Thm 5.6).
+"""
+
+from repro.cobjects.active_domain import ActiveDomain
+from repro.cobjects.calculus import (
+    CAnd,
+    CConstraint,
+    CExists,
+    CFalse,
+    CForAll,
+    CFormula,
+    CNot,
+    COr,
+    CRelation,
+    CTrue,
+    Comprehension,
+    ExistsSet,
+    ForAllSet,
+    Member,
+    MemberSet,
+    SetConst,
+    SetEq,
+    SetTerm,
+    SetVar,
+    evaluate_ccalc,
+    evaluate_ccalc_boolean,
+    set_height,
+)
+from repro.cobjects.fixpoint import FixpointQuery, evaluate_fixpoint
+from repro.cobjects.range_restriction import (
+    RangeRestrictionError,
+    check_range_restricted,
+    evaluate_ccalc_restricted,
+    evaluate_ccalc_restricted_boolean,
+    restricted_domain,
+)
+from repro.cobjects.while_loop import WhileDivergence, WhileQuery, evaluate_while
+from repro.cobjects.objects import (
+    CObject,
+    FiniteSetObject,
+    PointObject,
+    RegionObject,
+    TupleObject,
+    check_type,
+    finite_set,
+    point,
+    region,
+    tup,
+)
+from repro.cobjects.types import (
+    CType,
+    Q,
+    QType,
+    SetType,
+    TupleType,
+    flat_arity,
+    is_flat,
+)
+from repro.cobjects.types import set_height as type_set_height
+
+__all__ = [
+    "ActiveDomain",
+    "CAnd",
+    "CConstraint",
+    "CExists",
+    "CFalse",
+    "CForAll",
+    "CFormula",
+    "CNot",
+    "COr",
+    "CRelation",
+    "CTrue",
+    "Comprehension",
+    "ExistsSet",
+    "ForAllSet",
+    "Member",
+    "MemberSet",
+    "SetConst",
+    "SetEq",
+    "SetTerm",
+    "SetVar",
+    "evaluate_ccalc",
+    "evaluate_ccalc_boolean",
+    "set_height",
+    "FixpointQuery",
+    "evaluate_fixpoint",
+    "RangeRestrictionError",
+    "check_range_restricted",
+    "evaluate_ccalc_restricted",
+    "evaluate_ccalc_restricted_boolean",
+    "restricted_domain",
+    "WhileDivergence",
+    "WhileQuery",
+    "evaluate_while",
+    "CObject",
+    "FiniteSetObject",
+    "PointObject",
+    "RegionObject",
+    "TupleObject",
+    "check_type",
+    "finite_set",
+    "point",
+    "region",
+    "tup",
+    "CType",
+    "Q",
+    "QType",
+    "SetType",
+    "TupleType",
+    "flat_arity",
+    "is_flat",
+    "type_set_height",
+]

@@ -1,0 +1,123 @@
+"""Active domains for C-CALC (Section 5).
+
+The paper proposes an *active domain* semantics for C-CALC: "the range
+of each set variable consists of a finite number of c-objects", which
+"depend on the input database"; for flat input schemas this is "in the
+spirit of quantifying over cells" [Col75, KY85].  The concrete
+construction implemented here (documented as our operational reading in
+DESIGN.md):
+
+* the base decomposition is the canonical cell decomposition by the
+  constants of the input database (plus any query constants);
+* ``adom(Q)`` -- representative points: the constants and one sample
+  per open cell;
+* ``adom([t1, ..., tk])`` -- the product of component domains;
+* ``adom({t})`` for *flat* ``t`` of arity k -- every union of complete
+  k-cells, as a :class:`~repro.cobjects.objects.RegionObject` (there
+  are ``2**(number of complete k-types)`` of them);
+* ``adom({t})`` for nested ``t`` -- every finite subset of ``adom(t)``.
+
+Each set construct therefore exponentiates the domain size: set-height
+``i`` costs an i-fold exponential -- precisely the hyper-exponential
+growth that Theorems 5.3-5.5 organize, and what experiment E9 measures.
+``domain_size`` computes the cardinality *without* materializing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.cobjects.objects import (
+    CObject,
+    FiniteSetObject,
+    PointObject,
+    RegionObject,
+    TupleObject,
+)
+from repro.cobjects.types import CType, QType, SetType, TupleType, flat_arity, is_flat
+from repro.core.database import Database
+from repro.encoding.cells import CellDecomposition
+from repro.errors import TypeCheckError
+
+__all__ = ["ActiveDomain"]
+
+
+def _powerset(items: Sequence) -> Iterator[frozenset]:
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            yield frozenset(combo)
+
+
+class ActiveDomain:
+    """The active domain of every c-type over one input decomposition."""
+
+    def __init__(
+        self, database: Database, extra_constants: Iterable[Fraction] = ()
+    ) -> None:
+        self.database = database
+        constants = set(database.constants()) | set(extra_constants)
+        self.decomposition = CellDecomposition(constants)
+
+    # ----------------------------------------------------------------- sizes
+
+    def domain_size(self, ctype: CType) -> int:
+        """Cardinality of ``adom(ctype)`` (computed, not materialized)."""
+        if isinstance(ctype, QType):
+            return self.decomposition.cell_count
+        if isinstance(ctype, TupleType):
+            size = 1
+            for c in ctype.components:
+                size *= self.domain_size(c)
+            return size
+        if isinstance(ctype, SetType):
+            if is_flat(ctype.element):
+                return 2 ** self.decomposition.type_count(flat_arity(ctype.element))
+            return 2 ** self.domain_size(ctype.element)
+        raise TypeCheckError(f"unknown c-type {ctype!r}")
+
+    # ------------------------------------------------------------ enumeration
+
+    def enumerate(self, ctype: CType) -> Iterator[CObject]:
+        """Yield every object of the active domain of ``ctype``.
+
+        Exponential (and worse) in set-height; meant for the tiny
+        instances of the Section 5 experiments.
+        """
+        if isinstance(ctype, QType):
+            for i in range(self.decomposition.cell_count):
+                yield PointObject(self.decomposition.cell_sample(i))
+            return
+        if isinstance(ctype, TupleType):
+            domains = [list(self.enumerate(c)) for c in ctype.components]
+            for combo in itertools.product(*domains):
+                yield TupleObject(tuple(combo))
+            return
+        if isinstance(ctype, SetType):
+            if is_flat(ctype.element):
+                yield from self._enumerate_regions(flat_arity(ctype.element))
+                return
+            elements = list(self.enumerate(ctype.element))
+            for subset in _powerset(elements):
+                yield FiniteSetObject(subset)
+            return
+        raise TypeCheckError(f"unknown c-type {ctype!r}")
+
+    def _enumerate_regions(self, arity: int) -> Iterator[RegionObject]:
+        schema = tuple(f"x{i}" for i in range(arity))
+        types = list(self.decomposition.complete_types(arity))
+        constants = self.decomposition.constants
+        for subset in _powerset(types):
+            relation = self.decomposition.relation_of_signature(subset, schema)
+            yield RegionObject._preconstructed(relation, constants, subset)
+
+    def point_values(self) -> List[Fraction]:
+        """The representative points of ``adom(Q)``."""
+        return [
+            self.decomposition.cell_sample(i)
+            for i in range(self.decomposition.cell_count)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<ActiveDomain over {self.decomposition!r}>"

@@ -1,0 +1,511 @@
+"""C-CALC: the calculus for complex constraint objects (Section 5).
+
+Syntax (over the language ``L_c``): first-order formulas with
+
+* point variables with dense-order constraints, and database relation
+  atoms (as in FO);
+* *set variables* of any c-type, quantified by :class:`ExistsSet` /
+  :class:`ForAllSet`;
+* membership ``(x1, ..., xk) in T`` of point tuples in flat set terms
+  (:class:`Member`), membership of set terms in nested set terms
+  (:class:`MemberSet`), and set-term equality (:class:`SetEq`);
+* *set terms*: set variables, constant objects, and comprehensions
+  ``{(x1, ..., xk) | phi}`` (:class:`Comprehension`).
+
+Semantics: the paper's *active domain* semantics -- every set variable
+ranges over the finitely many c-objects built from the input's
+canonical cells (:class:`~repro.cobjects.active_domain.ActiveDomain`).
+Evaluation grounds set quantifiers by enumeration, reduces ground
+memberships to relation atoms over temporary relations, and hands the
+resulting FO formula to the closed-form evaluator.  The cost is the
+active-domain size -- exponential per set-height level, which is the
+content of Theorems 5.2-5.5.
+
+``set_height`` of a query is the maximal set-height of the types of its
+set variables and comprehensions; C-CALC_0 is exactly FO.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cobjects.active_domain import ActiveDomain
+from repro.cobjects.objects import CObject, FiniteSetObject, RegionObject, check_type
+from repro.cobjects.types import CType, SetType, TupleType, Q, flat_arity, is_flat
+from repro.cobjects.types import set_height as type_set_height
+from repro.core.database import Database
+from repro.core.evaluator import evaluate as core_evaluate
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    conj,
+    disj,
+)
+from repro.core.relation import Relation
+from repro.core.terms import Term, TermLike, Var, as_term
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EvaluationError, TypeCheckError
+
+__all__ = [
+    "CFormula",
+    "CTrue",
+    "CFalse",
+    "CConstraint",
+    "CRelation",
+    "CAnd",
+    "COr",
+    "CNot",
+    "CExists",
+    "CForAll",
+    "ExistsSet",
+    "ForAllSet",
+    "Member",
+    "MemberSet",
+    "SetEq",
+    "SetTerm",
+    "SetVar",
+    "SetConst",
+    "Comprehension",
+    "set_height",
+    "evaluate_ccalc",
+    "evaluate_ccalc_boolean",
+]
+
+
+# ------------------------------------------------------------------ set terms
+
+
+class SetTerm:
+    """Abstract base of set-valued terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetVar(SetTerm):
+    """A set variable with its declared c-type (a set type)."""
+
+    name: str
+    ctype: CType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ctype, SetType):
+            raise TypeCheckError(f"set variable {self.name} needs a set type")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SetConst(SetTerm):
+    """A constant c-object used as a set term."""
+
+    value: CObject
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comprehension(SetTerm):
+    """``{(x1, ..., xk) | body}`` -- a flat set term.
+
+    The bound variables are point variables; the body is a C-CALC
+    formula.  The denoted object is the region of satisfying tuples.
+    """
+
+    variables: Tuple[str, ...]
+    body: "CFormula"
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise TypeCheckError("comprehension needs at least one variable")
+
+    def __str__(self) -> str:
+        return "{(" + ", ".join(self.variables) + ") | " + str(self.body) + "}"
+
+
+# ------------------------------------------------------------------- formulas
+
+
+class CFormula:
+    """Abstract base of C-CALC formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "CFormula") -> "CFormula":
+        return CAnd((self, other))
+
+    def __or__(self, other: "CFormula") -> "CFormula":
+        return COr((self, other))
+
+    def __invert__(self) -> "CFormula":
+        return CNot(self)
+
+    def implies(self, other: "CFormula") -> "CFormula":
+        return COr((CNot(self), other))
+
+    def iff(self, other: "CFormula") -> "CFormula":
+        return CAnd((self.implies(other), other.implies(self)))
+
+
+@dataclass(frozen=True)
+class CTrue(CFormula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class CFalse(CFormula):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class CConstraint(CFormula):
+    """A dense-order constraint atom on point variables."""
+
+    atom: object
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class CRelation(CFormula):
+    """A database relation atom ``R(t1, ..., tk)``."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class CAnd(CFormula):
+    subs: Tuple[CFormula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(map(str, self.subs)) + ")"
+
+
+@dataclass(frozen=True)
+class COr(CFormula):
+    subs: Tuple[CFormula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(map(str, self.subs)) + ")"
+
+
+@dataclass(frozen=True)
+class CNot(CFormula):
+    sub: CFormula
+
+    def __str__(self) -> str:
+        return f"not {self.sub}"
+
+
+@dataclass(frozen=True)
+class CExists(CFormula):
+    """Existential quantification over point variables."""
+
+    variables: Tuple[str, ...]
+    sub: CFormula
+
+    def __str__(self) -> str:
+        return f"(exists {', '.join(self.variables)}. {self.sub})"
+
+
+@dataclass(frozen=True)
+class CForAll(CFormula):
+    """Universal quantification over point variables."""
+
+    variables: Tuple[str, ...]
+    sub: CFormula
+
+    def __str__(self) -> str:
+        return f"(forall {', '.join(self.variables)}. {self.sub})"
+
+
+@dataclass(frozen=True)
+class ExistsSet(CFormula):
+    """``exists S : tau . sub`` -- active-domain set quantification."""
+
+    var: SetVar
+    sub: CFormula
+
+    def __str__(self) -> str:
+        return f"(exists {self.var.name} : {self.var.ctype}. {self.sub})"
+
+
+@dataclass(frozen=True)
+class ForAllSet(CFormula):
+    """``forall S : tau . sub``."""
+
+    var: SetVar
+    sub: CFormula
+
+    def __str__(self) -> str:
+        return f"(forall {self.var.name} : {self.var.ctype}. {self.sub})"
+
+
+@dataclass(frozen=True)
+class Member(CFormula):
+    """``(t1, ..., tk) in T`` for a flat set term ``T``."""
+
+    args: Tuple[Term, ...]
+    term: SetTerm
+
+    def __str__(self) -> str:
+        return f"({', '.join(map(str, self.args))}) in {self.term}"
+
+
+@dataclass(frozen=True)
+class MemberSet(CFormula):
+    """``S in T`` for set terms (``T`` of nested set type)."""
+
+    element: SetTerm
+    term: SetTerm
+
+    def __str__(self) -> str:
+        return f"{self.element} in {self.term}"
+
+
+@dataclass(frozen=True)
+class SetEq(CFormula):
+    """``S = T`` -- equality of set terms."""
+
+    left: SetTerm
+    right: SetTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+# ------------------------------------------------------------------ analysis
+
+
+def _term_height(term: SetTerm) -> int:
+    if isinstance(term, SetVar):
+        return type_set_height(term.ctype)
+    if isinstance(term, SetConst):
+        return 0  # constants do not add quantified structure
+    if isinstance(term, Comprehension):
+        return max(1, set_height(term.body))
+    raise TypeCheckError(f"unknown set term {term!r}")
+
+
+def set_height(formula: CFormula) -> int:
+    """Set-height of a query: C-CALC_i membership measure ([HS91])."""
+    if isinstance(formula, (CTrue, CFalse, CConstraint, CRelation)):
+        return 0
+    if isinstance(formula, (CAnd, COr)):
+        return max((set_height(s) for s in formula.subs), default=0)
+    if isinstance(formula, CNot):
+        return set_height(formula.sub)
+    if isinstance(formula, (CExists, CForAll)):
+        return set_height(formula.sub)
+    if isinstance(formula, (ExistsSet, ForAllSet)):
+        return max(type_set_height(formula.var.ctype), set_height(formula.sub))
+    if isinstance(formula, Member):
+        return _term_height(formula.term)
+    if isinstance(formula, MemberSet):
+        return max(_term_height(formula.element), _term_height(formula.term))
+    if isinstance(formula, SetEq):
+        return max(_term_height(formula.left), _term_height(formula.right))
+    raise TypeCheckError(f"unknown C-CALC node {formula!r}")
+
+
+def _substitute_set(formula: CFormula, name: str, value: CObject) -> CFormula:
+    """Ground one set variable throughout."""
+
+    def in_term(term: SetTerm) -> SetTerm:
+        if isinstance(term, SetVar) and term.name == name:
+            return SetConst(value)
+        if isinstance(term, Comprehension):
+            return Comprehension(term.variables, _substitute_set(term.body, name, value))
+        return term
+
+    if isinstance(formula, (CTrue, CFalse, CConstraint, CRelation)):
+        return formula
+    if isinstance(formula, CAnd):
+        return CAnd(tuple(_substitute_set(s, name, value) for s in formula.subs))
+    if isinstance(formula, COr):
+        return COr(tuple(_substitute_set(s, name, value) for s in formula.subs))
+    if isinstance(formula, CNot):
+        return CNot(_substitute_set(formula.sub, name, value))
+    if isinstance(formula, CExists):
+        return CExists(formula.variables, _substitute_set(formula.sub, name, value))
+    if isinstance(formula, CForAll):
+        return CForAll(formula.variables, _substitute_set(formula.sub, name, value))
+    if isinstance(formula, ExistsSet):
+        if formula.var.name == name:  # shadowed
+            return formula
+        return ExistsSet(formula.var, _substitute_set(formula.sub, name, value))
+    if isinstance(formula, ForAllSet):
+        if formula.var.name == name:
+            return formula
+        return ForAllSet(formula.var, _substitute_set(formula.sub, name, value))
+    if isinstance(formula, Member):
+        return Member(formula.args, in_term(formula.term))
+    if isinstance(formula, MemberSet):
+        return MemberSet(in_term(formula.element), in_term(formula.term))
+    if isinstance(formula, SetEq):
+        return SetEq(in_term(formula.left), in_term(formula.right))
+    raise TypeCheckError(f"unknown C-CALC node {formula!r}")
+
+
+# ----------------------------------------------------------------- evaluation
+
+
+class _Translator:
+    """Reduce a set-variable-free C-CALC formula to core FO."""
+
+    def __init__(self, database: Database, adom: ActiveDomain) -> None:
+        self.database = database
+        self.adom = adom
+        self.temp = Database(theory=DENSE_ORDER)
+        for name, relation in database.items():
+            self.temp[name] = relation
+        self._counter = itertools.count()
+
+    def _inject(self, relation: Relation) -> str:
+        name = f"__set{next(self._counter)}"
+        self.temp[name] = relation
+        return name
+
+    def resolve(self, term: SetTerm) -> CObject:
+        if isinstance(term, SetConst):
+            return term.value
+        if isinstance(term, Comprehension):
+            body = self.translate(term.body)
+            schema = tuple(term.variables)
+            result = core_evaluate(body, self.temp, DENSE_ORDER)
+            widened = result.extend(
+                tuple(sorted(set(result.schema) | set(schema)))
+            )
+            projected = widened.project(tuple(sorted(schema)))
+            ordered = Relation(
+                DENSE_ORDER,
+                schema,
+                [t.reorder(schema) for t in projected.tuples],
+            )
+            free = _core_free(body) - set(schema)
+            if free:
+                raise EvaluationError(
+                    f"comprehension body has free point variables {sorted(free)} "
+                    "outside its bound tuple; parameterized comprehensions must "
+                    "be grounded by the surrounding evaluation"
+                )
+            return RegionObject(ordered)
+        if isinstance(term, SetVar):
+            raise EvaluationError(
+                f"set variable {term.name} is unbound; quantify it with "
+                "ExistsSet/ForAllSet or substitute a constant"
+            )
+        raise TypeCheckError(f"unknown set term {term!r}")
+
+    def translate(self, formula: CFormula) -> Formula:
+        if isinstance(formula, CTrue):
+            return TRUE
+        if isinstance(formula, CFalse):
+            return FALSE
+        if isinstance(formula, CConstraint):
+            if isinstance(formula.atom, bool):
+                return TRUE if formula.atom else FALSE
+            return Constraint(formula.atom)
+        if isinstance(formula, CRelation):
+            return RelationAtom(formula.name, formula.args)
+        if isinstance(formula, CAnd):
+            return conj(*(self.translate(s) for s in formula.subs))
+        if isinstance(formula, COr):
+            return disj(*(self.translate(s) for s in formula.subs))
+        if isinstance(formula, CNot):
+            return Not(self.translate(formula.sub))
+        if isinstance(formula, CExists):
+            return Exists(formula.variables, self.translate(formula.sub))
+        if isinstance(formula, CForAll):
+            return ForAll(formula.variables, self.translate(formula.sub))
+        if isinstance(formula, ExistsSet):
+            parts = []
+            for obj in self.adom.enumerate(formula.var.ctype):
+                grounded = _substitute_set(formula.sub, formula.var.name, obj)
+                parts.append(self.translate(grounded))
+            return disj(*parts)
+        if isinstance(formula, ForAllSet):
+            parts = []
+            for obj in self.adom.enumerate(formula.var.ctype):
+                grounded = _substitute_set(formula.sub, formula.var.name, obj)
+                parts.append(self.translate(grounded))
+            return conj(*parts)
+        if isinstance(formula, Member):
+            target = self.resolve(formula.term)
+            if isinstance(target, RegionObject):
+                if target.arity != len(formula.args):
+                    raise TypeCheckError(
+                        f"membership arity mismatch: {len(formula.args)} args "
+                        f"vs region arity {target.arity}"
+                    )
+                return RelationAtom(self._inject(target.relation), formula.args)
+            raise TypeCheckError(
+                "point-tuple membership requires a flat (region) set term; "
+                "use MemberSet for nested sets"
+            )
+        if isinstance(formula, MemberSet):
+            element = self.resolve(formula.element)
+            target = self.resolve(formula.term)
+            if not isinstance(target, FiniteSetObject):
+                raise TypeCheckError("MemberSet requires a nested (finite) set term")
+            return TRUE if element in target.elements else FALSE
+        if isinstance(formula, SetEq):
+            return TRUE if self.resolve(formula.left) == self.resolve(formula.right) else FALSE
+        raise TypeCheckError(f"unknown C-CALC node {formula!r}")
+
+
+def _core_free(formula: Formula) -> set:
+    return {v.name for v in formula.free_variables()}
+
+
+def evaluate_ccalc(
+    formula: CFormula,
+    database: Database,
+    extra_constants: Iterable[Fraction] = (),
+    adom: Optional[ActiveDomain] = None,
+) -> Relation:
+    """Evaluate a C-CALC query under the active-domain semantics.
+
+    The result ranges over the free *point* variables; free set
+    variables are an error.  ``extra_constants`` refine the active
+    domain with the query's constants.
+    """
+    domain = adom or ActiveDomain(database, extra_constants)
+    translator = _Translator(database, domain)
+    translated = translator.translate(formula)
+    return core_evaluate(translated, translator.temp, DENSE_ORDER)
+
+
+def evaluate_ccalc_boolean(
+    formula: CFormula,
+    database: Database,
+    extra_constants: Iterable[Fraction] = (),
+    adom: Optional[ActiveDomain] = None,
+) -> bool:
+    """Evaluate a C-CALC sentence to a boolean."""
+    result = evaluate_ccalc(formula, database, extra_constants, adom)
+    if result.schema:
+        raise EvaluationError(
+            f"formula is not a sentence; free point variables {result.schema}"
+        )
+    return not result.is_empty()

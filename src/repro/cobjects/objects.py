@@ -1,0 +1,207 @@
+"""C-objects: values of the complex constraint object model (Section 5).
+
+Objects mirror the types of :mod:`repro.cobjects.types`:
+
+* a :class:`PointObject` is a rational (type ``Q``);
+* a :class:`TupleObject` is a tuple of objects;
+* a set-typed object is either
+
+  - a :class:`RegionObject` -- a *finitely representable pointset* (the
+    paper's first-class constraint sets), wrapping a generalized
+    relation and compared by pointset equality via a canonical cell
+    signature; used when the element type is flat; or
+  - a :class:`FiniteSetObject` -- a finite set of element objects, used
+    for nested set types (sets of sets, sets of tuples-with-sets, ...).
+
+All objects are immutable and hashable, so they can populate active
+domains and be compared during C-CALC evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.cobjects.types import CType, Q, QType, SetType, TupleType, flat_arity, is_flat
+from repro.core.relation import Relation
+from repro.core.terms import as_fraction
+from repro.core.theory import DENSE_ORDER
+from repro.encoding.cells import CellDecomposition
+from repro.errors import TypeCheckError
+
+__all__ = [
+    "CObject",
+    "PointObject",
+    "TupleObject",
+    "RegionObject",
+    "FiniteSetObject",
+    "check_type",
+    "point",
+    "tup",
+    "region",
+    "finite_set",
+]
+
+
+class CObject:
+    """Abstract base of c-objects (immutable, hashable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PointObject(CObject):
+    """A rational point (type ``Q``)."""
+
+    value: Fraction
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Fraction):
+            object.__setattr__(self, "value", as_fraction(self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class TupleObject(CObject):
+    """A tuple of component objects."""
+
+    components: Tuple[CObject, ...]
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(map(str, self.components)) + "]"
+
+
+class RegionObject(CObject):
+    """A finitely representable pointset as a first-class object.
+
+    Equality and hashing use the canonical cell signature over the
+    region's own constants, so two representations of the same pointset
+    are the same object -- the property set-valued variables need.
+    """
+
+    __slots__ = ("relation", "_signature", "_constants")
+
+    def __init__(self, relation: Relation) -> None:
+        if relation.theory is not DENSE_ORDER:
+            raise TypeCheckError("RegionObject wraps dense-order relations")
+        # normalize the schema: regions denote pointsets, not named columns
+        canonical = tuple(f"x{i}" for i in range(relation.arity))
+        if relation.schema != canonical:
+            relation = Relation(
+                DENSE_ORDER,
+                canonical,
+                [
+                    t.reorder(canonical)
+                    for t in relation.rename(
+                        dict(zip(relation.schema, canonical))
+                    ).tuples
+                ],
+            )
+        self.relation = relation
+        self._constants = tuple(sorted(relation.constants()))
+        decomposition = CellDecomposition(self._constants)
+        self._signature = frozenset(decomposition.signature(relation))
+
+    @classmethod
+    def _preconstructed(cls, relation: Relation, constants, signature) -> "RegionObject":
+        """Internal fast path: the caller already knows the signature.
+
+        Used by active-domain enumeration, where thousands of regions
+        are built from subsets of one decomposition; ``signature`` must
+        be the relation's signature over ``constants`` and the relation
+        must already use the canonical ``x0..x{k-1}`` schema.
+        """
+        obj = cls.__new__(cls)
+        obj.relation = relation
+        obj._constants = tuple(sorted(constants))
+        obj._signature = frozenset(signature)
+        return obj
+
+    @property
+    def arity(self) -> int:
+        return self.relation.arity
+
+    def is_empty(self) -> bool:
+        return not self._signature
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionObject):
+            return NotImplemented
+        if self.arity != other.arity:
+            return False
+        # signatures are over each region's own constants; equal pointsets
+        # have equal constants *in their canonical representation*, but two
+        # representations may mention junk constants -- fall back to the
+        # semantic check when the quick test is inconclusive
+        if self._constants == other._constants:
+            return self._signature == other._signature
+        return self.relation.equivalent(other.relation)
+
+    def __hash__(self) -> int:
+        # hash on the pointset's behaviour at its own constants only would
+        # break the hash/eq contract for junk-constant representations, so
+        # hash conservatively on arity (equality stays exact; buckets may
+        # collide for same-arity regions, acceptable for small domains)
+        return hash(("region", self.arity))
+
+    def __str__(self) -> str:
+        return f"<region arity={self.arity} cells={len(self._signature)}>"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class FiniteSetObject(CObject):
+    """A finite set of element objects (nested set types)."""
+
+    elements: FrozenSet[CObject]
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(map(str, self.elements)))
+        return "{" + inner + "}"
+
+
+# ----------------------------------------------------------------- builders
+
+
+def point(value) -> PointObject:
+    return PointObject(as_fraction(value))
+
+
+def tup(*components: CObject) -> TupleObject:
+    return TupleObject(tuple(components))
+
+
+def region(relation: Relation) -> RegionObject:
+    return RegionObject(relation)
+
+
+def finite_set(elements: Iterable[CObject]) -> FiniteSetObject:
+    return FiniteSetObject(frozenset(elements))
+
+
+def check_type(obj: CObject, ctype: CType) -> bool:
+    """Does the object inhabit the type?
+
+    Region objects inhabit set types over flat element types of
+    matching arity; finite sets inhabit any set type whose element type
+    their members inhabit.
+    """
+    if isinstance(ctype, QType):
+        return isinstance(obj, PointObject)
+    if isinstance(ctype, TupleType):
+        return (
+            isinstance(obj, TupleObject)
+            and len(obj.components) == ctype.arity
+            and all(check_type(c, t) for c, t in zip(obj.components, ctype.components))
+        )
+    if isinstance(ctype, SetType):
+        if isinstance(obj, RegionObject):
+            return is_flat(ctype.element) and obj.arity == flat_arity(ctype.element)
+        if isinstance(obj, FiniteSetObject):
+            return all(check_type(e, ctype.element) for e in obj.elements)
+        return False
+    raise TypeCheckError(f"unknown c-type {ctype!r}")

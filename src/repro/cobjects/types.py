@@ -1,0 +1,109 @@
+"""C-types: the type system of complex constraint objects (Section 5).
+
+The paper composes "complex constraint objects" from finitely
+representable pointsets with the tuple and set constructs.  Types::
+
+    tau ::= Q | [tau1, ..., tauk] | {tau}
+
+The *set-height* of a type is the maximal number of set constructs on a
+root-to-leaf path of its syntax tree ([HS91]); C-CALC_i is the fragment
+whose types have set-height <= i, and Theorems 5.2-5.4 organize the
+expressiveness hierarchy along this measure.
+
+A type is *flat* when it is ``Q`` or a tuple of ``Q`` -- the types of
+classical dense-order relations.  A set type over a flat element type
+denotes finitely representable pointsets; deeper set types denote
+finite sets of objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import TypeCheckError
+
+__all__ = ["CType", "QType", "TupleType", "SetType", "Q", "set_height", "is_flat",
+           "flat_arity"]
+
+
+class CType:
+    """Abstract base of c-types (immutable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class QType(CType):
+    """The base type: a rational point."""
+
+    def __str__(self) -> str:
+        return "Q"
+
+
+#: the shared base type instance
+Q = QType()
+
+
+@dataclass(frozen=True)
+class TupleType(CType):
+    """``[tau1, ..., tauk]`` -- a k-tuple of component types."""
+
+    components: Tuple[CType, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise TypeCheckError("tuple types need at least one component")
+        for c in self.components:
+            if not isinstance(c, CType):
+                raise TypeCheckError(f"not a c-type: {c!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(map(str, self.components)) + "]"
+
+
+@dataclass(frozen=True)
+class SetType(CType):
+    """``{tau}`` -- a set of objects of the element type."""
+
+    element: CType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.element, CType):
+            raise TypeCheckError(f"not a c-type: {self.element!r}")
+
+    def __str__(self) -> str:
+        return "{" + str(self.element) + "}"
+
+
+def set_height(ctype: CType) -> int:
+    """Maximal number of set constructs on a root-to-leaf path ([HS91])."""
+    if isinstance(ctype, QType):
+        return 0
+    if isinstance(ctype, TupleType):
+        return max(set_height(c) for c in ctype.components)
+    if isinstance(ctype, SetType):
+        return 1 + set_height(ctype.element)
+    raise TypeCheckError(f"unknown c-type {ctype!r}")
+
+
+def is_flat(ctype: CType) -> bool:
+    """Is the type ``Q`` or a tuple of ``Q`` (a classical relation row)?"""
+    if isinstance(ctype, QType):
+        return True
+    if isinstance(ctype, TupleType):
+        return all(isinstance(c, QType) for c in ctype.components)
+    return False
+
+
+def flat_arity(ctype: CType) -> int:
+    """Arity of a flat type (1 for ``Q``)."""
+    if isinstance(ctype, QType):
+        return 1
+    if isinstance(ctype, TupleType) and is_flat(ctype):
+        return ctype.arity
+    raise TypeCheckError(f"{ctype} is not flat")

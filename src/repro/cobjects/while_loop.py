@@ -1,0 +1,164 @@
+"""The while extension of C-CALC (Theorem 5.6).
+
+``C-CALC_i + while = H_i-SPACE``: alongside the (inflationary) fixpoint
+operator, the paper extends C-CALC with a *while* construct "similarly
+to [KKR90, GV91]".  Unlike fixpoint, while-iteration *replaces* the
+relation variable each round::
+
+    while S changes:  S := { x | phi(S, x) }
+
+Replacement semantics is non-monotone: the iteration may enter a cycle
+and never stabilize (that is exactly why while climbs from Hi-TIME to
+Hi-SPACE).  :func:`evaluate_while` detects both outcomes precisely:
+
+* stabilization -- the canonical state repeats the *previous* state:
+  return it;
+* a longer cycle -- some earlier state recurs: the loop provably
+  diverges; raise :class:`WhileDivergence`.
+
+Cycle detection is exact because states are canonical cell signatures
+over the fixed input constants, a finite space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.cobjects.active_domain import ActiveDomain
+from repro.cobjects.calculus import CFormula, evaluate_ccalc
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import DatalogError, EvaluationError
+
+__all__ = ["WhileQuery", "WhileDivergence", "evaluate_while"]
+
+
+class WhileDivergence(EvaluationError):
+    """The while-loop entered a state cycle and cannot terminate."""
+
+
+@dataclass
+class WhileQuery:
+    """``while S changes: S := {x | phi(S, x)}`` (replacement semantics)."""
+
+    name: str
+    variables: Tuple[str, ...]
+    formula: CFormula
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+
+def _state_key(relation: Relation, decomposition) -> FrozenSet:
+    return decomposition.signature(relation)
+
+
+def _formula_constants(formula: CFormula) -> FrozenSet[Fraction]:
+    """All rational constants of a C-CALC formula (atoms, set constants,
+    comprehension bodies) -- the loop's states never leave the cell
+    decomposition these induce together with the database constants."""
+    from repro.cobjects.calculus import (
+        CAnd,
+        CConstraint,
+        CExists,
+        CForAll,
+        CNot,
+        COr,
+        Comprehension,
+        ExistsSet,
+        ForAllSet,
+        Member,
+        MemberSet,
+        SetConst,
+        SetEq,
+        SetTerm,
+    )
+    from repro.cobjects.objects import RegionObject
+
+    out: set = set()
+
+    def from_term(term: SetTerm) -> None:
+        if isinstance(term, SetConst) and isinstance(term.value, RegionObject):
+            out.update(term.value.relation.constants())
+        elif isinstance(term, Comprehension):
+            walk(term.body)
+
+    def walk(node: CFormula) -> None:
+        if isinstance(node, CConstraint) and not isinstance(node.atom, bool):
+            out.update(node.atom.constants)
+        elif isinstance(node, (CAnd, COr)):
+            for s in node.subs:
+                walk(s)
+        elif isinstance(node, CNot):
+            walk(node.sub)
+        elif isinstance(node, (CExists, CForAll, ExistsSet, ForAllSet)):
+            walk(node.sub)
+        elif isinstance(node, Member):
+            from_term(node.term)
+        elif isinstance(node, MemberSet):
+            from_term(node.element)
+            from_term(node.term)
+        elif isinstance(node, SetEq):
+            from_term(node.left)
+            from_term(node.right)
+
+    walk(formula)
+    return frozenset(out)
+
+
+def evaluate_while(
+    query: WhileQuery,
+    database: Database,
+    extra_constants: Iterable[Fraction] = (),
+    max_rounds: Optional[int] = None,
+) -> Relation:
+    """Iterate until stabilization; raise :class:`WhileDivergence` on a
+    provable cycle (exact, via canonical cell signatures)."""
+    if query.name in database:
+        raise DatalogError(
+            f"relation variable {query.name!r} clashes with a stored relation"
+        )
+    from repro.encoding.cells import CellDecomposition
+
+    schema = tuple(query.variables)
+    loop_constants = (
+        set(database.constants())
+        | set(extra_constants)
+        | set(_formula_constants(query.formula))
+    )
+    adom = ActiveDomain(database, loop_constants)
+    decomposition = CellDecomposition(loop_constants)
+    current = Relation.empty(schema, DENSE_ORDER)
+    seen: Dict[FrozenSet, int] = {_state_key(current, decomposition): 0}
+    rounds = 0
+    while True:
+        rounds += 1
+        working = database.copy()
+        working[query.name] = current
+        derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
+        missing = [v for v in schema if v not in derived.schema]
+        if missing:
+            derived = derived.extend(tuple(derived.schema) + tuple(missing))
+        projected = derived.project(tuple(sorted(schema)))
+        new = Relation(
+            DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
+        )
+        key = _state_key(new, decomposition)
+        previous_round = seen.get(key)
+        if previous_round == rounds - 1:
+            return new  # stabilized: S = {x | phi(S, x)}
+        if previous_round is not None:
+            raise WhileDivergence(
+                f"state of round {rounds} repeats round {previous_round}: "
+                f"cycle of length {rounds - previous_round}, the loop diverges"
+            )
+        seen[key] = rounds
+        current = new
+        if max_rounds is not None and rounds >= max_rounds:
+            raise EvaluationError(
+                f"while-loop did not stabilize within {max_rounds} rounds"
+            )

@@ -1,0 +1,232 @@
+"""Atomic dense-order constraints.
+
+An atom is ``t1 op t2`` with ``op`` one of ``< <= = != >= >`` and the
+``ti`` terms over ``(Q, <=)``.  Atoms are normalized at construction:
+
+* ``>=`` and ``>`` are flipped to ``<=`` / ``<`` (sides swapped);
+* ``=`` and ``!=`` order their sides canonically (so ``x = y`` and
+  ``y = x`` are the same atom);
+* constant-vs-constant comparisons fold to ``True`` / ``False``;
+* trivially reflexive comparisons fold (``x <= x`` is true, ``x < x``
+  is false).
+
+The *normal* atom vocabulary used inside generalized tuples is
+``{LT, LE, EQ}``; ``NE`` exists as a surface form and is expanded into
+``LT or GT`` wherever a disjunction is available (formula normalization,
+atom negation).  Keeping generalized tuples NE-free is what makes
+variable elimination a single-case bound composition (see
+:meth:`repro.core.theory.DenseOrderTheory.project_out`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Union
+
+from repro.core.terms import Const, Term, TermLike, Var, as_term, substitute_term, term_key
+from repro.errors import TheoryError
+
+__all__ = ["Op", "Atom", "atom", "lt", "le", "eq", "ne", "ge", "gt"]
+
+
+class Op(enum.Enum):
+    """Comparison operators, with their textual form."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    NE = "!="
+    GE = ">="
+    GT = ">"
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self in (Op.EQ, Op.NE)
+
+    @property
+    def negated(self) -> "Op":
+        return _NEGATION[self]
+
+    @property
+    def flipped(self) -> "Op":
+        """The operator with the two sides exchanged: ``a op b == b op.flipped a``."""
+        return _FLIP[self]
+
+    def holds(self, left, right) -> bool:
+        """Evaluate the comparison on two comparable values."""
+        if self is Op.LT:
+            return left < right
+        if self is Op.LE:
+            return left <= right
+        if self is Op.EQ:
+            return left == right
+        if self is Op.NE:
+            return left != right
+        if self is Op.GE:
+            return left >= right
+        return left > right
+
+
+_NEGATION = {
+    Op.LT: Op.GE,
+    Op.LE: Op.GT,
+    Op.EQ: Op.NE,
+    Op.NE: Op.EQ,
+    Op.GE: Op.LT,
+    Op.GT: Op.LE,
+}
+
+_FLIP = {
+    Op.LT: Op.GT,
+    Op.LE: Op.GE,
+    Op.EQ: Op.EQ,
+    Op.NE: Op.NE,
+    Op.GE: Op.LE,
+    Op.GT: Op.LT,
+}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A normalized atomic constraint ``left op right``.
+
+    Use :func:`atom` (or the ``lt``/``le``/... helpers) to construct
+    atoms from loose inputs; the dataclass constructor expects already
+    normalized parts and is mostly internal.
+    """
+
+    left: Term
+    op: Op
+    right: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.left, self.op, self.right)))
+
+    def __hash__(self) -> int:  # cached: atoms live in hot frozensets
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+    @property
+    def variables(self) -> frozenset:
+        """The variables occurring in the atom."""
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Var))
+
+    @property
+    def constants(self) -> frozenset:
+        """The rational constants occurring in the atom (as Fractions)."""
+        return frozenset(t.value for t in (self.left, self.right) if isinstance(t, Const))
+
+    @property
+    def is_strict(self) -> bool:
+        return self.op is Op.LT
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Union["Atom", bool]:
+        """Apply a variable substitution; may fold to a boolean."""
+        return atom(
+            substitute_term(self.left, mapping), self.op, substitute_term(self.right, mapping)
+        )
+
+    def negate(self) -> List["Atom"]:
+        """The negation of this atom, as a disjunction of NE-free atoms.
+
+        ``not (a < b)``  is ``b <= a``; ``not (a <= b)`` is ``b < a``;
+        ``not (a = b)`` is ``a < b or b < a``.
+        """
+        neg = atom(self.left, self.op.negated, self.right)
+        if isinstance(neg, bool):
+            raise TheoryError(f"negation of {self} folded unexpectedly")  # pragma: no cover
+        if neg.op is Op.NE:
+            return [
+                _make(neg.left, Op.LT, neg.right),
+                _make(neg.right, Op.LT, neg.left),
+            ]
+        return [neg]
+
+    def expand_ne(self) -> List["Atom"]:
+        """Expand an NE atom to the disjunction ``left < right or right < left``.
+
+        Non-NE atoms are returned unchanged (singleton list).
+        """
+        if self.op is not Op.NE:
+            return [self]
+        return [
+            _make(self.left, Op.LT, self.right),
+            _make(self.right, Op.LT, self.left),
+        ]
+
+    def evaluate(self, assignment: Mapping[Var, object]) -> bool:
+        """Evaluate under a total assignment of Fractions to its variables."""
+
+        def value(term: Term):
+            if isinstance(term, Const):
+                return term.value
+            try:
+                return assignment[term]
+            except KeyError:
+                raise TheoryError(f"no value for variable {term} in assignment") from None
+
+        return self.op.holds(value(self.left), value(self.right))
+
+
+def _make(left: Term, op: Op, right: Term) -> Atom:
+    return Atom(left, op, right)
+
+
+def atom(left: TermLike, op: Union[Op, str], right: TermLike) -> Union[Atom, bool]:
+    """Build a normalized atom; folds to ``True``/``False`` when ground or trivial.
+
+    Examples::
+
+        atom("x", "<=", 3)        # x <= 3
+        atom(1, "<", 2)           # True
+        atom("x", ">", "y")       # y < x   (flipped)
+        atom("x", "=", "x")       # True
+    """
+    lhs = as_term(left)
+    rhs = as_term(right)
+    operator = Op(op) if not isinstance(op, Op) else op
+
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        return operator.holds(lhs.value, rhs.value)
+    if lhs == rhs:
+        return operator in (Op.LE, Op.EQ, Op.GE)
+
+    if operator in (Op.GE, Op.GT):
+        lhs, rhs = rhs, lhs
+        operator = operator.flipped
+    if operator.is_symmetric and term_key(rhs) < term_key(lhs):
+        lhs, rhs = rhs, lhs
+    return _make(lhs, operator, rhs)
+
+
+def lt(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left < right``"""
+    return atom(left, Op.LT, right)
+
+
+def le(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left <= right``"""
+    return atom(left, Op.LE, right)
+
+
+def eq(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left = right``"""
+    return atom(left, Op.EQ, right)
+
+
+def ne(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left != right``"""
+    return atom(left, Op.NE, right)
+
+
+def ge(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left >= right`` (normalized to ``right <= left``)"""
+    return atom(left, Op.GE, right)
+
+
+def gt(left: TermLike, right: TermLike) -> Union[Atom, bool]:
+    """``left > right`` (normalized to ``right < left``)"""
+    return atom(left, Op.GT, right)

@@ -1,0 +1,223 @@
+"""k-dimensional boxes: the paper's rectangle encoding (Section 2).
+
+The paper's running example is a set of rectangles in the rational
+plane, and it notes that such "particular shaped objects can be
+represented by four constants along with a flag indicating the shape
+(and boundary conditions)", giving an efficient encoding of dense-order
+databases.  A :class:`Box` is the k-dimensional version: a product of
+intervals.  :class:`BoxSet` is a finite union of boxes with exact
+set operations (complement and difference split along dimensions).
+
+Boxes are a *fast path*: every box set is a generalized relation whose
+tuples contain only variable-vs-constant atoms, and conversions in both
+directions are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import Op
+from repro.core.gtuple import GTuple
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.relation import Relation
+from repro.core.terms import Const, Var, as_fraction
+from repro.core.theory import DENSE_ORDER
+from repro.errors import SchemaError
+
+__all__ = ["Box", "BoxSet"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A product of intervals, one per dimension."""
+
+    sides: Tuple[Interval, ...]
+
+    @classmethod
+    def make(cls, *sides: Interval) -> "Box":
+        return cls(tuple(sides))
+
+    @classmethod
+    def closed(cls, *bounds: Sequence) -> "Box":
+        """``Box.closed((a1, b1), ..., (ak, bk))`` -- closed in every dimension."""
+        return cls(tuple(Interval.closed(lo, hi) for lo, hi in bounds))
+
+    @classmethod
+    def open(cls, *bounds: Sequence) -> "Box":
+        return cls(tuple(Interval.open(lo, hi) for lo, hi in bounds))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.sides)
+
+    def is_empty(self) -> bool:
+        return any(side.is_empty() for side in self.sides)
+
+    def contains(self, point: Sequence) -> bool:
+        if len(point) != self.dimension:
+            raise SchemaError("point dimension mismatch")
+        return all(side.contains(v) for side, v in zip(self.sides, point))
+
+    def intersection(self, other: "Box") -> "Box":
+        if self.dimension != other.dimension:
+            raise SchemaError("box dimension mismatch")
+        return Box(tuple(a.intersection(b) for a, b in zip(self.sides, other.sides)))
+
+    def to_gtuple(self, schema: Sequence[str]) -> Optional[GTuple]:
+        if len(schema) != self.dimension:
+            raise SchemaError("schema arity does not match box dimension")
+        atoms: List = []
+        for column, side in zip(schema, self.sides):
+            atoms.extend(side.to_atoms(column))
+        if self.is_empty():
+            return None
+        return GTuple.make(DENSE_ORDER, schema, atoms)
+
+    def __str__(self) -> str:
+        return " x ".join(map(str, self.sides))
+
+
+class BoxSet:
+    """A finite union of same-dimension boxes (empties dropped)."""
+
+    __slots__ = ("dimension", "boxes")
+
+    def __init__(self, boxes: Iterable[Box] = (), dimension: Optional[int] = None) -> None:
+        kept = [b for b in boxes if not b.is_empty()]
+        if dimension is None:
+            if not kept:
+                raise SchemaError("empty BoxSet needs an explicit dimension")
+            dimension = kept[0].dimension
+        for b in kept:
+            if b.dimension != dimension:
+                raise SchemaError("mixed box dimensions in BoxSet")
+        self.dimension = dimension
+        self.boxes: Tuple[Box, ...] = tuple(kept)
+
+    def is_empty(self) -> bool:
+        return not self.boxes
+
+    def contains(self, point: Sequence) -> bool:
+        return any(b.contains(point) for b in self.boxes)
+
+    def union(self, other: "BoxSet") -> "BoxSet":
+        self._check(other)
+        return BoxSet(self.boxes + other.boxes, self.dimension)
+
+    def intersection(self, other: "BoxSet") -> "BoxSet":
+        self._check(other)
+        out = [a.intersection(b) for a in self.boxes for b in other.boxes]
+        return BoxSet(out, self.dimension)
+
+    def complement(self) -> "BoxSet":
+        """Complement as a union of boxes (per-box, per-dimension splits)."""
+        result = [Box(tuple(Interval.all() for _ in range(self.dimension)))]
+        for box in self.boxes:
+            pieces: List[Box] = []
+            for current in result:
+                pieces.extend(_subtract_box(current, box))
+            result = pieces
+            if not result:
+                break
+        return BoxSet(result, self.dimension)
+
+    def difference(self, other: "BoxSet") -> "BoxSet":
+        self._check(other)
+        return self.intersection(other.complement())
+
+    def _check(self, other: "BoxSet") -> None:
+        if self.dimension != other.dimension:
+            raise SchemaError("box set dimension mismatch")
+
+    # ------------------------------------------------------------- conversion
+
+    def to_relation(self, schema: Sequence[str]) -> Relation:
+        tuples = []
+        for box in self.boxes:
+            made = box.to_gtuple(schema)
+            if made is not None:
+                tuples.append(made)
+        return Relation(DENSE_ORDER, schema, tuples)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "BoxSet":
+        """Convert a relation whose tuples are axis-aligned (no var-var atoms).
+
+        Raises :class:`SchemaError` if some tuple relates two variables
+        (such pointsets are not box unions in general).
+        """
+        boxes = []
+        for t in relation.tuples:
+            per_column = {c: [None, None, True, True, None] for c in relation.schema}
+            # [lo, hi, lo_open, hi_open, pinned]
+            for a in t.atoms:
+                left_var = isinstance(a.left, Var)
+                right_var = isinstance(a.right, Var)
+                if left_var and right_var:
+                    raise SchemaError(
+                        "relation is not axis-aligned: tuple relates two variables"
+                    )
+                if a.op is Op.EQ:
+                    column = a.left.name if left_var else a.right.name
+                    value = a.right.value if left_var else a.left.value
+                    per_column[column][4] = value
+                    continue
+                strict = a.op is Op.LT
+                if left_var:  # x < c / x <= c : upper bound
+                    slot = per_column[a.left.name]
+                    bound = a.right.value
+                    if slot[1] is None or bound < slot[1] or (bound == slot[1] and strict):
+                        slot[1], slot[3] = bound, strict
+                else:  # c < x / c <= x : lower bound
+                    slot = per_column[a.right.name]
+                    bound = a.left.value
+                    if slot[0] is None or bound > slot[0] or (bound == slot[0] and strict):
+                        slot[0], slot[2] = bound, strict
+            sides = []
+            for c in relation.schema:
+                lo, hi, lo_open, hi_open, pinned = per_column[c]
+                if pinned is not None:
+                    sides.append(Interval.point(pinned))
+                else:
+                    sides.append(
+                        Interval(
+                            lo,
+                            hi,
+                            lo_open if lo is not None else True,
+                            hi_open if hi is not None else True,
+                        )
+                    )
+            boxes.append(Box(tuple(sides)))
+        return cls(boxes, len(relation.schema))
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __iter__(self):
+        return iter(self.boxes)
+
+    def __repr__(self) -> str:
+        return f"<BoxSet dim={self.dimension} with {len(self.boxes)} box(es)>"
+
+
+def _subtract_box(current: Box, cut: Box) -> List[Box]:
+    """``current minus cut`` as disjoint boxes (sweep per dimension)."""
+    overlap = current.intersection(cut)
+    if overlap.is_empty():
+        return [current]
+    pieces: List[Box] = []
+    remaining = list(current.sides)
+    for d in range(current.dimension):
+        side = remaining[d]
+        cut_side = overlap.sides[d]
+        for part in cut_side.complement():
+            shard = part.intersection(side)
+            if shard.is_empty():
+                continue
+            sides = list(remaining)
+            sides[d] = shard
+            pieces.append(Box(tuple(sides)))
+        remaining[d] = cut_side
+    return pieces

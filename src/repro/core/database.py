@@ -1,0 +1,90 @@
+"""Database instances: named finitely-representable relations.
+
+A *dense-order database instance* (paper Section 2) is an expansion of
+``Q = (Q, <=)`` with finitely representable relations -- here, a mapping
+from relation names to :class:`~repro.core.relation.Relation` values
+sharing one constraint theory.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.relation import Relation
+from repro.core.theory import ConstraintTheory, DENSE_ORDER
+from repro.errors import SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of generalized relations over one theory."""
+
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, Relation]] = None,
+        theory: ConstraintTheory = DENSE_ORDER,
+    ) -> None:
+        self.theory = theory
+        self._relations: Dict[str, Relation] = {}
+        if relations:
+            for name, relation in relations.items():
+                self[name] = relation
+
+    # -------------------------------------------------------------- mapping
+
+    def __setitem__(self, name: str, relation: Relation) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid relation name {name!r}")
+        if relation.theory is not self.theory:
+            raise SchemaError(
+                f"relation {name!r} uses theory {relation.theory.name!r}, "
+                f"database uses {self.theory.name!r}"
+            )
+        self._relations[name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def items(self) -> Iterable[Tuple[str, Relation]]:
+        return self._relations.items()
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    # ------------------------------------------------------------ inspection
+
+    def schema(self, name: str) -> Tuple[str, ...]:
+        return self[name].schema
+
+    def arity(self, name: str) -> int:
+        return self[name].arity
+
+    def constants(self) -> FrozenSet[Fraction]:
+        """All rational constants occurring in any relation's representation."""
+        out: set = set()
+        for relation in self._relations.values():
+            out |= relation.constants()
+        return frozenset(out)
+
+    def copy(self) -> "Database":
+        return Database(dict(self._relations), theory=self.theory)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}/{relation.arity}" for name, relation in self._relations.items()
+        )
+        return f"<Database [{parts}]>"

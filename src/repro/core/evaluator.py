@@ -1,0 +1,171 @@
+"""Closed-form bottom-up evaluation of FO queries (paper Section 3).
+
+[KKR90] showed that the relational calculus with dense-order constraints
+can be evaluated *bottom-up and in closed form*: instances are mapped to
+instances.  This module implements that evaluation compositionally:
+
+* a constraint atom denotes the relation of its solutions;
+* ``R(t1..tk)`` denotes the stored relation, specialised to the argument
+  terms;
+* ``and`` is natural join, ``or`` is union (over the padded common
+  schema), ``not`` is complement, ``exists`` is projection, ``forall``
+  is the dual of projection.
+
+The result schema of a formula is the *sorted* tuple of its free
+variable names; a sentence yields an arity-0 relation, read as a boolean
+by :func:`evaluate_boolean`.
+
+Because every step stays inside the finitely-representable class, this
+is also a quantifier-elimination procedure: see :mod:`repro.core.qe`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.database import Database
+from repro.core.formula import (
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+)
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.terms import Const, Var
+from repro.core.theory import ConstraintTheory, DENSE_ORDER
+from repro.errors import EvaluationError, SchemaError
+
+__all__ = ["evaluate", "evaluate_boolean"]
+
+
+def _result_schema(formula: Formula) -> Tuple[str, ...]:
+    return tuple(sorted(v.name for v in formula.free_variables()))
+
+
+def _common_schema(*schemas: Sequence[str]) -> Tuple[str, ...]:
+    out: set = set()
+    for s in schemas:
+        out |= set(s)
+    return tuple(sorted(out))
+
+
+def evaluate(
+    formula: Formula,
+    database: Optional[Database] = None,
+    theory: ConstraintTheory = DENSE_ORDER,
+) -> Relation:
+    """Evaluate ``formula`` against ``database`` in closed form.
+
+    Returns a :class:`Relation` whose schema is the sorted free-variable
+    names of the formula.  ``database`` may be omitted for pure
+    constraint formulas.
+    """
+    if database is None:
+        database = Database(theory=theory)
+    if database.theory is not theory:
+        raise EvaluationError(
+            f"theory mismatch: evaluating with {theory.name!r} over a "
+            f"{database.theory.name!r} database"
+        )
+    result = _eval(formula, database, theory)
+    target = _result_schema(formula)
+    if result.schema != target:  # pragma: no cover - _eval keeps schemas sorted
+        result = result.extend(_common_schema(result.schema, target)).project(target)
+    return result
+
+
+def evaluate_boolean(
+    formula: Formula,
+    database: Optional[Database] = None,
+    theory: ConstraintTheory = DENSE_ORDER,
+) -> bool:
+    """Evaluate a sentence (closed formula) to a boolean."""
+    free = formula.free_variables()
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        raise EvaluationError(f"formula is not a sentence; free variables: {names}")
+    return not evaluate(formula, database, theory).is_empty()
+
+
+# --------------------------------------------------------------------- core
+
+
+def _eval(formula: Formula, db: Database, theory: ConstraintTheory) -> Relation:
+    if isinstance(formula, _Boolean):
+        schema: Tuple[str, ...] = ()
+        if formula.value:
+            return Relation.universe(schema, theory)
+        return Relation.empty(schema, theory)
+
+    if isinstance(formula, Constraint):
+        return _eval_constraint(formula, theory)
+
+    if isinstance(formula, RelationAtom):
+        return _eval_relation_atom(formula, db, theory)
+
+    if isinstance(formula, And):
+        if not formula.subs:
+            return Relation.universe((), theory)
+        result = _eval(formula.subs[0], db, theory)
+        for sub in formula.subs[1:]:
+            if result.is_empty():
+                # short-circuit, but keep the full schema for downstream ops
+                break
+            result = result.join(_eval(sub, db, theory))
+        schema = _result_schema(formula)
+        return result.extend(_common_schema(result.schema, schema)).project(schema)
+
+    if isinstance(formula, Or):
+        schema = _result_schema(formula)
+        result = Relation.empty(schema, theory)
+        for sub in formula.subs:
+            piece = _eval(sub, db, theory)
+            padded = piece.extend(_common_schema(piece.schema, schema))
+            result = result.union(padded.project(schema) if padded.schema != schema else padded)
+        return result
+
+    if isinstance(formula, Not):
+        inner = _eval(formula.sub, db, theory)
+        return inner.complement()
+
+    if isinstance(formula, Exists):
+        inner = _eval(formula.sub, db, theory)
+        victims = {v.name for v in formula.variables}
+        target = tuple(c for c in inner.schema if c not in victims)
+        return inner.project(target)
+
+    if isinstance(formula, ForAll):
+        rewritten = Not(Exists(formula.variables, Not(formula.sub)))
+        return _eval(rewritten, db, theory)
+
+    raise EvaluationError(f"cannot evaluate formula node {type(formula).__name__}")
+
+
+def _eval_constraint(formula: Constraint, theory: ConstraintTheory) -> Relation:
+    schema = _result_schema(formula)
+    disjuncts = formula.atom.expand_ne()
+    return Relation.from_atoms(schema, [[d] for d in disjuncts], theory)
+
+
+def _eval_relation_atom(
+    formula: RelationAtom, db: Database, theory: ConstraintTheory
+) -> Relation:
+    stored = db[formula.name]
+    if stored.arity != len(formula.args):
+        raise SchemaError(
+            f"{formula.name} has arity {stored.arity}, called with {len(formula.args)} args"
+        )
+    # rename stored columns to fresh internal names, equate with argument
+    # terms, then project onto the argument variables
+    fresh = tuple(f"__arg{i}" for i in range(stored.arity))
+    renamed = stored.rename(dict(zip(stored.schema, fresh)))
+    schema = _result_schema(formula)
+    wide = renamed.extend(_common_schema(fresh, schema))
+    selectors = [theory.equality_atom(Var(column), arg) for column, arg in zip(fresh, formula.args)]
+    return wide.select(selectors).project(schema)

@@ -1,0 +1,368 @@
+"""First-order formulas over constraint databases (paper Sections 2-3).
+
+The query language FO is first-order logic over ``{=, <=} union Q``
+extended with database relation symbols.  A :class:`Formula` is an
+immutable AST with:
+
+* :class:`Constraint` -- a theory atom (dense-order by default);
+* :class:`RelationAtom` -- ``R(t1, ..., tk)`` for a database relation;
+* boolean connectives :class:`And`, :class:`Or`, :class:`Not`;
+* quantifiers :class:`Exists`, :class:`ForAll`;
+* constants :data:`TRUE` and :data:`FALSE`.
+
+Sugar: ``f & g``, ``f | g``, ``~f``, and the :func:`exists` /
+:func:`forall` helpers.  Substitution is capture-avoiding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.core.atoms import Atom
+from repro.core.terms import Const, Term, TermLike, Var, as_term
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Formula",
+    "TRUE",
+    "FALSE",
+    "Constraint",
+    "RelationAtom",
+    "And",
+    "Or",
+    "Not",
+    "Exists",
+    "ForAll",
+    "exists",
+    "forall",
+    "rel",
+    "constraint",
+    "conj",
+    "disj",
+]
+
+
+class Formula:
+    """Abstract base of all formula nodes (immutable)."""
+
+    __slots__ = ()
+
+    # -- structure ---------------------------------------------------------
+
+    def free_variables(self) -> FrozenSet[Var]:
+        raise NotImplementedError
+
+    def constants(self) -> FrozenSet[Fraction]:
+        raise NotImplementedError
+
+    def relation_names(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> "Formula":
+        """Capture-avoiding substitution of terms for free variables."""
+        raise NotImplementedError
+
+    def quantifier_rank(self) -> int:
+        """Maximum nesting depth of quantifiers."""
+        raise NotImplementedError
+
+    # -- sugar --------------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or((Not(self), other))
+
+    def iff(self, other: "Formula") -> "Formula":
+        return And((self.implies(other), other.implies(self)))
+
+
+@dataclass(frozen=True)
+class _Boolean(Formula):
+    value: bool
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return frozenset()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return self
+
+    def quantifier_rank(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = _Boolean(True)
+FALSE = _Boolean(False)
+
+
+@dataclass(frozen=True)
+class Constraint(Formula):
+    """A single constraint atom (any surface operator, including NE)."""
+
+    atom: Atom
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.atom.variables
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return self.atom.constants
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        folded = self.atom.substitute(mapping)
+        if isinstance(folded, bool):
+            return TRUE if folded else FALSE
+        return Constraint(folded)
+
+    def quantifier_rank(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """``R(t1, ..., tk)`` -- membership in a database relation."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.args if isinstance(t, Var))
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return frozenset(t.value for t in self.args if isinstance(t, Const))
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        new_args = tuple(
+            mapping.get(t, t) if isinstance(t, Var) else t for t in self.args
+        )
+        return RelationAtom(self.name, new_args)
+
+    def quantifier_rank(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    subs: Tuple[Formula, ...]
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset().union(*(s.free_variables() for s in self.subs)) if self.subs else frozenset()
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return frozenset().union(*(s.constants() for s in self.subs)) if self.subs else frozenset()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset().union(*(s.relation_names() for s in self.subs)) if self.subs else frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return And(tuple(s.substitute(mapping) for s in self.subs))
+
+    def quantifier_rank(self) -> int:
+        return max((s.quantifier_rank() for s in self.subs), default=0)
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(map(str, self.subs)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    subs: Tuple[Formula, ...]
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset().union(*(s.free_variables() for s in self.subs)) if self.subs else frozenset()
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return frozenset().union(*(s.constants() for s in self.subs)) if self.subs else frozenset()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset().union(*(s.relation_names() for s in self.subs)) if self.subs else frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return Or(tuple(s.substitute(mapping) for s in self.subs))
+
+    def quantifier_rank(self) -> int:
+        return max((s.quantifier_rank() for s in self.subs), default=0)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(map(str, self.subs)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    sub: Formula
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.sub.free_variables()
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return self.sub.constants()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.sub.relation_names()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        return Not(self.sub.substitute(mapping))
+
+    def quantifier_rank(self) -> int:
+        return self.sub.quantifier_rank()
+
+    def __str__(self) -> str:
+        return f"not {self.sub}"
+
+
+def _fresh_name(base: str, taken: Iterable[str]) -> str:
+    taken = set(taken)
+    for i in itertools.count():
+        candidate = f"{base}_{i}"
+        if candidate not in taken:
+            return candidate
+    raise EvaluationError("unreachable")  # pragma: no cover
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "sub")
+
+    kind = "?"
+
+    def __init__(self, variables: Union[str, Var, Sequence], sub: Formula) -> None:
+        if isinstance(variables, (str, Var)):
+            variables = (variables,)
+        vs = tuple(Var(v) if isinstance(v, str) else v for v in variables)
+        if not vs:
+            raise EvaluationError("quantifier with no variables")
+        self.variables: Tuple[Var, ...] = vs
+        self.sub = sub
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.sub.free_variables() - frozenset(self.variables)
+
+    def constants(self) -> FrozenSet[Fraction]:
+        return self.sub.constants()
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.sub.relation_names()
+
+    def quantifier_rank(self) -> int:
+        return len(self.variables) + self.sub.quantifier_rank()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Formula:
+        # drop bindings for the bound variables
+        live = {v: t for v, t in mapping.items() if v not in self.variables}
+        if not live:
+            return type(self)(self.variables, self.sub)
+        # avoid capture: rename bound variables clashing with substituted terms
+        incoming: set = set()
+        for t in live.values():
+            if isinstance(t, Var):
+                incoming.add(t.name)
+        bound = list(self.variables)
+        body = self.sub
+        taken = {v.name for v in body.free_variables()} | incoming | {v.name for v in bound}
+        for i, v in enumerate(bound):
+            if v.name in incoming:
+                fresh = Var(_fresh_name(v.name, taken))
+                taken.add(fresh.name)
+                body = body.substitute({v: fresh})
+                bound[i] = fresh
+        return type(self)(tuple(bound), body.substitute(live))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and self.variables == other.variables
+            and self.sub == other.sub
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variables, self.sub))
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"({self.kind} {names}. {self.sub})"
+
+
+class Exists(_Quantifier):
+    """``exists x1, ..., xn . sub``"""
+
+    __slots__ = ()
+    kind = "exists"
+
+
+class ForAll(_Quantifier):
+    """``forall x1, ..., xn . sub``"""
+
+    __slots__ = ()
+    kind = "forall"
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def exists(variables, sub: Formula) -> Formula:
+    """``exists variables . sub`` (accepts names, Vars, or sequences)."""
+    return Exists(variables, sub)
+
+
+def forall(variables, sub: Formula) -> Formula:
+    """``forall variables . sub``"""
+    return ForAll(variables, sub)
+
+
+def rel(name: str, *args: TermLike) -> RelationAtom:
+    """Database relation atom ``name(args...)``."""
+    return RelationAtom(name, tuple(as_term(a) for a in args))
+
+
+def constraint(a: Union[Atom, bool]) -> Formula:
+    """Wrap an atom (or folded boolean) as a formula."""
+    if isinstance(a, bool):
+        return TRUE if a else FALSE
+    return Constraint(a)
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction (empty = true)."""
+    if not formulas:
+        return TRUE
+    if len(formulas) == 1:
+        return formulas[0]
+    return And(tuple(formulas))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction (empty = false)."""
+    if not formulas:
+        return FALSE
+    if len(formulas) == 1:
+        return formulas[0]
+    return Or(tuple(formulas))

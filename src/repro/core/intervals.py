@@ -1,0 +1,342 @@
+"""Canonical one-dimensional form: intervals over Q.
+
+The paper (Section 2) observes that unary dense-order relations are
+finite unions of points and open/half-open/closed intervals with
+rational or infinite endpoints, and that this yields an efficient
+encoding ("four constants along with a flag indicating the shape").
+:class:`Interval` and :class:`IntervalSet` implement that normal form:
+
+* an :class:`IntervalSet` is a sorted tuple of disjoint, non-adjacent
+  intervals -- a *canonical* representation, so two equal unary
+  pointsets always compare equal structurally;
+* conversions to and from unary :class:`~repro.core.relation.Relation`
+  values connect the normal form with the general engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import Atom, Op, eq, le, lt
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.terms import Const, Var, as_fraction
+from repro.core.theory import DENSE_ORDER
+from repro.errors import SchemaError, TheoryError
+
+__all__ = ["Interval", "IntervalSet"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An interval over Q; ``None`` endpoints mean -inf / +inf.
+
+    Infinite endpoints are always open.  Use the classmethod
+    constructors; the raw constructor does not normalize.
+    """
+
+    lo: Optional[Fraction]
+    hi: Optional[Fraction]
+    lo_open: bool
+    hi_open: bool
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def make(
+        cls,
+        lo: Optional[object],
+        hi: Optional[object],
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> "Interval":
+        lo_f = None if lo is None else as_fraction(lo)
+        hi_f = None if hi is None else as_fraction(hi)
+        if lo_f is None:
+            lo_open = True
+        if hi_f is None:
+            hi_open = True
+        return cls(lo_f, hi_f, lo_open, hi_open)
+
+    @classmethod
+    def point(cls, value: object) -> "Interval":
+        v = as_fraction(value)
+        return cls(v, v, False, False)
+
+    @classmethod
+    def open(cls, lo: object, hi: object) -> "Interval":
+        return cls.make(lo, hi, True, True)
+
+    @classmethod
+    def closed(cls, lo: object, hi: object) -> "Interval":
+        return cls.make(lo, hi, False, False)
+
+    @classmethod
+    def all(cls) -> "Interval":
+        return cls(None, None, True, True)
+
+    @classmethod
+    def less_than(cls, value: object) -> "Interval":
+        return cls.make(None, value, True, True)
+
+    @classmethod
+    def at_most(cls, value: object) -> "Interval":
+        return cls.make(None, value, True, False)
+
+    @classmethod
+    def greater_than(cls, value: object) -> "Interval":
+        return cls.make(value, None, True, True)
+
+    @classmethod
+    def at_least(cls, value: object) -> "Interval":
+        return cls.make(value, None, False, True)
+
+    # -------------------------------------------------------------- predicates
+
+    def is_empty(self) -> bool:
+        if self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi:
+            return self.lo_open or self.hi_open
+        return False
+
+    def is_point(self) -> bool:
+        return (
+            self.lo is not None
+            and self.lo == self.hi
+            and not self.lo_open
+            and not self.hi_open
+        )
+
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def contains(self, value: object) -> bool:
+        v = as_fraction(value)
+        if self.lo is not None and (v < self.lo or (v == self.lo and self.lo_open)):
+            return False
+        if self.hi is not None and (v > self.hi or (v == self.hi and self.hi_open)):
+            return False
+        return True
+
+    # -------------------------------------------------------------- operations
+
+    def intersection(self, other: "Interval") -> "Interval":
+        if self.lo is None:
+            lo, lo_open = other.lo, other.lo_open
+        elif other.lo is None or self.lo > other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif self.lo < other.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if self.hi is None:
+            hi, hi_open = other.hi, other.hi_open
+        elif other.hi is None or self.hi < other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif self.hi > other.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        return Interval(lo, hi, lo_open if lo is not None else True, hi_open if hi is not None else True)
+
+    def touches(self, other: "Interval") -> bool:
+        """Do the two intervals overlap or abut without a gap?
+
+        True when their union is a single interval.
+        """
+        if self.is_empty() or other.is_empty():
+            return False
+        first, second = (self, other) if _start_key(self) <= _start_key(other) else (other, self)
+        if first.hi is None:
+            return True
+        if second.lo is None:
+            return True
+        if second.lo < first.hi:
+            return True
+        if second.lo == first.hi:
+            return not (first.hi_open and second.lo_open)
+        return False
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (callers ensure touching)."""
+        if _start_key(self) <= _start_key(other):
+            lo, lo_open = self.lo, self.lo_open
+        else:
+            lo, lo_open = other.lo, other.lo_open
+        if _end_key(self) >= _end_key(other):
+            hi, hi_open = self.hi, self.hi_open
+        else:
+            hi, hi_open = other.hi, other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def complement(self) -> List["Interval"]:
+        out: List[Interval] = []
+        if self.is_empty():
+            return [Interval.all()]
+        if self.lo is not None:
+            out.append(Interval(None, self.lo, True, not self.lo_open))
+        if self.hi is not None:
+            out.append(Interval(self.hi, None, not self.hi_open, True))
+        return [i for i in out if not i.is_empty()]
+
+    # ------------------------------------------------------------- conversion
+
+    def to_atoms(self, column: str) -> List[Atom]:
+        """The dense-order constraints describing this interval."""
+        x = Var(column)
+        if self.is_point():
+            made = eq(x, self.lo)
+            return [made] if not isinstance(made, bool) else []
+        atoms: List[Atom] = []
+        if self.lo is not None:
+            made = lt(self.lo, x) if self.lo_open else le(self.lo, x)
+            if not isinstance(made, bool):
+                atoms.append(made)
+        if self.hi is not None:
+            made = lt(x, self.hi) if self.hi_open else le(x, self.hi)
+            if not isinstance(made, bool):
+                atoms.append(made)
+        return atoms
+
+    def __str__(self) -> str:
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"{left}{lo}, {hi}{right}"
+
+
+def _start_key(interval: Interval) -> Tuple:
+    if interval.lo is None:
+        return (0, Fraction(0), 0)
+    return (1, interval.lo, 1 if interval.lo_open else 0)
+
+
+def _end_key(interval: Interval) -> Tuple:
+    if interval.hi is None:
+        return (1, Fraction(0), 0)
+    return (0, interval.hi, 0 if interval.hi_open else 1)
+
+
+class IntervalSet:
+    """A canonical finite union of intervals (sorted, disjoint, merged)."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        pending = [i for i in intervals if not i.is_empty()]
+        pending.sort(key=_start_key)
+        merged: List[Interval] = []
+        for interval in pending:
+            if merged and merged[-1].touches(interval):
+                merged[-1] = merged[-1].hull(interval)
+            else:
+                merged.append(interval)
+        self.intervals: Tuple[Interval, ...] = tuple(merged)
+
+    # -------------------------------------------------------------- basics
+
+    @classmethod
+    def all(cls) -> "IntervalSet":
+        return cls([Interval.all()])
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls([])
+
+    @classmethod
+    def of_points(cls, values: Iterable[object]) -> "IntervalSet":
+        return cls([Interval.point(v) for v in values])
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def contains(self, value: object) -> bool:
+        return any(i.contains(value) for i in self.intervals)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __iter__(self):
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __str__(self) -> str:
+        return " u ".join(map(str, self.intervals)) if self.intervals else "{}"
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self})"
+
+    # ---------------------------------------------------------------- algebra
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self.intervals + other.intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out = []
+        for a in self.intervals:
+            for b in other.intervals:
+                out.append(a.intersection(b))
+        return IntervalSet(out)
+
+    def complement(self) -> "IntervalSet":
+        result = IntervalSet.all()
+        for interval in self.intervals:
+            result = result.intersection(IntervalSet(interval.complement()))
+        return result
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other.complement())
+
+    # ------------------------------------------------------------- conversion
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "IntervalSet":
+        """Canonical form of a unary dense-order relation."""
+        if relation.arity != 1:
+            raise SchemaError("IntervalSet.from_relation requires a unary relation")
+        column = relation.schema[0]
+        x = Var(column)
+        intervals = []
+        for t in relation.tuples:
+            lo: Optional[Fraction] = None
+            hi: Optional[Fraction] = None
+            lo_open = True
+            hi_open = True
+            for a in t.atoms:
+                if a.op is Op.EQ:
+                    value = a.right.value if isinstance(a.right, Const) else a.left.value
+                    intervals.append(Interval.point(value))
+                    lo = hi = None
+                    break
+                strict = a.op is Op.LT
+                if a.left == x:  # x < c or x <= c
+                    bound = a.right.value
+                    if hi is None or bound < hi or (bound == hi and strict):
+                        hi, hi_open = bound, strict
+                else:  # c < x or c <= x
+                    bound = a.left.value
+                    if lo is None or bound > lo or (bound == lo and strict):
+                        lo, lo_open = bound, strict
+            else:
+                intervals.append(Interval(lo, hi, lo_open if lo is not None else True, hi_open if hi is not None else True))
+        return cls(intervals)
+
+    def to_relation(self, column: str = "x") -> Relation:
+        """Back to a unary generalized relation."""
+        tuples = []
+        for interval in self.intervals:
+            made = GTuple.make(DENSE_ORDER, (column,), interval.to_atoms(column))
+            if made is not None:
+                tuples.append(made)
+        return Relation(DENSE_ORDER, (column,), tuples)

@@ -1,0 +1,157 @@
+"""Formula normal forms: NNF and prenex form.
+
+The closed-form evaluator is compositional and does not need these, but
+they are part of any serious FO toolkit (and the dense-order QE story
+is classically told through prenex form: eliminate the innermost
+quantifier from a quantifier-free matrix).
+
+* :func:`to_nnf` pushes negation to the atoms (NE-expanding dense-order
+  atoms on request), eliminating ``ForAll`` in favor of
+  ``Not/Exists`` duals only when asked;
+* :func:`to_prenex` pulls all quantifiers to an outer prefix with
+  capture-avoiding renaming;
+* both preserve semantics exactly (property-tested against the
+  evaluator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Set, Tuple
+
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+    conj,
+    disj,
+)
+from repro.core.terms import Var
+from repro.errors import EvaluationError
+
+__all__ = ["to_nnf", "to_prenex", "is_quantifier_free", "matrix_and_prefix"]
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    if isinstance(formula, (_Boolean, Constraint, RelationAtom)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_quantifier_free(s) for s in formula.subs)
+    if isinstance(formula, Not):
+        return is_quantifier_free(formula.sub)
+    return False
+
+
+def to_nnf(formula: Formula, expand_ne: bool = False) -> Formula:
+    """Negation normal form: ``not`` only on atoms (or folded away).
+
+    With ``expand_ne`` dense-order atoms are negated structurally
+    (``not (a < b)`` becomes ``b <= a``), so no ``Not`` nodes remain at
+    all; otherwise negated relation atoms keep their ``Not``.
+    """
+    return _nnf(formula, negate=False, expand_ne=expand_ne)
+
+
+def _nnf(formula: Formula, negate: bool, expand_ne: bool) -> Formula:
+    if isinstance(formula, _Boolean):
+        if negate:
+            return FALSE if formula.value else TRUE
+        return formula
+    if isinstance(formula, Constraint):
+        if not negate:
+            return formula
+        if expand_ne:
+            parts = formula.atom.negate()
+            return disj(*(Constraint(p) for p in parts))
+        return Not(formula)
+    if isinstance(formula, RelationAtom):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.sub, not negate, expand_ne)
+    if isinstance(formula, And):
+        subs = tuple(_nnf(s, negate, expand_ne) for s in formula.subs)
+        return Or(subs) if negate else And(subs)
+    if isinstance(formula, Or):
+        subs = tuple(_nnf(s, negate, expand_ne) for s in formula.subs)
+        return And(subs) if negate else Or(subs)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.sub, negate, expand_ne)
+        return ForAll(formula.variables, body) if negate else Exists(formula.variables, body)
+    if isinstance(formula, ForAll):
+        body = _nnf(formula.sub, negate, expand_ne)
+        return Exists(formula.variables, body) if negate else ForAll(formula.variables, body)
+    raise EvaluationError(f"cannot normalize node {type(formula).__name__}")
+
+
+def to_prenex(formula: Formula) -> Formula:
+    """Equivalent prenex formula: a quantifier prefix over a matrix.
+
+    Works on the NNF (so negation never blocks a quantifier), renames
+    bound variables apart to avoid capture.
+    """
+    counter = itertools.count()
+    used: Set[str] = {v.name for v in formula.free_variables()}
+
+    def fresh(base: str) -> Var:
+        while True:
+            candidate = f"{base}_{next(counter)}"
+            if candidate not in used:
+                used.add(candidate)
+                return Var(candidate)
+
+    def pull(node: Formula) -> Tuple[List[Tuple[type, Var]], Formula]:
+        if isinstance(node, (_Boolean, Constraint, RelationAtom)):
+            return [], node
+        if isinstance(node, Not):  # NNF: only on atoms
+            return [], node
+        if isinstance(node, (And, Or)):
+            prefix: List[Tuple[type, Var]] = []
+            matrices = []
+            for s in node.subs:
+                sub_prefix, matrix = pull(s)
+                prefix.extend(sub_prefix)
+                matrices.append(matrix)
+            rebuilt = And(tuple(matrices)) if isinstance(node, And) else Or(tuple(matrices))
+            return prefix, rebuilt
+        if isinstance(node, (Exists, ForAll)):
+            body = node.sub
+            renamed: List[Tuple[type, Var]] = []
+            for v in node.variables:
+                new = fresh(v.name)
+                body = body.substitute({v: new})
+                renamed.append((type(node), new))
+            sub_prefix, matrix = pull(body)
+            return renamed + sub_prefix, matrix
+        raise EvaluationError(f"cannot prenex node {type(node).__name__}")
+
+    prefix, matrix = pull(to_nnf(formula))
+    result = matrix
+    for kind, variable in reversed(prefix):
+        result = kind((variable,), result)
+    return result
+
+
+def matrix_and_prefix(formula: Formula) -> Tuple[List[Tuple[str, Var]], Formula]:
+    """Split a prenex formula into (prefix, matrix).
+
+    Prefix entries are ``("exists" | "forall", var)`` outermost-first.
+    Raises if the formula is not prenex.
+    """
+    prefix: List[Tuple[str, Var]] = []
+    node = formula
+    while isinstance(node, (Exists, ForAll)):
+        kind = "exists" if isinstance(node, Exists) else "forall"
+        for v in node.variables:
+            prefix.append((kind, v))
+        node = node.sub
+    if not is_quantifier_free(node):
+        raise EvaluationError("formula is not in prenex form")
+    return prefix, node

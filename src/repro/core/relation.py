@@ -1,0 +1,288 @@
+"""Generalized (finitely representable) relations and their algebra.
+
+A *generalized relation* ([KKR90]; paper Section 2) is a finite set of
+generalized tuples over a common schema -- the disjunction of their
+conjunctions, denoting a (possibly infinite) pointset in ``Q^k``.
+
+:class:`Relation` provides the closed-form relational algebra the paper
+relies on (Section 3, after [KKR90]): union, intersection, natural
+join, projection (existential quantification), selection, renaming,
+complement, and difference.  Every operation returns a new relation in
+the same finitely-representable class -- this *closure* property is what
+makes the relational calculus a constraint query language.
+
+Complement distributes negation over the representation and is
+exponential in the number of tuples in the worst case; ``difference``
+and the containment tests route through it tuple-by-tuple with early
+pruning.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.gtuple import GTuple, Schema, check_schema
+from repro.core.terms import Term, Var
+from repro.core.theory import ConstraintTheory, DENSE_ORDER
+from repro.errors import SchemaError, TheoryError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A finitely representable relation: finite set of generalized tuples."""
+
+    __slots__ = ("theory", "schema", "tuples")
+
+    def __init__(
+        self,
+        theory: ConstraintTheory,
+        schema: Sequence[str],
+        tuples: Iterable[GTuple] = (),
+    ) -> None:
+        self.theory = theory
+        self.schema: Schema = check_schema(schema)
+        seen: Dict[GTuple, None] = {}
+        for t in tuples:
+            if t.schema != self.schema:
+                raise SchemaError(f"tuple schema {t.schema} != relation schema {self.schema}")
+            if t.theory is not theory:
+                raise TheoryError("tuple theory differs from relation theory")
+            seen.setdefault(t, None)
+        self.tuples: Tuple[GTuple, ...] = tuple(seen)
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def empty(cls, schema: Sequence[str], theory: ConstraintTheory = DENSE_ORDER) -> "Relation":
+        """The empty relation over ``schema``."""
+        return cls(theory, schema, ())
+
+    @classmethod
+    def universe(
+        cls, schema: Sequence[str], theory: ConstraintTheory = DENSE_ORDER
+    ) -> "Relation":
+        """All of ``Q^k`` over ``schema``."""
+        return cls(theory, schema, (GTuple.universe(theory, schema),))
+
+    @classmethod
+    def from_atoms(
+        cls,
+        schema: Sequence[str],
+        disjuncts: Iterable[Iterable],
+        theory: ConstraintTheory = DENSE_ORDER,
+    ) -> "Relation":
+        """Build from a DNF: an iterable of conjunctions (atom iterables)."""
+        tuples = []
+        for conj in disjuncts:
+            made = GTuple.make(theory, schema, conj)
+            if made is not None:
+                tuples.append(made)
+        return cls(theory, schema, tuples)
+
+    @classmethod
+    def from_points(
+        cls,
+        schema: Sequence[str],
+        points: Iterable[Sequence],
+        theory: ConstraintTheory = DENSE_ORDER,
+    ) -> "Relation":
+        """A classical finite relation: one point tuple per row."""
+        return cls(theory, schema, [GTuple.point(theory, schema, p) for p in points])
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    def is_empty(self) -> bool:
+        """Emptiness of the denoted pointset (tuples are satisfiable)."""
+        return not self.tuples
+
+    def constants(self) -> FrozenSet[Fraction]:
+        out: set = set()
+        for t in self.tuples:
+            out |= t.constants()
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        """Number of generalized tuples in the representation (not points)."""
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.schema)
+        return f"<Relation ({cols}) with {len(self.tuples)} generalized tuple(s)>"
+
+    def pretty(self) -> str:
+        """Multi-line rendering of the representation."""
+        lines = [f"({', '.join(self.schema)}):"]
+        if not self.tuples:
+            lines.append("  false")
+        for t in self.tuples:
+            body = " and ".join(sorted(str(a) for a in t.atoms)) or "true"
+            lines.append(f"  {body}")
+        return "\n".join(lines)
+
+    # -------------------------------------------------------------- set algebra
+
+    def _require_compatible(self, other: "Relation") -> None:
+        if self.theory is not other.theory:
+            raise TheoryError("relations from different theories")
+        if self.schema != other.schema:
+            raise SchemaError(f"schema mismatch: {self.schema} vs {other.schema}")
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_compatible(other)
+        return Relation(self.theory, self.schema, self.tuples + other.tuples)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_compatible(other)
+        out: List[GTuple] = []
+        for a in self.tuples:
+            for b in other.tuples:
+                merged = a.merge(b, self.schema)
+                if merged is not None:
+                    out.append(merged)
+        return Relation(self.theory, self.schema, out)
+
+    def complement(self) -> "Relation":
+        """The complement ``Q^k minus R`` in closed form.
+
+        Negation of a DNF: conjunction over tuples of the disjunction of
+        the negated atoms.  Worst case exponential in ``len(self)``;
+        unsatisfiable branches are pruned as they are built.
+        """
+        partial: List[Optional[GTuple]] = [GTuple.universe(self.theory, self.schema)]
+        for t in self.tuples:
+            if not t.atoms:  # a universe tuple: complement is empty
+                return Relation(self.theory, self.schema, ())
+            negated: List = []
+            for a in t.atoms:
+                negated.extend(self.theory.negate_atom(a))
+            grown: List[GTuple] = []
+            for p in partial:
+                for neg in negated:
+                    ext = p.conjoin([neg])
+                    if ext is not None:
+                        grown.append(ext)
+            partial = _absorb(grown)
+            if not partial:
+                return Relation(self.theory, self.schema, ())
+        return Relation(self.theory, self.schema, partial)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_compatible(other)
+        if other.is_empty() or self.is_empty():
+            return self
+        return self.intersection(other.complement())
+
+    # ---------------------------------------------------------- relational ops
+
+    def select(self, atoms: Iterable) -> "Relation":
+        """Conjoin constraint atoms (over schema columns) to every tuple."""
+        atoms = list(atoms)
+        out = []
+        for t in self.tuples:
+            kept = t.conjoin(atoms)
+            if kept is not None:
+                out.append(kept)
+        return Relation(self.theory, self.schema, out)
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Project onto ``columns`` (existentially eliminating the rest)."""
+        target = check_schema(columns)
+        extra = set(target) - set(self.schema)
+        if extra:
+            raise SchemaError(f"cannot project onto unknown columns {sorted(extra)}")
+        victims = [c for c in self.schema if c not in target]
+        current = list(self.tuples)
+        for column in victims:
+            survivors: List[GTuple] = []
+            for t in current:
+                survivors.extend(t.project_out_all(column))
+            current = survivors
+        return Relation(self.theory, target, [t.reorder(target) for t in current])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename columns (missing entries = identity)."""
+        new_schema = tuple(mapping.get(c, c) for c in self.schema)
+        return Relation(self.theory, new_schema, [t.rename(mapping) for t in self.tuples])
+
+    def extend(self, schema: Sequence[str]) -> "Relation":
+        """Pad with unconstrained columns to a wider schema."""
+        return Relation(self.theory, schema, [t.extend(schema) for t in self.tuples])
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join on shared column names."""
+        if self.theory is not other.theory:
+            raise TheoryError("relations from different theories")
+        combined = self.schema + tuple(c for c in other.schema if c not in self.schema)
+        out: List[GTuple] = []
+        for a in self.tuples:
+            wide_a = a.extend(combined)
+            for b in other.tuples:
+                merged = wide_a.merge(b.extend(combined).reorder(combined), combined)
+                if merged is not None:
+                    out.append(merged)
+        return Relation(self.theory, combined, out)
+
+    # ------------------------------------------------------------- comparisons
+
+    def contains(self, other: "Relation") -> bool:
+        """Pointset containment ``other included in self`` (exact)."""
+        self._require_compatible(other)
+        return other.difference(self).is_empty()
+
+    def equivalent(self, other: "Relation") -> bool:
+        """Pointset equality (exact, via both containments)."""
+        return self.contains(other) and other.contains(self)
+
+    def contains_point(self, values: Sequence) -> bool:
+        """Membership of one rational point."""
+        vals = [v if isinstance(v, Fraction) else Fraction(v) for v in values]
+        return any(t.contains_point(vals) for t in self.tuples)
+
+    # ------------------------------------------------------------ maintenance
+
+    def simplify(self) -> "Relation":
+        """Drop tuples subsumed by other tuples (containment absorption)."""
+        return Relation(self.theory, self.schema, _absorb(list(self.tuples)))
+
+    def sample_points(self) -> List[Dict[str, Fraction]]:
+        """One explicit rational point per generalized tuple."""
+        return [t.sample_point() for t in self.tuples]
+
+
+def _absorb(tuples: List[GTuple]) -> List[GTuple]:
+    """Remove tuples whose conjunction is subsumed by another tuple's.
+
+    ``t`` is subsumed by ``s`` when ``t`` entails every atom of ``s``
+    (then the pointset of ``t`` is included in that of ``s``).
+    """
+    distinct: List[GTuple] = []
+    for t in tuples:
+        if t not in distinct:
+            distinct.append(t)
+
+    def subsumes(s: GTuple, t: GTuple) -> bool:
+        return all(t.entails(a) for a in s.atoms)
+
+    kept: List[GTuple] = []
+    for i, t in enumerate(distinct):
+        absorbed = False
+        for j, s in enumerate(distinct):
+            if i == j or not subsumes(s, t):
+                continue
+            # keep the earlier one when two tuples subsume each other
+            if subsumes(t, s) and j > i:
+                continue
+            absorbed = True
+            break
+        if not absorbed:
+            kept.append(t)
+    return kept

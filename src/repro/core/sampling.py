@@ -1,0 +1,144 @@
+"""Sample-point (o-minimal) evaluation: an independent semantics oracle.
+
+Truth of a dense-order formula at a point depends only on the point's
+*order type* relative to the constants in scope: every definable subset
+of Q (with parameters) is a finite union of intervals whose endpoints
+come from those constants.  A quantifier can therefore be decided by
+testing finitely many *sample points* -- one per 1-D cell of the current
+constant set: each constant itself, a midpoint between consecutive
+constants, and one point below the minimum and above the maximum.
+
+This gives a second, structurally unrelated implementation of FO
+semantics.  It is exponential in quantifier depth and only used as a
+cross-check oracle for the closed-form evaluator (property-based tests)
+and as a reference semantics for small instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from repro.core.database import Database
+from repro.core.formula import (
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+)
+from repro.core.terms import Const, Var
+from repro.errors import EvaluationError
+
+__all__ = ["sample_points", "eval_at", "evaluate_sentence"]
+
+
+def sample_points(constants: Iterable[Fraction]) -> List[Fraction]:
+    """One representative rational per 1-D cell of the constant set.
+
+    For constants ``c1 < ... < cm`` the cells are ``(-inf, c1), [c1],
+    (c1, c2), ..., [cm], (cm, +inf)``; we return ``c1 - 1``, each
+    ``ci``, each midpoint, and ``cm + 1``.  With no constants at all the
+    single cell is all of Q and ``0`` represents it.
+    """
+    ordered = sorted(set(constants))
+    if not ordered:
+        return [Fraction(0)]
+    points: List[Fraction] = [ordered[0] - 1]
+    for i, c in enumerate(ordered):
+        points.append(c)
+        if i + 1 < len(ordered):
+            points.append((c + ordered[i + 1]) / 2)
+    points.append(ordered[-1] + 1)
+    return points
+
+
+def eval_at(
+    formula: Formula,
+    database: Optional[Database] = None,
+    assignment: Optional[Mapping[Var, Fraction]] = None,
+) -> bool:
+    """Truth of ``formula`` under a total assignment of its free variables.
+
+    Quantifiers are decided by recursive sampling: the candidate values
+    for a quantified variable are the sample points of the constants of
+    the formula and database *plus all currently assigned values* (the
+    parameters refine the cell decomposition).
+    """
+    db = database if database is not None else Database()
+    env: Dict[Var, Fraction] = dict(assignment or {})
+    missing = formula.free_variables() - set(env)
+    if missing:
+        names = ", ".join(sorted(v.name for v in missing))
+        raise EvaluationError(f"unassigned free variables: {names}")
+    base_constants = set(formula.constants()) | set(db.constants())
+    return _eval_at(formula, db, env, frozenset(base_constants))
+
+
+def evaluate_sentence(formula: Formula, database: Optional[Database] = None) -> bool:
+    """Truth of a sentence under the sampling semantics."""
+    return eval_at(formula, database, {})
+
+
+def _eval_at(
+    formula: Formula,
+    db: Database,
+    env: Dict[Var, Fraction],
+    base_constants: FrozenSet[Fraction],
+) -> bool:
+    if isinstance(formula, _Boolean):
+        return formula.value
+
+    if isinstance(formula, Constraint):
+        return formula.atom.evaluate(env)
+
+    if isinstance(formula, RelationAtom):
+        values = []
+        for arg in formula.args:
+            if isinstance(arg, Const):
+                values.append(arg.value)
+            else:
+                values.append(env[arg])
+        return db[formula.name].contains_point(values)
+
+    if isinstance(formula, And):
+        return all(_eval_at(s, db, env, base_constants) for s in formula.subs)
+
+    if isinstance(formula, Or):
+        return any(_eval_at(s, db, env, base_constants) for s in formula.subs)
+
+    if isinstance(formula, Not):
+        return not _eval_at(formula.sub, db, env, base_constants)
+
+    if isinstance(formula, (Exists, ForAll)):
+        want_any = isinstance(formula, Exists)
+        return _eval_quantifier(
+            list(formula.variables), formula.sub, db, env, base_constants, want_any
+        )
+
+    raise EvaluationError(f"cannot evaluate formula node {type(formula).__name__}")
+
+
+def _eval_quantifier(
+    variables: List[Var],
+    body: Formula,
+    db: Database,
+    env: Dict[Var, Fraction],
+    base_constants: FrozenSet[Fraction],
+    want_any: bool,
+) -> bool:
+    if not variables:
+        return _eval_at(body, db, env, base_constants)
+    head, rest = variables[0], variables[1:]
+    in_scope = set(base_constants) | set(env.values())
+    for candidate in sample_points(in_scope):
+        inner = dict(env)
+        inner[head] = candidate
+        result = _eval_quantifier(rest, body, db, inner, base_constants, want_any)
+        if result == want_any:
+            return want_any
+    return not want_any

@@ -1,0 +1,108 @@
+"""Terms of the dense-order constraint language.
+
+The language of the paper (Section 2) is first-order logic over the
+structure ``Q = (Q, <=)`` extended with one constant symbol per rational
+number.  Terms are therefore either *variables* or *rational constants*.
+All arithmetic is exact: constants are :class:`fractions.Fraction`.
+
+The linear language FO+ (Section 4) adds terms built with ``+``; those
+live in :mod:`repro.linear.latoms` and reuse these leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.errors import TheoryError
+
+__all__ = ["Var", "Const", "Term", "TermLike", "as_term", "as_fraction", "term_key"]
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TheoryError("variable name must be non-empty")
+        object.__setattr__(self, "_hash", hash(("var", self.name)))
+
+    def __hash__(self) -> int:  # cached: terms are hashed hot
+        return self._hash
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Const:
+    """A rational constant (exact)."""
+
+    value: Fraction
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Fraction):
+            object.__setattr__(self, "value", as_fraction(self.value))
+        object.__setattr__(self, "_hash", hash(("const", self.value)))
+
+    def __hash__(self) -> int:  # cached: Fraction.__hash__ is slow
+        return self._hash
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Var, Const]
+#: Anything accepted where a term is expected: a term, a variable name,
+#: or an exact number.
+TermLike = Union[Term, str, int, Fraction]
+
+
+def as_fraction(value: object) -> Fraction:
+    """Coerce ``value`` to an exact :class:`Fraction`.
+
+    Floats are rejected: silently converting them would smuggle binary
+    rounding into an exact-arithmetic engine.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TheoryError("booleans are not rational constants")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TheoryError(
+        f"cannot interpret {value!r} as an exact rational; "
+        "use int, Fraction, or a numeric string"
+    )
+
+
+def as_term(value: TermLike) -> Term:
+    """Coerce ``value`` to a :class:`Var` or :class:`Const`.
+
+    Strings become variables; ints and Fractions become constants.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Const(as_fraction(value))
+
+
+def term_key(term: Term) -> tuple:
+    """A total-order key over mixed Var/Const terms (vars first)."""
+    if isinstance(term, Var):
+        return (0, term.name)
+    return (1, term.value)
+
+
+def substitute_term(term: Term, mapping: Mapping[Var, Term]) -> Term:
+    """Apply a variable substitution to a single term."""
+    if isinstance(term, Var):
+        return mapping.get(term, term)
+    return term

@@ -1,0 +1,72 @@
+"""Inflationary Datalog with negation (paper Section 4, Theorem 4.4).
+
+Two engines over one syntax (:mod:`repro.datalog.ast`):
+
+* :func:`evaluate_program` -- closed-form evaluation over generalized
+  (constraint) relations; the language that captures exactly PTIME over
+  dense-order databases;
+* :func:`evaluate_finite` -- classical evaluation over finite
+  relations, used by the Theorem 4.4 capture pipeline.
+
+Example (transitive closure over a constraint graph)::
+
+    from repro.datalog import Program, rule, pred, evaluate_program
+
+    program = Program(
+        [
+            rule("tc", ["x", "y"], pred("edge", "x", "y")),
+            rule("tc", ["x", "z"], pred("tc", "x", "y"), pred("edge", "y", "z")),
+        ],
+        edb={"edge": 2},
+    )
+    result = evaluate_program(program, db)
+    closure = result["tc"]
+"""
+
+from repro.datalog.ast import (
+    ConstraintLiteral,
+    Literal,
+    PredicateLiteral,
+    Program,
+    Rule,
+    cons,
+    negated,
+    pred,
+    rule,
+)
+from repro.datalog.engine import (
+    FixpointResult,
+    body_formula,
+    evaluate_program,
+    head_schema,
+)
+from repro.datalog.finite import (
+    FiniteFixpointResult,
+    FiniteInstance,
+    evaluate_finite,
+)
+from repro.datalog.seminaive import evaluate_seminaive
+from repro.datalog.stratified import evaluate_stratified, is_stratifiable, stratify
+
+__all__ = [
+    "ConstraintLiteral",
+    "Literal",
+    "PredicateLiteral",
+    "Program",
+    "Rule",
+    "cons",
+    "negated",
+    "pred",
+    "rule",
+    "FixpointResult",
+    "body_formula",
+    "evaluate_program",
+    "head_schema",
+    "FiniteFixpointResult",
+    "FiniteInstance",
+    "evaluate_finite",
+    "evaluate_seminaive",
+    "evaluate_stratified",
+    "is_stratifiable",
+    "stratify",
+]

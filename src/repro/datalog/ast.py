@@ -1,0 +1,194 @@
+"""Datalog with negation and constraints: abstract syntax (Section 4).
+
+The paper's Datalog(not) programs are sets of rules::
+
+    H(x, z) :- R(x, y), not S(y), y < z, z <= 5
+
+whose bodies mix positive and negated predicate literals with
+constraint atoms of the underlying theory.  Under the *inflationary*
+semantics (facts derived in a round are added to the previous state,
+never retracted), every program over dense-order constraints terminates
+and has PTIME data complexity; Theorem 4.4 shows the converse -- every
+PTIME query is expressible -- making Datalog(not) an exact
+characterization of PTIME over dense-order databases.
+
+This module defines the program syntax and static checks; evaluation
+lives in :mod:`repro.datalog.engine` (constraint relations) and
+:mod:`repro.datalog.finite` (classical finite relations, needed by the
+Theorem 4.4 capture pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.terms import Const, Term, TermLike, Var, as_term
+from repro.errors import DatalogError
+
+__all__ = [
+    "PredicateLiteral",
+    "ConstraintLiteral",
+    "Literal",
+    "Rule",
+    "Program",
+    "pred",
+    "negated",
+    "cons",
+    "rule",
+]
+
+
+@dataclass(frozen=True)
+class PredicateLiteral:
+    """``R(t1, ..., tk)`` or ``not R(t1, ..., tk)`` in a rule body."""
+
+    name: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.args if isinstance(t, Var))
+
+    def __str__(self) -> str:
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class ConstraintLiteral:
+    """A constraint atom of the underlying theory in a rule body."""
+
+    atom: object  # dense-order Atom or LinAtom (theory protocol)
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.atom.variables
+
+    def __str__(self) -> str:
+        return str(self.atom)
+
+
+Literal = Union[PredicateLiteral, ConstraintLiteral]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head(vars) :- body``.  Head arguments must be variables."""
+
+    head_name: str
+    head_args: Tuple[Var, ...]
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        for arg in self.head_args:
+            if not isinstance(arg, Var):
+                raise DatalogError(
+                    f"head argument {arg} of {self.head_name} is not a variable; "
+                    "bind constants with an equality constraint in the body"
+                )
+        if len(set(self.head_args)) != len(self.head_args):
+            raise DatalogError(
+                f"repeated head variable in {self.head_name}; "
+                "use distinct variables and equate them in the body"
+            )
+
+    def body_variables(self) -> FrozenSet[Var]:
+        out: set = set()
+        for literal in self.body:
+            out |= literal.variables()
+        return frozenset(out)
+
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(
+            l.name for l in self.body if isinstance(l, PredicateLiteral)
+        )
+
+    def __str__(self) -> str:
+        head = f"{self.head_name}({', '.join(v.name for v in self.head_args)})"
+        if not self.body:
+            return f"{head}."
+        return f"{head} :- {', '.join(map(str, self.body))}."
+
+
+class Program:
+    """A Datalog(not) program: rules plus declared EDB predicates.
+
+    ``idb_arities`` is inferred from rule heads; a predicate may not be
+    both EDB (stored input) and IDB (derived).
+    """
+
+    def __init__(self, rules: Iterable[Rule], edb: Optional[Dict[str, int]] = None) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.edb: Dict[str, int] = dict(edb or {})
+        self.idb: Dict[str, int] = {}
+        for r in self.rules:
+            arity = len(r.head_args)
+            known = self.idb.get(r.head_name)
+            if known is not None and known != arity:
+                raise DatalogError(
+                    f"predicate {r.head_name} used with arities {known} and {arity}"
+                )
+            self.idb[r.head_name] = arity
+        overlap = set(self.idb) & set(self.edb)
+        if overlap:
+            raise DatalogError(f"predicates both EDB and IDB: {sorted(overlap)}")
+        self._check_bodies()
+
+    def _check_bodies(self) -> None:
+        for r in self.rules:
+            for literal in r.body:
+                if not isinstance(literal, PredicateLiteral):
+                    continue
+                if literal.name in self.idb:
+                    expected = self.idb[literal.name]
+                elif literal.name in self.edb:
+                    expected = self.edb[literal.name]
+                else:
+                    raise DatalogError(
+                        f"rule {r} uses undeclared predicate {literal.name!r}; "
+                        "declare it in edb= or define it with a rule"
+                    )
+                if literal.arity != expected:
+                    raise DatalogError(
+                        f"predicate {literal.name} has arity {expected}, "
+                        f"used with {literal.arity} in {r}"
+                    )
+
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(self.idb) | frozenset(self.edb)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def __repr__(self) -> str:
+        return f"<Program {len(self.rules)} rule(s), idb={sorted(self.idb)}>"
+
+
+# ------------------------------------------------------------------ sugar
+
+
+def pred(name: str, *args: TermLike) -> PredicateLiteral:
+    """Positive body literal ``name(args...)``."""
+    return PredicateLiteral(name, tuple(as_term(a) for a in args))
+
+
+def negated(name: str, *args: TermLike) -> PredicateLiteral:
+    """Negated body literal ``not name(args...)``."""
+    return PredicateLiteral(name, tuple(as_term(a) for a in args), negated=True)
+
+
+def cons(atom: object) -> ConstraintLiteral:
+    """Constraint body literal (a theory atom)."""
+    if isinstance(atom, bool):
+        raise DatalogError("trivial constraint folded to a boolean; drop it")
+    return ConstraintLiteral(atom)
+
+
+def rule(head_name: str, head_args: Sequence[Union[str, Var]], *body: Literal) -> Rule:
+    """Build a rule; string head args become variables."""
+    args = tuple(Var(a) if isinstance(a, str) else a for a in head_args)
+    return Rule(head_name, args, tuple(body))

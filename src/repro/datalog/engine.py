@@ -1,0 +1,139 @@
+"""Inflationary evaluation of Datalog(not) over constraint relations.
+
+[KKR90] showed (and the paper recalls in Section 4) that Datalog with
+negation over dense-order constraints can be evaluated *bottom-up and
+in closed form*: each IDB predicate's value after every round is again
+a generalized relation.  Under the inflationary semantics the rounds
+are monotone (facts are only added), and because quantifier elimination
+over dense order never invents constants, the state space is bounded by
+the finitely many pointsets definable over the input constants -- so
+the iteration reaches a fixpoint and the data complexity is PTIME
+(the easy half of Theorem 4.4).
+
+Each rule body is translated to an FO formula (positive literal ->
+relation atom, negated literal -> negated relation atom, constraint ->
+constraint) and evaluated with the closed-form evaluator against the
+*previous* round's state; the derived head facts of all rules are then
+added at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.formula import Constraint, Formula, Not, RelationAtom, conj
+from repro.core.relation import Relation
+from repro.core.theory import ConstraintTheory, DENSE_ORDER
+from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
+from repro.errors import DatalogError
+
+__all__ = ["FixpointResult", "evaluate_program", "body_formula", "head_schema"]
+
+
+def head_schema(arity: int) -> Tuple[str, ...]:
+    """Canonical column names for an IDB predicate of given arity."""
+    return tuple(f"a{i}" for i in range(arity))
+
+
+def body_formula(r: Rule) -> Formula:
+    """The rule body as an FO formula over the rule's variables."""
+    parts: List[Formula] = []
+    for literal in r.body:
+        if isinstance(literal, PredicateLiteral):
+            atom = RelationAtom(literal.name, literal.args)
+            parts.append(Not(atom) if literal.negated else atom)
+        elif isinstance(literal, ConstraintLiteral):
+            parts.append(Constraint(literal.atom))
+        else:  # pragma: no cover - closed union
+            raise DatalogError(f"unknown literal {literal!r}")
+    return conj(*parts)
+
+
+@dataclass
+class FixpointResult:
+    """Outcome of an inflationary evaluation."""
+
+    database: Database  #: EDB plus final IDB relations
+    rounds: int  #: number of rounds until the fixpoint (>= 1)
+    reached_fixpoint: bool  #: False only when max_rounds cut evaluation short
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.database[name]
+
+
+def _derive(
+    r: Rule, state: Database, theory: ConstraintTheory
+) -> Relation:
+    """Evaluate one rule against the current state; relation over head schema."""
+    body = body_formula(r)
+    derived = evaluate(body, state, theory)
+    head_names = [v.name for v in r.head_args]
+    missing = [n for n in head_names if n not in derived.schema]
+    if missing:
+        # head variables unconstrained by the body range over all of Q
+        derived = derived.extend(tuple(derived.schema) + tuple(missing))
+    projected = derived.project(tuple(sorted(head_names)))
+    ordered = Relation(
+        theory,
+        tuple(head_names),
+        [t.reorder(tuple(head_names)) for t in projected.tuples],
+    )
+    return ordered.rename(dict(zip(head_names, head_schema(len(head_names)))))
+
+
+def evaluate_program(
+    program: Program,
+    database: Database,
+    max_rounds: Optional[int] = None,
+    simplify_each_round: bool = True,
+) -> FixpointResult:
+    """Run ``program`` to its inflationary fixpoint over ``database``.
+
+    The returned database contains the EDB relations unchanged plus one
+    relation per IDB predicate (canonical schema ``a0, a1, ...``).
+
+    ``max_rounds`` bounds the iteration for experiments; termination is
+    otherwise guaranteed over dense-order constraints.
+    """
+    theory = database.theory
+    for name, arity in program.edb.items():
+        if name not in database:
+            raise DatalogError(f"EDB predicate {name!r} missing from the database")
+        if database.arity(name) != arity:
+            raise DatalogError(
+                f"EDB predicate {name!r} has arity {database.arity(name)}, "
+                f"program declares {arity}"
+            )
+    state = database.copy()
+    for name, arity in program.idb.items():
+        if name in state:
+            raise DatalogError(f"IDB predicate {name!r} already stored in the database")
+        state[name] = Relation.empty(head_schema(arity), theory)
+
+    rounds = 0
+    while True:
+        rounds += 1
+        new_values: Dict[str, Relation] = {}
+        for r in program.rules:
+            derived = _derive(r, state, theory)
+            current = new_values.get(r.head_name, state[r.head_name])
+            new_values[r.head_name] = current.union(derived)
+        changed = False
+        for name, value in new_values.items():
+            if simplify_each_round:
+                value = value.simplify()
+            # Inflationary rounds only add tuples, and tuples are stored
+            # in canonical form over a constant set that never grows, so
+            # the *syntactic* tuple sets live in a finite space: comparing
+            # them is a sound and terminating fixpoint test (and avoids
+            # the exponential complement of a semantic equivalence check).
+            if frozenset(value.tuples) != frozenset(state[name].tuples):
+                changed = True
+            state[name] = value
+        if not changed:
+            return FixpointResult(state, rounds, True)
+        if max_rounds is not None and rounds >= max_rounds:
+            return FixpointResult(state, rounds, False)

@@ -1,0 +1,65 @@
+"""Encodings of dense-order databases (paper Sections 3-4).
+
+* :mod:`repro.encoding.cells` -- canonical cell decompositions and
+  complete types (the combinatorial heart of the paper's proofs);
+* :mod:`repro.encoding.standard` -- the standard string encoding used
+  to define data complexity;
+* :mod:`repro.encoding.order_encoding` -- constants as consecutive
+  integers; the relational representation of Theorem 4.4;
+* :mod:`repro.encoding.ptime` -- the PTIME capture pipeline
+  (encode -> finite inflationary Datalog(not) -> decode).
+"""
+
+from repro.encoding.cells import (
+    CellDecomposition,
+    CellType,
+    relations_equivalent,
+    weak_orderings,
+)
+from repro.encoding.order_encoding import (
+    AUX_RELATIONS,
+    EncodedInstance,
+    decode_rows,
+    encode_instance,
+    row_of_type,
+    row_width,
+    rows_of_signature,
+    type_of_row,
+)
+from repro.encoding.ptime import (
+    aux_edb,
+    capture_boolean,
+    cardinality_parity_program,
+    graph_connectivity_program,
+    run_capture,
+)
+from repro.encoding.standard import (
+    decode_database,
+    encode_database,
+    encoding_size,
+    is_integer_instance,
+)
+
+__all__ = [
+    "CellDecomposition",
+    "CellType",
+    "relations_equivalent",
+    "weak_orderings",
+    "AUX_RELATIONS",
+    "EncodedInstance",
+    "decode_rows",
+    "encode_instance",
+    "row_of_type",
+    "row_width",
+    "rows_of_signature",
+    "type_of_row",
+    "aux_edb",
+    "capture_boolean",
+    "cardinality_parity_program",
+    "graph_connectivity_program",
+    "run_capture",
+    "decode_database",
+    "encode_database",
+    "encoding_size",
+    "is_integer_instance",
+]

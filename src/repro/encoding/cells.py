@@ -1,0 +1,335 @@
+"""Canonical cell decompositions of Q^k over a finite constant set.
+
+Dense-order formulas cannot distinguish points with the same *order
+type* relative to a constant set ``c1 < ... < cm``.  The induced
+partition of Q is the sequence of 1-D *cells*::
+
+    (-inf, c1), [c1], (c1, c2), [c2], ..., [cm], (cm, +inf)
+
+indexed ``0 .. 2m`` (odd indices are the constants).  A *complete
+k-type* assigns each coordinate a 1-D cell and fixes the order pattern
+among coordinates sharing an open cell; the complete types partition
+``Q^k`` into finitely many classes, each entirely inside or outside any
+relation over those constants.
+
+This machinery serves three masters:
+
+* **canonical signatures** -- a relation's set of satisfied complete
+  types is a finite canonical form (equivalence becomes set equality);
+* **the relational representation** of Theorem 4.4 -- complete types
+  are encoded as integer rows (:mod:`repro.encoding.order_encoding`);
+* **active domains** for C-CALC (Section 5): set variables range over
+  unions of cells (:mod:`repro.cobjects.active_domain`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import Atom, eq, lt
+from repro.core.gtuple import GTuple
+from repro.core.intervals import Interval
+from repro.core.relation import Relation
+from repro.core.terms import Var
+from repro.errors import EncodingError
+
+__all__ = ["CellDecomposition", "CellType", "relations_equivalent", "weak_orderings"]
+
+
+def weak_orderings(items: Sequence) -> Iterator[Tuple[Tuple[object, ...], ...]]:
+    """All weak orderings (ordered set partitions) of ``items``.
+
+    Yields tuples of blocks; blocks earlier in the tuple are strictly
+    smaller.  The count is the Fubini number of ``len(items)``.
+    """
+    items = list(items)
+    if not items:
+        yield ()
+        return
+    first, rest = items[0], items[1:]
+    for sub in weak_orderings(rest):
+        # insert `first` as its own block at any position
+        for i in range(len(sub) + 1):
+            yield sub[:i] + ((first,),) + sub[i:]
+        # or merge `first` into an existing block
+        for i, block in enumerate(sub):
+            yield sub[:i] + (block + (first,),) + sub[i + 1 :]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A complete k-type: per-coordinate 1-D cells plus order pattern.
+
+    ``pattern[p]`` compares coordinate ``i`` against ``j`` for the
+    p-th pair ``(i, j)`` in lexicographic order (``i < j``):
+    ``-1`` means ``coord_i < coord_j``, ``0`` equality, ``1`` greater.
+    The pattern stores *all* pairs (redundantly for coordinates in
+    different cells) so equal types are structurally equal.
+    """
+
+    cells: Tuple[int, ...]
+    pattern: Tuple[int, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.cells)
+
+    def compare(self, i: int, j: int) -> int:
+        """The stored comparison of coordinate i vs j (i != j)."""
+        if i == j:
+            return 0
+        if i > j:
+            return -self.compare(j, i)
+        index = 0
+        k = self.arity
+        for a in range(k):
+            for b in range(a + 1, k):
+                if (a, b) == (i, j):
+                    return self.pattern[index]
+                index += 1
+        raise EncodingError(f"pair ({i}, {j}) out of range")  # pragma: no cover
+
+
+def _pair_index(k: int) -> List[Tuple[int, int]]:
+    return [(i, j) for i in range(k) for j in range(i + 1, k)]
+
+
+class CellDecomposition:
+    """The cell decomposition of Q (and of Q^k) by a constant set."""
+
+    def __init__(self, constants: Iterable[Fraction]) -> None:
+        self.constants: Tuple[Fraction, ...] = tuple(sorted(set(constants)))
+
+    # ------------------------------------------------------------- 1-D cells
+
+    @property
+    def cell_count(self) -> int:
+        return 2 * len(self.constants) + 1
+
+    def cell_interval(self, index: int) -> Interval:
+        """The pointset of the 1-D cell with the given index."""
+        m = len(self.constants)
+        if not 0 <= index < self.cell_count:
+            raise EncodingError(f"cell index {index} out of range (m={m})")
+        if index % 2 == 1:
+            return Interval.point(self.constants[index // 2])
+        lo = self.constants[index // 2 - 1] if index > 0 else None
+        hi = self.constants[index // 2] if index < 2 * m else None
+        return Interval.make(lo, hi, True, True)
+
+    def is_point_cell(self, index: int) -> bool:
+        return index % 2 == 1
+
+    def cell_of_value(self, value: Fraction) -> int:
+        """The index of the cell containing ``value``."""
+        for i, c in enumerate(self.constants):
+            if value < c:
+                return 2 * i
+            if value == c:
+                return 2 * i + 1
+        return 2 * len(self.constants)
+
+    def cell_sample(self, index: int, rank: int = 0, width: int = 1) -> Fraction:
+        """The ``rank``-th of ``width`` increasing sample values in a cell.
+
+        Point cells admit only rank 0.  Used to realize complete types
+        as concrete points.
+        """
+        interval = self.cell_interval(index)
+        if interval.is_point():
+            if rank != 0:
+                raise EncodingError("point cells hold a single value")
+            return interval.lo
+        if interval.lo is None and interval.hi is None:
+            return Fraction(rank)
+        if interval.lo is None:
+            return interval.hi - (width - rank)
+        if interval.hi is None:
+            return interval.lo + rank + 1
+        step = (interval.hi - interval.lo) / (width + 1)
+        return interval.lo + step * (rank + 1)
+
+    # --------------------------------------------------------- complete types
+
+    def complete_types(self, arity: int) -> Iterator[CellType]:
+        """Enumerate all consistent complete types of the given arity."""
+        pairs = _pair_index(arity)
+        for cells in itertools.product(range(self.cell_count), repeat=arity):
+            groups: Dict[int, List[int]] = {}
+            for coord, cell in enumerate(cells):
+                if not self.is_point_cell(cell):
+                    groups.setdefault(cell, []).append(coord)
+            open_groups = [g for g in groups.values() if len(g) > 1]
+            for ranking in self._group_rankings(open_groups):
+                pattern = []
+                for i, j in pairs:
+                    if cells[i] != cells[j]:
+                        pattern.append(-1 if cells[i] < cells[j] else 1)
+                    elif self.is_point_cell(cells[i]):
+                        pattern.append(0)
+                    else:
+                        ri, rj = ranking[i], ranking[j]
+                        pattern.append(-1 if ri < rj else (0 if ri == rj else 1))
+                yield CellType(tuple(cells), tuple(pattern))
+
+    def _group_rankings(
+        self, open_groups: List[List[int]]
+    ) -> Iterator[Dict[int, int]]:
+        """All rank assignments: per shared open cell, a weak ordering."""
+        if not open_groups:
+            yield {}
+            return
+        head, tail = open_groups[0], open_groups[1:]
+        for rest in self._group_rankings(tail):
+            for ordering in weak_orderings(head):
+                ranks = dict(rest)
+                for level, block in enumerate(ordering):
+                    for coord in block:
+                        ranks[coord] = level
+                yield ranks
+
+    def type_count(self, arity: int) -> int:
+        """Number of complete types (grows fast; use small arities)."""
+        return sum(1 for _ in self.complete_types(arity))
+
+    # ----------------------------------------------------- types <-> geometry
+
+    def type_atoms(self, cell_type: CellType, schema: Sequence[str]) -> List[Atom]:
+        """Dense-order constraints pinning a tuple to the type's cell."""
+        if len(schema) != cell_type.arity:
+            raise EncodingError("schema arity does not match type arity")
+        atoms: List[Atom] = []
+        for column, cell in zip(schema, cell_type.cells):
+            atoms.extend(self.cell_interval(cell).to_atoms(column))
+        for (i, j), relation in zip(_pair_index(cell_type.arity), cell_type.pattern):
+            if cell_type.cells[i] != cell_type.cells[j]:
+                continue  # already implied by the cell constraints
+            if self.is_point_cell(cell_type.cells[i]):
+                continue
+            a, b = schema[i], schema[j]
+            if relation == 0:
+                made = eq(a, b)
+            elif relation < 0:
+                made = lt(a, b)
+            else:
+                made = lt(b, a)
+            if not isinstance(made, bool):
+                atoms.append(made)
+        return atoms
+
+    def type_tuple(self, cell_type: CellType, schema: Sequence[str]) -> GTuple:
+        """The generalized tuple denoting exactly the type's cell."""
+        from repro.core.theory import DENSE_ORDER
+
+        made = GTuple.make(DENSE_ORDER, schema, self.type_atoms(cell_type, schema))
+        if made is None:  # pragma: no cover - enumerated types are consistent
+            raise EncodingError(f"inconsistent complete type {cell_type}")
+        return made
+
+    def type_sample(self, cell_type: CellType) -> Tuple[Fraction, ...]:
+        """A concrete point realizing the complete type."""
+        arity = cell_type.arity
+        # ranks within each shared open cell
+        values: List[Optional[Fraction]] = [None] * arity
+        by_cell: Dict[int, List[int]] = {}
+        for coord, cell in enumerate(cell_type.cells):
+            by_cell.setdefault(cell, []).append(coord)
+        for cell, coords in by_cell.items():
+            if self.is_point_cell(cell):
+                for coord in coords:
+                    values[coord] = self.cell_sample(cell)
+                continue
+            # order coords of this open cell by the stored pattern
+            levels: List[List[int]] = []
+            for coord in sorted(coords):
+                placed = False
+                for level in levels:
+                    relation = cell_type.compare(coord, level[0])
+                    if relation == 0:
+                        level.append(coord)
+                        placed = True
+                        break
+                if not placed:
+                    levels.append([coord])
+            snapshot = list(levels)
+            levels = sorted(
+                snapshot,
+                key=lambda level: sum(
+                    1 for other in snapshot if cell_type.compare(level[0], other[0]) > 0
+                ),
+            )
+            width = len(levels)
+            for rank, level in enumerate(levels):
+                for coord in level:
+                    values[coord] = self.cell_sample(cell, rank, width)
+        if any(v is None for v in values):  # pragma: no cover
+            raise EncodingError("incomplete sample assignment")
+        return tuple(values)
+
+    def type_of_point(self, point: Sequence[Fraction]) -> CellType:
+        """The complete type realized by a concrete point."""
+        cells = tuple(self.cell_of_value(v) for v in point)
+        pattern = []
+        for i, j in _pair_index(len(point)):
+            if point[i] < point[j]:
+                pattern.append(-1)
+            elif point[i] == point[j]:
+                pattern.append(0)
+            else:
+                pattern.append(1)
+        return CellType(cells, tuple(pattern))
+
+    # ------------------------------------------------------------- signatures
+
+    def signature(self, relation: Relation) -> FrozenSet[CellType]:
+        """The set of complete types contained in the relation.
+
+        Exact canonical form: two relations over constants included in
+        this decomposition are equivalent iff their signatures are
+        equal.  Requires ``relation.constants()`` to be a subset of the
+        decomposition constants.
+        """
+        missing = relation.constants() - set(self.constants)
+        if missing:
+            raise EncodingError(
+                f"relation constants {sorted(missing)} not in the decomposition"
+            )
+        out = set()
+        for cell_type in self.complete_types(relation.arity):
+            if relation.contains_point(self.type_sample(cell_type)):
+                out.add(cell_type)
+        return frozenset(out)
+
+    def relation_of_signature(
+        self, signature: Iterable[CellType], schema: Sequence[str]
+    ) -> Relation:
+        """The relation that is the union of the given cells."""
+        from repro.core.theory import DENSE_ORDER
+
+        tuples = [self.type_tuple(t, schema) for t in signature]
+        return Relation(DENSE_ORDER, schema, tuples)
+
+    def __repr__(self) -> str:
+        return f"<CellDecomposition m={len(self.constants)} cells={self.cell_count}>"
+
+
+def relations_equivalent(a: Relation, b: Relation) -> bool:
+    """Pointset equality with a cell-signature fast path.
+
+    For low-arity dense-order relations the canonical signature over the
+    union of constants decides equivalence in polynomial time; higher
+    arities (or huge constant sets, or other theories) fall back to the
+    generic containment test (exponential in representation tuples).
+    """
+    from repro.core.theory import DENSE_ORDER
+
+    if a.schema != b.schema or a.theory is not b.theory:
+        return False
+    constants = set(a.constants()) | set(b.constants())
+    if a.theory is DENSE_ORDER and a.arity <= 2 and len(constants) <= 24:
+        decomposition = CellDecomposition(constants)
+        return decomposition.signature(a) == decomposition.signature(b)
+    return a.equivalent(b)

@@ -1,0 +1,130 @@
+"""Order encoding: the Theorem 4.4 proof device.
+
+The proof of ``inflationary Datalog(not) = PTIME`` encodes the rational
+constants of an instance "into consecutive integers by respecting their
+order" and works over the resulting *relational representation*: a
+finite structure whose elements are the cells of the canonical
+decomposition, carrying
+
+* one finite relation per database relation, holding the integer-coded
+  complete types contained in it,
+* the linear order on cells (``cell_lt``), its successor (``cell_succ``),
+  the cell universe (``cell``), and which cells are points
+  (``cell_point``) -- everything a PTIME Turing machine (or by
+  [Var82, Imm86] an inflationary Datalog(not) program over an ordered
+  finite structure) needs.
+
+A complete k-type is one row of ``k + C(k,2)`` integers: the k cell
+indices followed by the pairwise comparison pattern shifted to
+``{0, 1, 2}``.  Decoding maps rows back to generalized tuples, giving
+the closed-form output the theorem demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.datalog.finite import FiniteInstance, Row
+from repro.encoding.cells import CellDecomposition, CellType
+from repro.errors import EncodingError
+
+__all__ = ["EncodedInstance", "encode_instance", "rows_of_signature", "decode_rows",
+           "row_of_type", "type_of_row", "row_width"]
+
+#: reserved names of the auxiliary order relations in the encoding
+AUX_RELATIONS = ("cell", "cell_lt", "cell_succ", "cell_point")
+
+
+def row_width(arity: int) -> int:
+    """Width of an encoded row for a relation of the given arity."""
+    return arity + arity * (arity - 1) // 2
+
+
+def row_of_type(cell_type: CellType) -> Row:
+    """Encode a complete type as a row of small integers."""
+    pattern = tuple(Fraction(p + 1) for p in cell_type.pattern)
+    return tuple(Fraction(c) for c in cell_type.cells) + pattern
+
+
+def type_of_row(row: Row, arity: int) -> CellType:
+    """Decode an integer row back to a complete type."""
+    if len(row) != row_width(arity):
+        raise EncodingError(
+            f"row of width {len(row)} does not encode an arity-{arity} type"
+        )
+    cells = tuple(int(v) for v in row[:arity])
+    pattern = tuple(int(v) - 1 for v in row[arity:])
+    for p in pattern:
+        if p not in (-1, 0, 1):
+            raise EncodingError(f"bad pattern entry {p + 1} in row {row}")
+    return CellType(cells, pattern)
+
+
+def rows_of_signature(signature: Iterable[CellType]) -> Set[Row]:
+    return {row_of_type(t) for t in signature}
+
+
+@dataclass
+class EncodedInstance:
+    """A dense-order instance order-encoded as a finite structure."""
+
+    decomposition: CellDecomposition
+    instance: FiniteInstance
+    arities: Dict[str, int]
+
+    def decode(self, name: str, arity: int, schema: Sequence[str]) -> Relation:
+        """Decode a finite relation of the instance back to closed form."""
+        return decode_rows(self.instance[name], arity, self.decomposition, schema)
+
+
+def encode_instance(
+    database: Database, extra_constants: Iterable[Fraction] = ()
+) -> EncodedInstance:
+    """Order-encode a dense-order database.
+
+    ``extra_constants`` lets the caller refine the decomposition with
+    the constants of the query (the paper's encoding covers the query
+    constants too: "rational constants occurring in the relational
+    representation of the input or in the query itself").
+    """
+    if database.theory is not DENSE_ORDER:
+        raise EncodingError("order encoding is defined for dense-order databases")
+    for reserved in AUX_RELATIONS:
+        if reserved in database:
+            raise EncodingError(f"relation name {reserved!r} is reserved")
+    decomposition = CellDecomposition(set(database.constants()) | set(extra_constants))
+    instance = FiniteInstance()
+    arities: Dict[str, int] = {}
+    for name in database.names():
+        relation = database[name]
+        signature = decomposition.signature(relation)
+        instance.add_relation(
+            name, rows_of_signature(signature), arity=row_width(relation.arity)
+        )
+        arities[name] = relation.arity
+    n = decomposition.cell_count
+    instance.add_relation("cell", [(i,) for i in range(n)], arity=1)
+    instance.add_relation(
+        "cell_lt", [(i, j) for i in range(n) for j in range(i + 1, n)], arity=2
+    )
+    instance.add_relation("cell_succ", [(i, i + 1) for i in range(n - 1)], arity=2)
+    instance.add_relation(
+        "cell_point", [(i,) for i in range(n) if decomposition.is_point_cell(i)], arity=1
+    )
+    return EncodedInstance(decomposition, instance, arities)
+
+
+def decode_rows(
+    rows: Iterable[Row],
+    arity: int,
+    decomposition: CellDecomposition,
+    schema: Sequence[str],
+) -> Relation:
+    """Decode integer rows (encoded complete types) to a relation."""
+    types = [type_of_row(row, arity) for row in rows]
+    return decomposition.relation_of_signature(types, schema)

@@ -1,0 +1,136 @@
+"""The standard encoding of a database (paper Section 3).
+
+Data complexity is defined "based on computational devices and standard
+encodings of the input and output": a dense-order database is encoded
+by encoding the quantifier-free formula representing it.  This module
+provides that encoding as a deterministic string (so its *length* is
+the input-size measure used by the complexity experiments) and the
+corresponding decoder.
+
+Grammar (one relation per line group)::
+
+    relation <name> (<col>, ...)
+    tuple
+    atom <term> <op> <term>
+    ...
+
+Terms are ``var:<name>`` or ``const:<p>/<q>``; rationals are written in
+lowest terms, mirroring the paper's remark that inputs over integers
+avoid rational encodings (integer-only instances contain no ``/q``
+parts with ``q != 1``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.core.atoms import Op, atom
+from repro.core.database import Database
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.terms import Const, Term, Var
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EncodingError
+
+__all__ = ["encode_database", "decode_database", "encoding_size", "is_integer_instance"]
+
+
+def _encode_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return f"var:{term.name}"
+    return f"const:{term.value.numerator}/{term.value.denominator}"
+
+
+def _decode_term(text: str) -> Term:
+    kind, _, payload = text.partition(":")
+    if kind == "var":
+        return Var(payload)
+    if kind == "const":
+        num, _, den = payload.partition("/")
+        return Const(Fraction(int(num), int(den)))
+    raise EncodingError(f"bad term encoding {text!r}")
+
+
+def encode_database(database: Database) -> str:
+    """Serialize a dense-order database to its standard encoding."""
+    if database.theory is not DENSE_ORDER:
+        raise EncodingError("standard encoding is defined for dense-order databases")
+    lines: List[str] = []
+    for name in sorted(database.names()):
+        relation = database[name]
+        lines.append(f"relation {name} ({', '.join(relation.schema)})")
+        for t in sorted(relation.tuples, key=lambda t: sorted(map(str, t.atoms))):
+            lines.append("tuple")
+            for a in sorted(t.atoms, key=str):
+                lines.append(
+                    f"atom {_encode_term(a.left)} {a.op.value} {_encode_term(a.right)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def decode_database(text: str) -> Database:
+    """Parse a standard encoding back into a database."""
+    database = Database()
+    name = None
+    schema: Tuple[str, ...] = ()
+    tuples: List[GTuple] = []
+    atoms: List = []
+    in_tuple = False
+
+    def flush_tuple() -> None:
+        nonlocal atoms, in_tuple
+        if in_tuple:
+            made = GTuple.make(DENSE_ORDER, schema, atoms)
+            if made is not None:
+                tuples.append(made)
+        atoms = []
+
+    def flush_relation() -> None:
+        nonlocal tuples
+        if name is not None:
+            database[name] = Relation(DENSE_ORDER, schema, tuples)
+        tuples = []
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("relation "):
+            flush_tuple()
+            flush_relation()
+            in_tuple = False
+            header = line[len("relation ") :]
+            name, _, columns = header.partition(" ")
+            columns = columns.strip()
+            if not (columns.startswith("(") and columns.endswith(")")):
+                raise EncodingError(f"bad relation header {line!r}")
+            inner = columns[1:-1].strip()
+            schema = tuple(c.strip() for c in inner.split(",")) if inner else ()
+        elif line == "tuple":
+            flush_tuple()
+            in_tuple = True
+        elif line.startswith("atom "):
+            if not in_tuple:
+                raise EncodingError("atom outside a tuple")
+            parts = line.split()
+            if len(parts) != 4:
+                raise EncodingError(f"bad atom line {line!r}")
+            made = atom(_decode_term(parts[1]), Op(parts[2]), _decode_term(parts[3]))
+            atoms.append(made)
+        else:
+            raise EncodingError(f"unrecognized line {line!r}")
+    flush_tuple()
+    flush_relation()
+    return database
+
+
+def encoding_size(database: Database) -> int:
+    """Length of the standard encoding -- the data-complexity input size."""
+    return len(encode_database(database))
+
+
+def is_integer_instance(database: Database) -> bool:
+    """Does the instance use only integer constants?  (Theorem 4.1's
+    hypothesis; harmless by the homeomorphism remark in Section 4.)"""
+    return all(c.denominator == 1 for c in database.constants())

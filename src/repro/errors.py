@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, tuple, or query was used with an incompatible schema."""
+
+
+class TheoryError(ReproError):
+    """A constraint atom is malformed or outside the supported theory."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated against the given database."""
+
+
+class ParseError(ReproError):
+    """A textual query or program could not be parsed."""
+
+
+class DatalogError(ReproError):
+    """A Datalog program is ill-formed (arity mismatch, unknown predicate...)."""
+
+
+class TypeCheckError(ReproError):
+    """A complex-object value does not match its declared c-type."""
+
+
+class EncodingError(ReproError):
+    """A database instance could not be encoded or decoded."""

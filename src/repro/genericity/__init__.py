@@ -1,0 +1,75 @@
+"""Queries, genericity, and inexpressibility tools (Sections 3-4).
+
+* :mod:`repro.genericity.automorphisms` -- piecewise-linear
+  automorphisms of Q and their action on databases (Definition 3.1);
+* :mod:`repro.genericity.checks` -- genericity testing of candidate
+  queries over seeded automorphism families;
+* :mod:`repro.genericity.ef_games` -- exact Ehrenfeucht-Fraisse games
+  on finite structures (the parity/connectivity evidence of Thm 4.2);
+* :mod:`repro.genericity.formula_search` -- complete enumeration of the
+  rank-bounded FO-definable queries over a finite instance family
+  (machine-checked inexpressibility certificates).
+"""
+
+from repro.genericity.automorphisms import (
+    PiecewiseLinearMap,
+    identity,
+    moving,
+    random_automorphism,
+    reflection,
+    scaling,
+    translation,
+)
+from repro.genericity.checks import (
+    GenericityReport,
+    check_boolean_generic,
+    check_generic,
+    default_automorphisms,
+)
+from repro.genericity.ef_games import (
+    FiniteStructure,
+    cell_structure,
+    duplicator_wins,
+    linear_order,
+    min_distinguishing_rank,
+)
+from repro.genericity.formula_search import (
+    SearchResult,
+    enumerate_queries,
+    search_sentence,
+)
+from repro.genericity.locality import (
+    gaifman_adjacency,
+    hanf_indistinguishable,
+    hanf_radius,
+    neighborhood_census,
+)
+from repro.genericity.topological import InvarianceReport, classify
+
+__all__ = [
+    "PiecewiseLinearMap",
+    "identity",
+    "moving",
+    "random_automorphism",
+    "reflection",
+    "scaling",
+    "translation",
+    "GenericityReport",
+    "check_boolean_generic",
+    "check_generic",
+    "default_automorphisms",
+    "FiniteStructure",
+    "cell_structure",
+    "duplicator_wins",
+    "linear_order",
+    "min_distinguishing_rank",
+    "SearchResult",
+    "enumerate_queries",
+    "search_sentence",
+    "gaifman_adjacency",
+    "hanf_indistinguishable",
+    "hanf_radius",
+    "neighborhood_census",
+    "InvarianceReport",
+    "classify",
+]

@@ -1,0 +1,212 @@
+"""Order-automorphisms of Q and their action on databases (Section 3).
+
+Definition 3.1 of the paper: a (boolean) query is a partial recursive
+collection of finitely representable instances *closed under
+automorphisms of Q*.  The automorphisms of ``(Q, <=)`` are the strictly
+increasing bijections; this module implements the piecewise-linear ones
+(with rational breakpoints), which suffice to move any finite constant
+set anywhere order-compatibly -- and that is exactly what genericity
+tests need.
+
+The action on a dense-order relation is syntactic: an order atom
+``x <= c`` maps to ``x <= phi(c)`` and variable-variable atoms are
+fixed, because ``phi`` preserves order.  Order-*reversing* bijections
+(``reflection`` composed with a piecewise-linear map) are also
+provided: together with the increasing ones they generate the
+homeomorphisms of Q, used by the "queries are topological" comparison
+of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import Atom, Op, atom
+from repro.core.database import Database
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.terms import Const, Term, Var, as_fraction
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EncodingError, TheoryError
+
+__all__ = ["PiecewiseLinearMap", "identity", "translation", "scaling", "reflection",
+           "moving", "random_automorphism"]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearMap:
+    """A piecewise-linear monotone bijection of Q.
+
+    ``breakpoints`` is a tuple of ``(x, y)`` pairs with the ``x``
+    strictly increasing and the ``y`` strictly monotone (increasing
+    when ``increasing`` is True, else strictly decreasing).  Outside
+    the breakpoint range the map continues with slopes ``left_slope``
+    and ``right_slope`` (positive rationals; default 1); between
+    consecutive breakpoints it interpolates linearly.  With no
+    breakpoints it is ``x -> slope * x`` through the origin (or its
+    reflection when decreasing).
+    """
+
+    breakpoints: Tuple[Tuple[Fraction, Fraction], ...] = ()
+    increasing: bool = True
+    left_slope: Fraction = Fraction(1)
+    right_slope: Fraction = Fraction(1)
+
+    def __post_init__(self) -> None:
+        xs = [p[0] for p in self.breakpoints]
+        ys = [p[1] for p in self.breakpoints]
+        if sorted(xs) != xs or len(set(xs)) != len(xs):
+            raise TheoryError("breakpoint x-coordinates must strictly increase")
+        check = ys if self.increasing else [-v for v in ys]
+        if sorted(check) != check or len(set(check)) != len(check):
+            raise TheoryError("breakpoint images must be strictly monotone")
+        if self.left_slope <= 0 or self.right_slope <= 0:
+            raise TheoryError("boundary slopes must be positive")
+
+    # ----------------------------------------------------------------- apply
+
+    def __call__(self, value) -> Fraction:
+        v = as_fraction(value)
+        sign = Fraction(1) if self.increasing else Fraction(-1)
+        points = self.breakpoints
+        if not points:
+            return sign * self.left_slope * v
+        if v <= points[0][0]:
+            return points[0][1] + sign * self.left_slope * (v - points[0][0])
+        if v >= points[-1][0]:
+            return points[-1][1] + sign * self.right_slope * (v - points[-1][0])
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= v <= x1:
+                t = (v - x0) / (x1 - x0)
+                return y0 + t * (y1 - y0)
+        raise TheoryError("unreachable")  # pragma: no cover
+
+    def inverse(self) -> "PiecewiseLinearMap":
+        """The inverse bijection (also piecewise linear)."""
+        flipped = [(y, x) for x, y in self.breakpoints]
+        flipped.sort()
+        left, right = (
+            (self.left_slope, self.right_slope)
+            if self.increasing
+            else (self.right_slope, self.left_slope)
+        )
+        return PiecewiseLinearMap(
+            tuple(flipped), self.increasing, 1 / left, 1 / right
+        )
+
+    def compose(self, inner: "PiecewiseLinearMap") -> "PiecewiseLinearMap":
+        """``self after inner`` as a piecewise-linear map.
+
+        Breakpoints: the inner map's breakpoints plus the preimages of
+        the outer map's breakpoints under the inner map.
+        """
+        xs = {x for x, _ in inner.breakpoints}
+        inner_inverse = inner.inverse()
+        xs |= {inner_inverse(x) for x, _ in self.breakpoints}
+        points = tuple(sorted((x, self(inner(x))) for x in xs))
+        # boundary slope of the composition: outer slope at the image side
+        inner_left, inner_right = inner.left_slope, inner.right_slope
+        outer_left, outer_right = self.left_slope, self.right_slope
+        if inner.increasing:
+            left = inner_left * outer_left
+            right = inner_right * outer_right
+        else:
+            left = inner_left * outer_right
+            right = inner_right * outer_left
+        return PiecewiseLinearMap(
+            points, self.increasing == inner.increasing, left, right
+        )
+
+    # ---------------------------------------------------------------- action
+
+    def apply_to_term(self, term: Term) -> Term:
+        if isinstance(term, Const):
+            return Const(self(term.value))
+        return term
+
+    def apply_to_atom(self, a: Atom):
+        """The image constraint: order-reversing maps flip comparisons."""
+        op = a.op
+        if not self.increasing and op in (Op.LT, Op.LE):
+            return atom(self.apply_to_term(a.right), op, self.apply_to_term(a.left))
+        return atom(self.apply_to_term(a.left), op, self.apply_to_term(a.right))
+
+    def apply_to_relation(self, relation: Relation) -> Relation:
+        """The pointwise image ``{phi(p) : p in R}`` in closed form."""
+        if relation.theory is not DENSE_ORDER:
+            raise EncodingError(
+                "automorphism action is defined on dense-order relations only "
+                "(automorphisms of (Q, <=) do not preserve +)"
+            )
+        tuples = []
+        for t in relation.tuples:
+            atoms = [self.apply_to_atom(a) for a in t.atoms]
+            made = GTuple.make(DENSE_ORDER, relation.schema, atoms)
+            if made is not None:  # pragma: no branch - bijections preserve sat
+                tuples.append(made)
+        return Relation(DENSE_ORDER, relation.schema, tuples)
+
+    def apply_to_database(self, database: Database) -> Database:
+        out = Database(theory=database.theory)
+        for name, relation in database.items():
+            out[name] = self.apply_to_relation(relation)
+        return out
+
+    def __repr__(self) -> str:
+        arrow = "increasing" if self.increasing else "decreasing"
+        return f"<PiecewiseLinearMap {arrow} {list(self.breakpoints)}>"
+
+
+def identity() -> PiecewiseLinearMap:
+    """The identity automorphism."""
+    return PiecewiseLinearMap()
+
+
+def translation(offset) -> PiecewiseLinearMap:
+    """``x -> x + offset``."""
+    d = as_fraction(offset)
+    return PiecewiseLinearMap(((Fraction(0), d),))
+
+
+def scaling(factor) -> PiecewiseLinearMap:
+    """``x -> factor * x`` for positive rational ``factor``."""
+    f = as_fraction(factor)
+    if f <= 0:
+        raise TheoryError("scaling factor must be positive")
+    return PiecewiseLinearMap(
+        ((Fraction(0), Fraction(0)),), True, f, f
+    )
+
+
+def reflection() -> PiecewiseLinearMap:
+    """``x -> -x``: a homeomorphism of Q that is *not* an automorphism."""
+    return PiecewiseLinearMap((), increasing=False)
+
+
+def moving(assignment: Dict[Fraction, Fraction]) -> PiecewiseLinearMap:
+    """The automorphism interpolating a finite order-compatible map.
+
+    ``assignment`` sends sources to images; both sides must be in the
+    same strict order.
+    """
+    points = tuple(sorted((as_fraction(k), as_fraction(v)) for k, v in assignment.items()))
+    return PiecewiseLinearMap(points)
+
+
+def random_automorphism(rng, constants: Iterable[Fraction]) -> PiecewiseLinearMap:
+    """A seeded random automorphism moving the given constants.
+
+    ``rng`` is a :class:`random.Random`; images are random rationals
+    preserving the source order (offsets in steps of 1/4 within +-8).
+    """
+    sources = sorted(set(as_fraction(c) for c in constants))
+    if not sources:
+        return identity()
+    images: List[Fraction] = []
+    cursor = Fraction(rng.randint(-32, 0), 4)
+    for _ in sources:
+        cursor += Fraction(rng.randint(1, 12), 4)
+        images.append(cursor)
+    return moving(dict(zip(sources, images)))

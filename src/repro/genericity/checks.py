@@ -1,0 +1,111 @@
+"""Genericity testing: is a mapping a *query* in the paper's sense?
+
+Definition 3.1 requires closure under automorphisms of Q:
+``Q(phi(D)) = phi(Q(D))`` for every automorphism ``phi``.  Testing all
+automorphisms is impossible; testing a family of seeded random
+piecewise-linear ones (which can realize every order type of the
+finite constant set) is the practical falsification tool used by
+experiment E11:
+
+* FO and Datalog(not) mappings always pass (they are queries --
+  Section 4);
+* FO+ mappings may fail: addition is not automorphism-invariant, e.g.
+  the *midpoint* query ``{z | exists x, y (S(x) and S(y) and
+  x + y = 2z)}`` is refuted by any automorphism that moves midpoints.
+
+The module also checks the weaker *topological* closure (invariance
+under homeomorphisms, i.e. monotone plus antitone bijections) that
+Section 3 relates to genericity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.encoding.cells import relations_equivalent
+from repro.genericity.automorphisms import (
+    PiecewiseLinearMap,
+    random_automorphism,
+    reflection,
+)
+
+__all__ = ["GenericityReport", "check_generic", "check_boolean_generic",
+           "default_automorphisms"]
+
+#: a mapping from instances to relations (a candidate non-boolean query)
+RelationQuery = Callable[[Database], Relation]
+#: a mapping from instances to booleans (a candidate boolean query)
+BooleanQuery = Callable[[Database], bool]
+
+
+@dataclass
+class GenericityReport:
+    """Result of a genericity check."""
+
+    generic: bool
+    tested: int
+    witness: Optional[PiecewiseLinearMap] = None  #: a violating map, if any
+
+    def __bool__(self) -> bool:
+        return self.generic
+
+
+def default_automorphisms(
+    database: Database, count: int = 8, seed: int = 0, include_reflection: bool = False
+) -> List[PiecewiseLinearMap]:
+    """A seeded family of automorphisms moving the instance's constants."""
+    rng = random.Random(seed)
+    maps = [random_automorphism(rng, database.constants()) for _ in range(count)]
+    if include_reflection:
+        maps.append(reflection())
+    return maps
+
+
+def check_generic(
+    query: RelationQuery,
+    database: Database,
+    automorphisms: Optional[Sequence[PiecewiseLinearMap]] = None,
+    count: int = 8,
+    seed: int = 0,
+) -> GenericityReport:
+    """Test ``Q(phi(D)) == phi(Q(D))`` over a family of automorphisms.
+
+    A failed check *refutes* genericity (with the witness map); a
+    passed check is evidence only, as with any property-based test.
+    """
+    maps = (
+        list(automorphisms)
+        if automorphisms is not None
+        else default_automorphisms(database, count, seed)
+    )
+    base = query(database)
+    for phi in maps:
+        moved_input = query(phi.apply_to_database(database))
+        moved_output = phi.apply_to_relation(base)
+        if not relations_equivalent(moved_input, moved_output):
+            return GenericityReport(False, len(maps), phi)
+    return GenericityReport(True, len(maps))
+
+
+def check_boolean_generic(
+    query: BooleanQuery,
+    database: Database,
+    automorphisms: Optional[Sequence[PiecewiseLinearMap]] = None,
+    count: int = 8,
+    seed: int = 0,
+) -> GenericityReport:
+    """Boolean version: ``Q(phi(D)) == Q(D)``."""
+    maps = (
+        list(automorphisms)
+        if automorphisms is not None
+        else default_automorphisms(database, count, seed)
+    )
+    base = query(database)
+    for phi in maps:
+        if query(phi.apply_to_database(database)) != base:
+            return GenericityReport(False, len(maps), phi)
+    return GenericityReport(True, len(maps))

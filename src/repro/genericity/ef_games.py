@@ -1,0 +1,185 @@
+"""Ehrenfeucht-Fraisse games: the engine behind Theorem 4.2's evidence.
+
+Theorem 4.2 (via [FSS84]) states that parity and graph connectivity are
+not FO+ definable.  The reproduction validates the *consequence* with
+exact EF-game computations: if the duplicator wins the r-round game on
+``A`` and ``B``, no FO sentence of quantifier rank ``r`` distinguishes
+them; so a query separating families that are r-equivalent for every r
+is not first-order.
+
+The solver decides duplicator wins on arbitrary *finite* relational
+structures (exact, memoized).  Helpers build the structures the
+experiments need:
+
+* plain finite linear orders (``linear_order``): the classical result
+  -- orders of size ``>= 2**r - 1`` are r-round equivalent -- is the
+  engine of the parity argument (parity alternates between ``n`` and
+  ``n + 1`` while EF-equivalence classes stabilize);
+* *cell words* of unary dense-order databases (``cell_structure``): the
+  finite structure whose elements are the canonical cells with the
+  order and a membership color, abstracting a 1-D infinite instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.intervals import IntervalSet
+from repro.core.relation import Relation
+from repro.encoding.cells import CellDecomposition
+from repro.errors import EncodingError
+
+__all__ = [
+    "FiniteStructure",
+    "linear_order",
+    "cell_structure",
+    "duplicator_wins",
+    "min_distinguishing_rank",
+]
+
+
+@dataclass(frozen=True)
+class FiniteStructure:
+    """A finite relational structure (universe of ints, named relations)."""
+
+    universe: Tuple[int, ...]
+    relations: Tuple[Tuple[str, FrozenSet[Tuple[int, ...]]], ...]
+
+    @classmethod
+    def make(cls, universe: Iterable[int], relations: Dict[str, Iterable[Sequence[int]]]) -> "FiniteStructure":
+        frozen = tuple(
+            (name, frozenset(tuple(row) for row in rows))
+            for name, rows in sorted(relations.items())
+        )
+        return cls(tuple(universe), frozen)
+
+    def relation(self, name: str) -> FrozenSet[Tuple[int, ...]]:
+        for n, rows in self.relations:
+            if n == name:
+                return rows
+        raise EncodingError(f"no relation {name!r} in structure")
+
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.relations)
+
+
+def linear_order(n: int) -> FiniteStructure:
+    """The finite linear order with ``n`` elements (relation ``<``)."""
+    universe = range(n)
+    less = [(i, j) for i in universe for j in universe if i < j]
+    return FiniteStructure.make(universe, {"<": less})
+
+
+def cell_structure(relation: Relation, decomposition: Optional[CellDecomposition] = None) -> FiniteStructure:
+    """The cell word of a unary dense-order relation.
+
+    Elements are the cell indices of the canonical decomposition by the
+    relation's constants; ``<`` is the cell order, ``in`` marks cells
+    inside the relation, ``point`` marks the constant cells.  Two unary
+    instances with isomorphic cell words are indistinguishable by any
+    generic query, so EF equivalence of cell words is the right finite
+    abstraction of the infinite 1-D instances.
+    """
+    if relation.arity != 1:
+        raise EncodingError("cell_structure requires a unary relation")
+    d = decomposition or CellDecomposition(relation.constants())
+    n = d.cell_count
+    inside = [
+        (i,) for i in range(n) if relation.contains_point([d.cell_sample(i)])
+    ]
+    points = [(i,) for i in range(n) if d.is_point_cell(i)]
+    less = [(i, j) for i in range(n) for j in range(n) if i < j]
+    return FiniteStructure.make(range(n), {"<": less, "in": inside, "point": points})
+
+
+def _partial_isomorphism(
+    a: FiniteStructure,
+    b: FiniteStructure,
+    pairs: Tuple[Tuple[int, int], ...],
+) -> bool:
+    """Is the pebble assignment a partial isomorphism?"""
+    left = [p[0] for p in pairs]
+    right = [p[1] for p in pairs]
+    for i in range(len(pairs)):
+        for j in range(len(pairs)):
+            if (left[i] == left[j]) != (right[i] == right[j]):
+                return False
+    vocab_a = dict(a.relations)
+    vocab_b = dict(b.relations)
+    if set(vocab_a) != set(vocab_b):
+        raise EncodingError("EF game requires a shared vocabulary")
+    for name, rows_a in vocab_a.items():
+        rows_b = vocab_b[name]
+        if rows_a or rows_b:
+            arity = len(next(iter(rows_a or rows_b)))
+        else:
+            continue
+        for combo in itertools.product(range(len(pairs)), repeat=arity):
+            ta = tuple(left[i] for i in combo)
+            tb = tuple(right[i] for i in combo)
+            if (ta in rows_a) != (tb in rows_b):
+                return False
+    return True
+
+
+def duplicator_wins(
+    a: FiniteStructure,
+    b: FiniteStructure,
+    rounds: int,
+    _pairs: Tuple[Tuple[int, int], ...] = (),
+    _memo: Optional[Dict] = None,
+) -> bool:
+    """Does the duplicator win the ``rounds``-round EF game on (a, b)?
+
+    Exact decision; equivalent to ``a`` and ``b`` agreeing on all FO
+    sentences of quantifier rank <= rounds over the shared vocabulary.
+    """
+    if _memo is None:
+        _memo = {}
+    key = (frozenset(_pairs), rounds)
+    cached = _memo.get(key)
+    if cached is not None:
+        return cached
+    if not _partial_isomorphism(a, b, _pairs):
+        _memo[key] = False
+        return False
+    if rounds == 0:
+        _memo[key] = True
+        return True
+    # spoiler plays in a: duplicator must answer in b (and symmetrically)
+    def answerable(spoiler_in_a: bool) -> bool:
+        source = a.universe if spoiler_in_a else b.universe
+        target = b.universe if spoiler_in_a else a.universe
+        for move in source:
+            found = False
+            for reply in target:
+                pair = (move, reply) if spoiler_in_a else (reply, move)
+                if duplicator_wins(a, b, rounds - 1, _pairs + (pair,), _memo):
+                    found = True
+                    break
+            if not found:
+                return False
+        return True
+
+    result = answerable(True) and answerable(False)
+    _memo[key] = result
+    return result
+
+
+def min_distinguishing_rank(
+    a: FiniteStructure, b: FiniteStructure, max_rank: int
+) -> Optional[int]:
+    """The least r <= max_rank with a spoiler win, or None.
+
+    ``None`` certifies that no FO sentence of rank <= max_rank
+    distinguishes the two structures.
+    """
+    for r in range(max_rank + 1):
+        if not duplicator_wins(a, b, r):
+            return r
+    return None

@@ -1,0 +1,246 @@
+"""Exhaustive FO-definability search on finite instance families.
+
+A second, independent inexpressibility tool besides the EF games: for a
+*fixed finite family* of finite structures and a fixed variable supply,
+the set of queries definable by FO formulas of quantifier rank <= r is
+itself finite and computable --
+
+* a query is represented by a pair (semantics, free variables): the
+  satisfying assignments of every structure packed into one integer
+  bitmask (each structure owns a contiguous bit range, one bit per
+  assignment over the full variable supply), plus the set of variables
+  the formula actually mentions free.  Tracking free sets syntactically
+  matters: a formula can have assignment-independent truth without
+  being a sentence (e.g. ``exists y (x < y or y < x)`` on orders of
+  size >= 2), and closing it costs extra quantifier rank;
+* rank 0 starts from the atomic queries and closes under the boolean
+  operations (semantics intersect/complement, free sets union);
+  rank r+1 adds existential/universal projections (semantics projected
+  on one coordinate, free set minus that variable) and closes again;
+* dedup is by the (semantics, free set) pair -- every later construction
+  depends only on that pair, so the enumeration is *complete*: it finds
+  every rank-<=r definable query over the family using the given
+  variable supply.
+
+``search_sentence`` then answers: is there any FO sentence (free set
+empty) of rank <= r whose truth pattern over the family matches a
+target (e.g. parity of the structure size)?  A negative answer is a
+machine-checked inexpressibility certificate *for that rank, variable
+budget and family* -- exactly the shape of evidence experiment E4
+tabulates next to the EF-game bounds for Theorem 4.2.  (Exact but
+expensive: keep families to pairs of small structures and ranks <= 2.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import EncodingError
+from repro.genericity.ef_games import FiniteStructure
+
+__all__ = ["enumerate_queries", "search_sentence", "SearchResult"]
+
+#: a definable query: packed assignment bitmask + free-variable bitmask
+Query = Tuple[int, int]
+
+
+class _Family:
+    """Precomputed assignment tables; semantics are single big-int masks."""
+
+    def __init__(self, family: Sequence[FiniteStructure], variables: int) -> None:
+        if not family:
+            raise EncodingError("empty structure family")
+        vocab = family[0].vocabulary()
+        for s in family:
+            if s.vocabulary() != vocab:
+                raise EncodingError("family must share one vocabulary")
+        self.family = list(family)
+        self.variables = variables
+        self.assignments: List[List[Tuple[int, ...]]] = [
+            list(itertools.product(s.universe, repeat=variables)) for s in family
+        ]
+        self.offsets: List[int] = []
+        total = 0
+        for a in self.assignments:
+            self.offsets.append(total)
+            total += len(a)
+        self.total_bits = total
+        self.full = (1 << total) - 1
+        self.block_masks = [
+            ((1 << len(a)) - 1) << off
+            for a, off in zip(self.assignments, self.offsets)
+        ]
+        # witness bit lists: for (structure k, variable v, assignment i),
+        # the global bit positions of the assignments rewriting coordinate v
+        self.groups: List[List[List[List[int]]]] = []
+        for k, s in enumerate(self.family):
+            off = self.offsets[k]
+            index = {a: off + i for i, a in enumerate(self.assignments[k])}
+            per_var: List[List[List[int]]] = []
+            for v in range(variables):
+                rows: List[List[int]] = []
+                for a in self.assignments[k]:
+                    rows.append(
+                        [index[a[:v] + (w,) + a[v + 1 :]] for w in s.universe]
+                    )
+                per_var.append(rows)
+            self.groups.append(per_var)
+
+    # ----------------------------------------------------------------- atoms
+
+    def atomic(self) -> Set[Query]:
+        out: Set[Query] = set()
+        v = self.variables
+        for i in range(v):
+            for j in range(i + 1, v):
+                mask = self._mask(lambda a, i=i, j=j: a[i] == a[j])
+                out.add((mask, (1 << i) | (1 << j)))
+        arities: Dict[str, int] = {}
+        for name in self.family[0].vocabulary():
+            for s in self.family:
+                rows = s.relation(name)
+                if rows:
+                    arities[name] = len(next(iter(rows)))
+                    break
+        for name, arity in arities.items():
+            for combo in itertools.product(range(v), repeat=arity):
+                mask = 0
+                for k, s in enumerate(self.family):
+                    rows = s.relation(name)
+                    off = self.offsets[k]
+                    for i, a in enumerate(self.assignments[k]):
+                        if tuple(a[c] for c in combo) in rows:
+                            mask |= 1 << (off + i)
+                free = 0
+                for c in combo:
+                    free |= 1 << c
+                out.add((mask, free))
+        return out
+
+    def _mask(self, predicate) -> int:
+        mask = 0
+        for k in range(len(self.family)):
+            off = self.offsets[k]
+            for i, a in enumerate(self.assignments[k]):
+                if predicate(a):
+                    mask |= 1 << (off + i)
+        return mask
+
+    # ------------------------------------------------------------ operations
+
+    def project(self, item: Query) -> List[Query]:
+        """Existential and universal projections over each *free* variable."""
+        semantics, free = item
+        out: List[Query] = []
+        for v in range(self.variables):
+            if not free >> v & 1:
+                continue  # vacuous quantification adds nothing new
+            exists_mask = 0
+            forall_mask = 0
+            for k in range(len(self.family)):
+                off = self.offsets[k]
+                for i, witnesses in enumerate(self.groups[k][v]):
+                    any_hit = False
+                    all_hit = True
+                    for w in witnesses:
+                        if semantics >> w & 1:
+                            any_hit = True
+                        else:
+                            all_hit = False
+                    if any_hit:
+                        exists_mask |= 1 << (off + i)
+                    if all_hit:
+                        forall_mask |= 1 << (off + i)
+            new_free = free & ~(1 << v)
+            out.append((exists_mask, new_free))
+            out.append((forall_mask, new_free))
+        return out
+
+    def truth_vector(self, semantics: int) -> Tuple[bool, ...]:
+        return tuple(bool(semantics & m) for m in self.block_masks)
+
+
+def _boolean_closure(queries: Set[Query], full: int, limit: int) -> Set[Query]:
+    """Close under complement and conjunction (hence all boolean ops)."""
+    closed: Set[Query] = set(queries)
+    closed.add((full, 0))
+    closed.add((0, 0))
+    frontier = list(closed)
+    while frontier:
+        if len(closed) > limit:
+            raise EncodingError(
+                f"definable-query space exceeded the limit ({limit}); "
+                "shrink the family, rank, or variable budget"
+            )
+        semantics, free = frontier.pop()
+        negation = (full & ~semantics, free)
+        if negation not in closed:
+            closed.add(negation)
+            frontier.append(negation)
+        for other_semantics, other_free in list(closed):
+            meet = (semantics & other_semantics, free | other_free)
+            if meet not in closed:
+                closed.add(meet)
+                frontier.append(meet)
+    return closed
+
+
+def enumerate_queries(
+    family: Sequence[FiniteStructure],
+    variables: int,
+    rank: int,
+    limit: int = 2_000_000,
+) -> Set[Query]:
+    """All (semantics, free-set) pairs definable with the rank/variables.
+
+    Complete for formulas whose variables (free and bound) come from a
+    supply of ``variables`` names and whose quantifier rank is <= rank.
+    """
+    ctx = _Family(family, variables)
+    current = _boolean_closure(ctx.atomic(), ctx.full, limit)
+    for _ in range(rank):
+        projected: Set[Query] = set()
+        for item in current:
+            projected.update(ctx.project(item))
+        current = _boolean_closure(current | projected, ctx.full, limit)
+    return current
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a sentence search."""
+
+    found: bool
+    rank: int
+    variables: int
+    queries_explored: int
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+def search_sentence(
+    family: Sequence[FiniteStructure],
+    target: Sequence[bool],
+    variables: int,
+    rank: int,
+    limit: int = 2_000_000,
+) -> SearchResult:
+    """Is some rank-<=r sentence's truth pattern equal to ``target``?
+
+    Sentences are the enumerated queries whose free-variable set is
+    empty.  Both directions are exact for the given rank, variable
+    budget and family: ``found=True`` exhibits a sentence, and
+    ``found=False`` certifies none exists.
+    """
+    if len(target) != len(family):
+        raise EncodingError("target length must match the family")
+    ctx = _Family(family, variables)
+    queries = enumerate_queries(family, variables, rank, limit)
+    goal = tuple(target)
+    for semantics, free in queries:
+        if free == 0 and ctx.truth_vector(semantics) == goal:
+            return SearchResult(True, rank, variables, len(queries))
+    return SearchResult(False, rank, variables, len(queries))

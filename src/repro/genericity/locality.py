@@ -1,0 +1,225 @@
+"""Hanf locality: neighborhood-type certificates for FO bounds.
+
+The third lower-bound instrument (besides EF games and exhaustive
+search), and the classical route to "connectivity is not FO" -- the
+Theorem 4.2 ingredient the paper inherits from finite model theory.
+
+Hanf locality of first-order logic (Hanf; Fagin-Stockmeyer-Vardi;
+Hella-Libkin-Nurmonen): if there is a bijection ``f`` between the
+universes of ``A`` and ``B`` preserving the isomorphism type of the
+radius-``r`` Gaifman neighborhood, with ``r = (3^d - 1) / 2``, then
+``A`` and ``B`` agree on all FO sentences of quantifier rank ``d``.
+Equal *censuses* (multisets of neighborhood types) supply such a
+bijection, so:
+
+* :func:`neighborhood_census` computes the exact census (isomorphism
+  classes decided by backtracking search on the small ball structures);
+* :func:`hanf_indistinguishable` returns a sound certificate: ``True``
+  means provably ``A ===_d B``; ``False`` means *no certificate*, not
+  distinguishability.
+
+The showcase: a single 2n-cycle and two disjoint n-cycles are
+vertex-wise indistinguishable locally (every vertex sees a path), so
+connectivity cannot be FO -- checked against the exact EF solver in
+``tests/genericity/test_locality.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EncodingError
+from repro.genericity.ef_games import FiniteStructure
+
+__all__ = [
+    "gaifman_adjacency",
+    "ball",
+    "rooted_isomorphic",
+    "neighborhood_census",
+    "hanf_radius",
+    "hanf_indistinguishable",
+]
+
+
+def gaifman_adjacency(structure: FiniteStructure) -> Dict[int, Set[int]]:
+    """The Gaifman graph: elements co-occurring in some tuple are adjacent."""
+    adjacency: Dict[int, Set[int]] = {v: set() for v in structure.universe}
+    for _, rows in structure.relations:
+        for row in rows:
+            for a in row:
+                for b in row:
+                    if a != b:
+                        adjacency[a].add(b)
+    return adjacency
+
+
+def ball(
+    structure: FiniteStructure,
+    center: int,
+    radius: int,
+    adjacency: Optional[Dict[int, Set[int]]] = None,
+) -> Tuple[FrozenSet[int], Dict[int, int]]:
+    """Elements within Gaifman distance ``radius`` of ``center``.
+
+    Returns (elements, distance map).
+    """
+    adjacency = adjacency if adjacency is not None else gaifman_adjacency(structure)
+    distance = {center: 0}
+    frontier = [center]
+    for step in range(1, radius + 1):
+        next_frontier = []
+        for node in frontier:
+            for neighbour in adjacency[node]:
+                if neighbour not in distance:
+                    distance[neighbour] = step
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+    return frozenset(distance), distance
+
+
+@dataclass(frozen=True)
+class _Rooted:
+    """A ball as a rooted induced substructure."""
+
+    elements: Tuple[int, ...]
+    root: int
+    distances: Tuple[int, ...]
+    relations: Tuple[Tuple[str, FrozenSet[Tuple[int, ...]]], ...]
+
+
+def _induced(structure: FiniteStructure, elements: FrozenSet[int], root: int,
+             distance: Dict[int, int]) -> _Rooted:
+    ordered = tuple(sorted(elements))
+    kept = []
+    for name, rows in structure.relations:
+        inside = frozenset(row for row in rows if all(v in elements for v in row))
+        kept.append((name, inside))
+    return _Rooted(
+        ordered,
+        root,
+        tuple(distance[v] for v in ordered),
+        tuple(kept),
+    )
+
+
+def rooted_isomorphic(a: _Rooted, b: _Rooted) -> bool:
+    """Exact isomorphism of rooted balls (roots map to roots).
+
+    Backtracking over distance-respecting bijections; exact, intended
+    for the small neighborhoods of locality arguments.
+    """
+    if len(a.elements) != len(b.elements):
+        return False
+    dist_a = dict(zip(a.elements, a.distances))
+    dist_b = dict(zip(b.elements, b.distances))
+    if sorted(a.distances) != sorted(b.distances):
+        return False
+    rel_a = dict(a.relations)
+    rel_b = dict(b.relations)
+    if set(rel_a) != set(rel_b):
+        return False
+    if any(len(rel_a[n]) != len(rel_b[n]) for n in rel_a):
+        return False
+
+    candidates: Dict[int, List[int]] = {}
+    for x in a.elements:
+        candidates[x] = [y for y in b.elements if dist_b[y] == dist_a[x]]
+
+    order = sorted(a.elements, key=lambda x: len(candidates[x]))
+    # root must map to root
+    if a.root in candidates:
+        candidates[a.root] = [b.root] if dist_b.get(b.root) == dist_a[a.root] else []
+
+    mapping: Dict[int, int] = {}
+    used: Set[int] = set()
+
+    def consistent(x: int, y: int) -> bool:
+        # check all relation rows fully determined by the new pair
+        for name, rows in rel_a.items():
+            other = rel_b[name]
+            for row in rows:
+                if x in row and all(v in mapping or v == x for v in row):
+                    image = tuple(y if v == x else mapping[v] for v in row)
+                    if image not in other:
+                        return False
+            for row in other:
+                if y in row and all(v in used or v == y for v in row):
+                    inverse = {w: v for v, w in mapping.items()}
+                    inverse[y] = x
+                    preimage = tuple(inverse[v] for v in row)
+                    if preimage not in rows:
+                        return False
+        return True
+
+    def search(index: int) -> bool:
+        if index == len(order):
+            return True
+        x = order[index]
+        for y in candidates[x]:
+            if y in used:
+                continue
+            if not consistent(x, y):
+                continue
+            mapping[x] = y
+            used.add(y)
+            if search(index + 1):
+                return True
+            del mapping[x]
+            used.discard(y)
+        return False
+
+    return search(0)
+
+
+def neighborhood_census(
+    structure: FiniteStructure, radius: int
+) -> List[Tuple[_Rooted, int]]:
+    """The census: one representative per r-neighborhood type + count."""
+    adjacency = gaifman_adjacency(structure)
+    types: List[Tuple[_Rooted, int]] = []
+    for v in structure.universe:
+        elements, distance = ball(structure, v, radius, adjacency)
+        rooted = _induced(structure, elements, v, distance)
+        for i, (representative, count) in enumerate(types):
+            if rooted_isomorphic(rooted, representative):
+                types[i] = (representative, count + 1)
+                break
+        else:
+            types.append((rooted, 1))
+    return types
+
+
+def hanf_radius(rank: int) -> int:
+    """The locality radius for quantifier rank ``rank``: (3^d - 1) / 2."""
+    return (3 ** rank - 1) // 2
+
+
+def hanf_indistinguishable(
+    a: FiniteStructure, b: FiniteStructure, rank: int
+) -> bool:
+    """A sound ``A ===_rank B`` certificate via Hanf locality.
+
+    ``True``: the radius-``(3^d-1)/2`` neighborhood censuses of the two
+    structures match exactly, so a type-preserving bijection exists and
+    the duplicator wins the ``rank``-round EF game.  ``False`` only
+    means no certificate from this method (the structures may still be
+    equivalent).
+    """
+    if len(a.universe) != len(b.universe):
+        return False
+    radius = hanf_radius(rank)
+    census_a = neighborhood_census(a, radius)
+    census_b = list(neighborhood_census(b, radius))
+    if len(census_a) != len(census_b):
+        return False
+    for rooted_a, count_a in census_a:
+        for i, (rooted_b, count_b) in enumerate(census_b):
+            if count_a == count_b and rooted_isomorphic(rooted_a, rooted_b):
+                census_b.pop(i)
+                break
+        else:
+            return False
+    return not census_b

@@ -1,0 +1,87 @@
+"""Topological vs. order-generic queries (paper Section 3).
+
+After Definition 3.1 the paper observes: "our definition of a query
+corresponds naturally to a topological concept.  Consider the usual
+topology on the set Q of rationals."  The homeomorphisms of Q are the
+monotone bijections -- *increasing* (the automorphisms of ``(Q, <=)``)
+and *decreasing* (reflections).  This gives two invariance classes:
+
+* **generic** queries: closed under increasing bijections
+  (Definition 3.1's queries);
+* **topological** queries: closed under all homeomorphisms, i.e. also
+  under order reversal.
+
+Every topological query is generic; the converse fails -- ``"S has a
+point below 0"`` is generic-with-constants-free... no: consider
+``"some element of S is smaller than every other element"`` (has a
+minimum): generic, but its *reflection* asks for a maximum, so the
+query IS reflection-invariant only if min/max-existence coincide --
+they do not for half-open intervals.  :func:`classify` tests a boolean
+mapping against both families and reports where it sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.database import Database
+from repro.genericity.automorphisms import PiecewiseLinearMap, reflection
+from repro.genericity.checks import BooleanQuery, default_automorphisms
+
+__all__ = ["InvarianceReport", "classify"]
+
+
+@dataclass
+class InvarianceReport:
+    """Where a boolean mapping sits in the §3 invariance landscape."""
+
+    generic: bool  #: closed under (sampled) increasing bijections
+    topological: bool  #: additionally closed under order reversal
+    generic_witness: Optional[PiecewiseLinearMap] = None
+    reflection_witness: Optional[PiecewiseLinearMap] = None
+
+    @property
+    def kind(self) -> str:
+        if self.topological:
+            return "topological query"
+        if self.generic:
+            return "generic (order-sensitive) query"
+        return "not a query"
+
+
+def classify(
+    query: BooleanQuery,
+    database: Database,
+    count: int = 6,
+    seed: int = 0,
+    extra_maps: Sequence[PiecewiseLinearMap] = (),
+) -> InvarianceReport:
+    """Test a boolean mapping for genericity and topological invariance.
+
+    Refutations are definitive (a witness map is attached); passes are
+    property-testing evidence over the seeded family.
+    """
+    base = query(database)
+    generic = True
+    generic_witness: Optional[PiecewiseLinearMap] = None
+    increasing = list(default_automorphisms(database, count, seed)) + [
+        m for m in extra_maps if m.increasing
+    ]
+    for phi in increasing:
+        if query(phi.apply_to_database(database)) != base:
+            generic = False
+            generic_witness = phi
+            break
+
+    topological = generic
+    reflection_witness: Optional[PiecewiseLinearMap] = None
+    if generic:
+        decreasing = [reflection()] + [m for m in extra_maps if not m.increasing]
+        for phi in decreasing:
+            if query(phi.apply_to_database(database)) != base:
+                topological = False
+                reflection_witness = phi
+                break
+
+    return InvarianceReport(generic, topological, generic_witness, reflection_witness)

@@ -1,0 +1,26 @@
+"""Textual surface syntax: parse FO formulas and Datalog programs.
+
+::
+
+    from repro.lang import parse_formula, parse_program
+
+    f = parse_formula("exists y (T(x, y) and y < 5)")
+    p = parse_program("tc(x,y) :- e(x,y). tc(x,z) :- tc(x,y), e(y,z).")
+"""
+
+from repro.lang.formatter import format_formula, format_program, format_term
+from repro.lang.lexer import tokenize
+from repro.lang.linear_parser import parse_linear_expression, parse_linear_formula
+from repro.lang.parser import parse_formula, parse_program, parse_term
+
+__all__ = [
+    "tokenize",
+    "parse_formula",
+    "parse_program",
+    "parse_term",
+    "format_formula",
+    "format_program",
+    "format_term",
+    "parse_linear_expression",
+    "parse_linear_formula",
+]

@@ -1,0 +1,116 @@
+"""Pretty-printers that round-trip through the parsers.
+
+``format_formula`` and ``format_program`` emit the surface syntax of
+:mod:`repro.lang.parser`; ``parse_formula(format_formula(f))`` is
+structurally equal to ``f`` up to associativity flattening (and
+semantically equal always) -- property-tested in
+``tests/lang/test_formatter.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.core.formula import (
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+)
+from repro.core.terms import Const, Term, Var
+from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
+from repro.errors import ParseError
+
+__all__ = ["format_formula", "format_program", "format_term"]
+
+
+def format_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    value = term.value
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+#: precedence levels (higher binds tighter)
+_IFF, _IMPLIES, _OR, _AND, _UNARY = range(5)
+
+
+def _format(formula: Formula, parent_level: int) -> str:
+    text, level = _render(formula)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _render(formula: Formula) -> tuple:
+    if isinstance(formula, _Boolean):
+        return ("true" if formula.value else "false", _UNARY)
+    if isinstance(formula, Constraint):
+        a = formula.atom
+        if hasattr(a, "expr"):  # linear atom: "expr op 0" (linear surface syntax)
+            return (f"{a.expr} {a.op.value} 0", _UNARY)
+        return (
+            f"{format_term(a.left)} {a.op.value} {format_term(a.right)}",
+            _UNARY,
+        )
+    if isinstance(formula, RelationAtom):
+        args = ", ".join(format_term(t) for t in formula.args)
+        return (f"{formula.name}({args})", _UNARY)
+    if isinstance(formula, Not):
+        return (f"not {_format(formula.sub, _UNARY)}", _UNARY)
+    if isinstance(formula, And):
+        if not formula.subs:
+            return ("true", _UNARY)
+        parts = [_format(s, _AND + 1 if isinstance(s, And) else _AND) for s in formula.subs]
+        return (" and ".join(parts), _AND)
+    if isinstance(formula, Or):
+        if not formula.subs:
+            return ("false", _UNARY)
+        parts = [_format(s, _OR + 1 if isinstance(s, Or) else _OR) for s in formula.subs]
+        return (" or ".join(parts), _OR)
+    if isinstance(formula, (Exists, ForAll)):
+        word = "exists" if isinstance(formula, Exists) else "forall"
+        names = ", ".join(v.name for v in formula.variables)
+        # always parenthesize the body: a bare body starting with a
+        # negative literal ("exists v -1 < v") would not re-tokenize
+        body, _ = _render(formula.sub)
+        return (f"{word} {names} ({body})", _UNARY)
+    raise ParseError(f"cannot format formula node {type(formula).__name__}")
+
+
+def format_formula(formula: Formula) -> str:
+    """Emit a formula in the parseable surface syntax."""
+    return _format(formula, _IFF)
+
+
+def _format_literal(literal) -> str:
+    if isinstance(literal, PredicateLiteral):
+        args = ", ".join(format_term(t) for t in literal.args)
+        text = f"{literal.name}({args})"
+        return f"not {text}" if literal.negated else text
+    if isinstance(literal, ConstraintLiteral):
+        a = literal.atom
+        return f"{format_term(a.left)} {a.op.value} {format_term(a.right)}"
+    raise ParseError(f"cannot format literal {literal!r}")  # pragma: no cover
+
+
+def format_program(program: Program) -> str:
+    """Emit a Datalog program in the parseable surface syntax."""
+    lines: List[str] = []
+    for r in program.rules:
+        head_args = ", ".join(v.name for v in r.head_args)
+        head = f"{r.head_name}({head_args})"
+        if r.body:
+            body = ", ".join(_format_literal(l) for l in r.body)
+            lines.append(f"{head} :- {body}.")
+        else:
+            lines.append(f"{head}.")
+    return "\n".join(lines) + ("\n" if lines else "")

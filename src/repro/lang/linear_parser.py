@@ -1,0 +1,207 @@
+"""Parser for FO+ formulas: linear expressions in atoms.
+
+Extends the FO surface syntax with linear arithmetic in comparisons::
+
+    exists y (R(x, y) and x + y <= 1)
+    2*x - y = 1/2
+    forall x (S(x) implies x + x < 10)
+
+Grammar of linear expressions (no nesting needed -- the language is
+linear)::
+
+    lexpr   := ["-"] lterm (("+" | "-") lterm)*
+    lterm   := number "*" ident | number | ident
+
+Comparisons between two ``lexpr`` produce
+:class:`~repro.linear.latoms.LinAtom` constraints (``!=`` expands to a
+disjunction of strict atoms).  The boolean/quantifier grammar is shared
+with :func:`repro.lang.parser.parse_formula`; relation atoms are
+recognized exactly as there.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    RelationAtom,
+    conj,
+    disj,
+)
+from repro.core.terms import Const, Term, Var
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import _Cursor
+from repro.linear.latoms import LinExpr, LinOp, lin_ne, linatom
+
+__all__ = ["parse_linear_formula", "parse_linear_expression"]
+
+
+def parse_linear_formula(text: str) -> Formula:
+    """Parse an FO+ formula (evaluate with ``theory=LINEAR``)."""
+    cursor = _Cursor(tokenize(text))
+    formula = _parse_iff(cursor)
+    cursor.expect("end")
+    return formula
+
+
+def parse_linear_expression(text: str) -> LinExpr:
+    """Parse a standalone linear expression."""
+    cursor = _Cursor(tokenize(text))
+    expr = _parse_lexpr(cursor)
+    cursor.expect("end")
+    return expr
+
+
+# --------------------------------------------------------------- connectives
+
+
+def _parse_iff(cursor: _Cursor) -> Formula:
+    left = _parse_implies(cursor)
+    while cursor.accept("keyword", "iff"):
+        left = left.iff(_parse_implies(cursor))
+    return left
+
+
+def _parse_implies(cursor: _Cursor) -> Formula:
+    left = _parse_or(cursor)
+    if cursor.accept("keyword", "implies"):
+        return left.implies(_parse_implies(cursor))
+    return left
+
+
+def _parse_or(cursor: _Cursor) -> Formula:
+    parts = [_parse_and(cursor)]
+    while cursor.accept("keyword", "or"):
+        parts.append(_parse_and(cursor))
+    return disj(*parts)
+
+
+def _parse_and(cursor: _Cursor) -> Formula:
+    parts = [_parse_unary(cursor)]
+    while cursor.accept("keyword", "and"):
+        parts.append(_parse_unary(cursor))
+    return conj(*parts)
+
+
+def _parse_unary(cursor: _Cursor) -> Formula:
+    if cursor.accept("keyword", "not"):
+        return Not(_parse_unary(cursor))
+    if cursor.accept("keyword", "true"):
+        return TRUE
+    if cursor.accept("keyword", "false"):
+        return FALSE
+    quantifier = cursor.accept("keyword", "exists") or cursor.accept(
+        "keyword", "forall"
+    )
+    if quantifier:
+        names = [cursor.expect("ident")[1]]
+        while cursor.accept("punct", ","):
+            names.append(cursor.expect("ident")[1])
+        body = _parse_unary(cursor)
+        node = Exists if quantifier[1] == "exists" else ForAll
+        return node(tuple(Var(n) for n in names), body)
+    # a '(' always opens a subformula: linear expressions are paren-free
+    if cursor.accept("punct", "("):
+        inner = _parse_iff(cursor)
+        cursor.expect("punct", ")")
+        return inner
+    return _parse_atom(cursor)
+
+
+# --------------------------------------------------------------------- atoms
+
+
+def _parse_atom(cursor: _Cursor) -> Formula:
+    token = cursor.peek()
+    if token[0] == "ident" and cursor.tokens[cursor.index + 1][1] == "(":
+        name = cursor.advance()[1]
+        cursor.expect("punct", "(")
+        args: List[Term] = []
+        if not cursor.accept("punct", ")"):
+            args.append(_parse_arg(cursor))
+            while cursor.accept("punct", ","):
+                args.append(_parse_arg(cursor))
+            cursor.expect("punct", ")")
+        return RelationAtom(name, tuple(args))
+    left = _parse_lexpr(cursor)
+    op_token = cursor.expect("op")
+    right = _parse_lexpr(cursor)
+    return _make_comparison(left, op_token[1], right, op_token[2])
+
+
+def _parse_arg(cursor: _Cursor) -> Term:
+    token = cursor.peek()
+    if token[0] == "ident":
+        cursor.advance()
+        return Var(token[1])
+    if token[0] == "number":
+        cursor.advance()
+        return Const(Fraction(token[1]))
+    raise ParseError(f"expected a term at position {token[2]}")
+
+
+def _make_comparison(left: LinExpr, op: str, right: LinExpr, position: int) -> Formula:
+    diff = left - right
+    if op == "<":
+        made = linatom(diff, LinOp.LT)
+    elif op == "<=":
+        made = linatom(diff, LinOp.LE)
+    elif op == "=":
+        made = linatom(diff, LinOp.EQ)
+    elif op == ">":
+        made = linatom(right - left, LinOp.LT)
+    elif op == ">=":
+        made = linatom(right - left, LinOp.LE)
+    elif op == "!=":
+        parts = lin_ne(left, right)
+        if parts and isinstance(parts[0], bool):  # pragma: no cover - ground
+            return TRUE if parts[0] else FALSE
+        return disj(*(Constraint(p) for p in parts)) if parts else FALSE
+    else:  # pragma: no cover - lexer emits only the above
+        raise ParseError(f"unknown comparison {op!r} at position {position}")
+    if isinstance(made, bool):
+        return TRUE if made else FALSE
+    return Constraint(made)
+
+
+# --------------------------------------------------------- linear expressions
+
+
+def _parse_lexpr(cursor: _Cursor) -> LinExpr:
+    negative = bool(cursor.accept("arith", "-"))
+    expr = _parse_lterm(cursor)
+    if negative:
+        expr = expr.scale(Fraction(-1))
+    while True:
+        if cursor.accept("arith", "+"):
+            expr = expr + _parse_lterm(cursor)
+        elif cursor.accept("arith", "-"):
+            expr = expr - _parse_lterm(cursor)
+        else:
+            return expr
+
+
+def _parse_lterm(cursor: _Cursor) -> LinExpr:
+    token = cursor.peek()
+    if token[0] == "number":
+        cursor.advance()
+        coefficient = Fraction(token[1])
+        if cursor.accept("arith", "*"):
+            name = cursor.expect("ident")[1]
+            return LinExpr.make({name: coefficient})
+        return LinExpr.of_const(coefficient)
+    if token[0] == "ident":
+        cursor.advance()
+        return LinExpr.of_var(token[1])
+    raise ParseError(
+        f"expected a linear term at position {token[2]}, found {token[1]!r}"
+    )

@@ -1,0 +1,265 @@
+"""Parsers for the textual FO and Datalog surface syntaxes.
+
+FO formulas::
+
+    exists y (T(x, y) and y < 5)
+    forall a, b (a < b implies exists m (a < m and m < b))
+    not S(x) or x = 1/2
+
+Grammar (precedence low to high: ``iff`` < ``implies`` < ``or`` <
+``and`` < ``not`` / quantifiers / atoms)::
+
+    formula     := iff
+    iff         := implies ("iff" implies)*
+    implies     := or ("implies" or)*          (right-associative)
+    or          := and ("or" and)*
+    and         := unary ("and" unary)*
+    unary       := "not" unary
+                 | ("exists" | "forall") vars formula
+                 | "(" formula ")"
+                 | atom
+    vars        := ident ("," ident)*
+    atom        := "true" | "false"
+                 | term OP term
+                 | ident "(" terms ")"
+    term        := ident | number
+
+Datalog programs: a sequence of rules ``head(vars) :- body.`` where the
+body mixes positive/negated predicate literals and comparison atoms::
+
+    tc(x, y) :- e(x, y).
+    tc(x, z) :- tc(x, y), e(y, z).
+    far(x)   :- v(x), not tc(x, y), 0 < y.
+
+EDB predicates are those never appearing in a head; their arities are
+inferred from use.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.atoms import atom as make_atom
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    RelationAtom,
+    conj,
+    constraint,
+    disj,
+)
+from repro.core.terms import Const, Term, Var
+from repro.datalog.ast import (
+    ConstraintLiteral,
+    Literal,
+    PredicateLiteral,
+    Program,
+    Rule,
+)
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse_formula", "parse_program", "parse_term"]
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token[0] != kind or (text is not None and token[1] != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} at position {token[2]}, found {token[1]!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token[0] == kind and (text is None or token[1] == text):
+            return self.advance()
+        return None
+
+
+def _parse_single_term(cursor: _Cursor) -> Term:
+    token = cursor.peek()
+    if token[0] == "ident":
+        cursor.advance()
+        return Var(token[1])
+    if token[0] == "number":
+        cursor.advance()
+        return Const(Fraction(token[1]))
+    raise ParseError(f"expected a term at position {token[2]}, found {token[1]!r}")
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable or rational literal)."""
+    cursor = _Cursor(tokenize(text))
+    term = _parse_single_term(cursor)
+    cursor.expect("end")
+    return term
+
+
+# ------------------------------------------------------------------ formulas
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse an FO formula from the surface syntax."""
+    cursor = _Cursor(tokenize(text))
+    formula = _parse_iff(cursor)
+    cursor.expect("end")
+    return formula
+
+
+def _parse_iff(cursor: _Cursor) -> Formula:
+    left = _parse_implies(cursor)
+    while cursor.accept("keyword", "iff"):
+        right = _parse_implies(cursor)
+        left = left.iff(right)
+    return left
+
+
+def _parse_implies(cursor: _Cursor) -> Formula:
+    left = _parse_or(cursor)
+    if cursor.accept("keyword", "implies"):
+        right = _parse_implies(cursor)  # right-associative
+        return left.implies(right)
+    return left
+
+
+def _parse_or(cursor: _Cursor) -> Formula:
+    parts = [_parse_and(cursor)]
+    while cursor.accept("keyword", "or"):
+        parts.append(_parse_and(cursor))
+    return disj(*parts)
+
+
+def _parse_and(cursor: _Cursor) -> Formula:
+    parts = [_parse_unary(cursor)]
+    while cursor.accept("keyword", "and"):
+        parts.append(_parse_unary(cursor))
+    return conj(*parts)
+
+
+def _parse_unary(cursor: _Cursor) -> Formula:
+    if cursor.accept("keyword", "not"):
+        return Not(_parse_unary(cursor))
+    if cursor.accept("keyword", "true"):
+        return TRUE
+    if cursor.accept("keyword", "false"):
+        return FALSE
+    quantifier = cursor.accept("keyword", "exists") or cursor.accept(
+        "keyword", "forall"
+    )
+    if quantifier:
+        names = [cursor.expect("ident")[1]]
+        while cursor.accept("punct", ","):
+            names.append(cursor.expect("ident")[1])
+        body = _parse_unary(cursor)
+        node = Exists if quantifier[1] == "exists" else ForAll
+        return node(tuple(Var(n) for n in names), body)
+    if cursor.accept("punct", "("):
+        inner = _parse_iff(cursor)
+        cursor.expect("punct", ")")
+        return inner
+    return _parse_atom(cursor)
+
+
+def _parse_atom(cursor: _Cursor) -> Formula:
+    token = cursor.peek()
+    if token[0] == "ident" and cursor.tokens[cursor.index + 1][1] == "(":
+        name = cursor.advance()[1]
+        cursor.expect("punct", "(")
+        args: List[Term] = []
+        if not cursor.accept("punct", ")"):
+            args.append(_parse_single_term(cursor))
+            while cursor.accept("punct", ","):
+                args.append(_parse_single_term(cursor))
+            cursor.expect("punct", ")")
+        return RelationAtom(name, tuple(args))
+    left = _parse_single_term(cursor)
+    op = cursor.expect("op")[1]
+    right = _parse_single_term(cursor)
+    return constraint(make_atom(left, op, right))
+
+
+# ------------------------------------------------------------------ datalog
+
+
+def parse_program(text: str) -> Program:
+    """Parse a Datalog(not) program; EDB = predicates never in a head."""
+    cursor = _Cursor(tokenize(text))
+    rules: List[Rule] = []
+    uses: Dict[str, int] = {}
+    while cursor.peek()[0] != "end":
+        rules.append(_parse_rule(cursor, uses))
+    heads = {r.head_name for r in rules}
+    edb = {name: arity for name, arity in uses.items() if name not in heads}
+    return Program(rules, edb=edb)
+
+
+def _parse_rule(cursor: _Cursor, uses: Dict[str, int]) -> Rule:
+    head_name = cursor.expect("ident")[1]
+    cursor.expect("punct", "(")
+    head_args: List[Var] = []
+    if not cursor.accept("punct", ")"):
+        while True:
+            token = cursor.expect("ident")
+            head_args.append(Var(token[1]))
+            if not cursor.accept("punct", ","):
+                break
+        cursor.expect("punct", ")")
+    body: List[Literal] = []
+    if cursor.accept("punct", ":-"):
+        while True:
+            body.append(_parse_literal(cursor, uses))
+            if not cursor.accept("punct", ","):
+                break
+    cursor.expect("punct", ".")
+    return Rule(head_name, tuple(head_args), tuple(body))
+
+
+def _parse_literal(cursor: _Cursor, uses: Dict[str, int]) -> Literal:
+    negated = bool(cursor.accept("keyword", "not"))
+    token = cursor.peek()
+    if token[0] == "ident" and cursor.tokens[cursor.index + 1][1] == "(":
+        name = cursor.advance()[1]
+        cursor.expect("punct", "(")
+        args: List[Term] = []
+        if not cursor.accept("punct", ")"):
+            args.append(_parse_single_term(cursor))
+            while cursor.accept("punct", ","):
+                args.append(_parse_single_term(cursor))
+            cursor.expect("punct", ")")
+        known = uses.setdefault(name, len(args))
+        if known != len(args):
+            raise ParseError(
+                f"predicate {name} used with arities {known} and {len(args)}"
+            )
+        return PredicateLiteral(name, tuple(args), negated=negated)
+    if negated:
+        raise ParseError(
+            f"'not' must precede a predicate literal (position {token[2]})"
+        )
+    left = _parse_single_term(cursor)
+    op = cursor.expect("op")[1]
+    right = _parse_single_term(cursor)
+    made = make_atom(left, op, right)
+    if isinstance(made, bool):
+        raise ParseError(f"trivial constraint near position {token[2]}; drop it")
+    return ConstraintLiteral(made)

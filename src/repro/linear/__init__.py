@@ -1,0 +1,76 @@
+"""Linear constraints and FO+ (paper Section 4).
+
+The generic engine (:class:`~repro.core.gtuple.GTuple`,
+:class:`~repro.core.relation.Relation`, the formula AST and
+:func:`~repro.core.evaluator.evaluate`) is theory-parametric; this
+package supplies the linear theory:
+
+* :mod:`repro.linear.latoms` -- linear expressions and atoms;
+* :mod:`repro.linear.theory` -- Fourier-Motzkin projection,
+  satisfiability, witnesses (:data:`LINEAR`);
+* :mod:`repro.linear.region` -- exact topological connectivity of
+  generalized relations (the query of Theorem 4.3).
+
+Evaluating an FO+ query::
+
+    from repro.core import Database, Relation, evaluate, exists, rel, constraint
+    from repro.linear import LINEAR, lin_le, lin_lt
+
+    db = Database(theory=LINEAR)
+    db["R"] = Relation.from_atoms(
+        ("x", "y"), [[lin_le({"x": 1, "y": 1}, 1)]], LINEAR
+    )  # x + y <= 1
+    out = evaluate(exists("y", rel("R", "x", "y")), db, theory=LINEAR)
+"""
+
+from repro.linear.latoms import (
+    LinAtom,
+    LinExpr,
+    LinOp,
+    from_dense_atom,
+    lin_eq,
+    lin_ge,
+    lin_gt,
+    lin_le,
+    lin_lt,
+    lin_ne,
+    linatom,
+    linexpr,
+)
+from repro.linear.region import (
+    closure,
+    closure_tuple,
+    connected_components,
+    count_components,
+    gluing_graph,
+    is_connected,
+    tuples_glued,
+)
+from repro.linear.theory import LINEAR, LinearTheory
+from repro.linear.translate import dense_to_linear_formula, dense_to_linear_relation
+
+__all__ = [
+    "LinAtom",
+    "LinExpr",
+    "LinOp",
+    "from_dense_atom",
+    "lin_eq",
+    "lin_ge",
+    "lin_gt",
+    "lin_le",
+    "lin_lt",
+    "lin_ne",
+    "linatom",
+    "linexpr",
+    "closure",
+    "closure_tuple",
+    "connected_components",
+    "count_components",
+    "gluing_graph",
+    "is_connected",
+    "tuples_glued",
+    "LINEAR",
+    "LinearTheory",
+    "dense_to_linear_formula",
+    "dense_to_linear_relation",
+]

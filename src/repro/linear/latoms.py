@@ -1,0 +1,312 @@
+"""Linear terms and atoms: the language of FO+ (paper Section 4).
+
+FO+ extends FO with a built-in addition ``+`` over Q.  Its atomic
+constraints are linear: ``a1*x1 + ... + ak*xk + c  op  0`` with exact
+rational coefficients and ``op`` in ``{<, <=, =}`` (``!=`` is a surface
+form, expanded into a disjunction).  By [Tar51] restricted to the
+additive fragment, this theory admits quantifier elimination --
+implemented as Fourier-Motzkin in :mod:`repro.linear.theory`.
+
+:class:`LinExpr` is an immutable normalized linear expression;
+:class:`LinAtom` implements the same structural protocol as the
+dense-order :class:`~repro.core.atoms.Atom` (``variables``,
+``constants``, ``substitute``, ``negate``, ``expand_ne``, ``evaluate``),
+so formulas and the generic engine work unchanged over either theory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.atoms import Atom, Op
+from repro.core.terms import Const, Term, Var, as_fraction
+from repro.errors import TheoryError
+
+__all__ = [
+    "LinExpr",
+    "LinAtom",
+    "LinOp",
+    "linexpr",
+    "linatom",
+    "lin_lt",
+    "lin_le",
+    "lin_eq",
+    "lin_ne",
+    "lin_ge",
+    "lin_gt",
+    "from_dense_atom",
+]
+
+
+class LinOp(enum.Enum):
+    """Comparisons of a linear expression against zero."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """A normalized linear expression ``sum(coeff * var) + const``.
+
+    ``coeffs`` is sorted by variable name and contains no zero
+    coefficients, so structural equality is semantic equality.
+    """
+
+    coeffs: Tuple[Tuple[str, Fraction], ...]
+    const: Fraction
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def make(cls, coeffs: Mapping[str, object] = (), const: object = 0) -> "LinExpr":
+        cleaned: Dict[str, Fraction] = {}
+        for name, coeff in dict(coeffs).items():
+            value = as_fraction(coeff)
+            if value:
+                cleaned[name] = value
+        return cls(tuple(sorted(cleaned.items())), as_fraction(const))
+
+    @classmethod
+    def of_var(cls, name: str) -> "LinExpr":
+        return cls(((name, Fraction(1)),), Fraction(0))
+
+    @classmethod
+    def of_const(cls, value: object) -> "LinExpr":
+        return cls((), as_fraction(value))
+
+    @classmethod
+    def of_term(cls, term: Term) -> "LinExpr":
+        if isinstance(term, Var):
+            return cls.of_var(term.name)
+        return cls.of_const(term.value)
+
+    # -------------------------------------------------------------- arithmetic
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for name, coeff in other.coeffs:
+            coeffs[name] = coeffs.get(name, Fraction(0)) + coeff
+        return LinExpr.make(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(Fraction(-1))
+
+    def scale(self, factor: Fraction) -> "LinExpr":
+        if not factor:
+            return LinExpr.of_const(0)
+        return LinExpr(
+            tuple((n, c * factor) for n, c in self.coeffs), self.const * factor
+        )
+
+    def coefficient(self, name: str) -> Fraction:
+        for n, c in self.coeffs:
+            if n == name:
+                return c
+        return Fraction(0)
+
+    def drop(self, name: str) -> "LinExpr":
+        """The expression with variable ``name`` removed."""
+        return LinExpr(tuple((n, c) for n, c in self.coeffs if n != name), self.const)
+
+    def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace variables by linear expressions."""
+        out = LinExpr.of_const(self.const)
+        for name, coeff in self.coeffs:
+            if name in mapping:
+                out = out + mapping[name].scale(coeff)
+            else:
+                out = out + LinExpr(((name, coeff),), Fraction(0))
+        return out
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(Var(n) for n, _ in self.coeffs)
+
+    def evaluate(self, assignment: Mapping[Var, Fraction]) -> Fraction:
+        total = self.const
+        for name, coeff in self.coeffs:
+            try:
+                total += coeff * assignment[Var(name)]
+            except KeyError:
+                raise TheoryError(f"no value for variable {name} in assignment") from None
+        return total
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return str(self.const)
+        parts: List[str] = []
+        for name, coeff in self.coeffs:
+            if coeff == 1:
+                text = name
+            elif coeff == -1:
+                text = f"-{name}"
+            else:
+                text = f"{coeff}*{name}"
+            if parts and not text.startswith("-"):
+                parts.append(f"+ {text}")
+            elif parts:
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(text)
+        if self.const:
+            sign = "+" if self.const > 0 else "-"
+            parts.append(f"{sign} {abs(self.const)}")
+        return " ".join(parts)
+
+
+def linexpr(value: Union[LinExpr, Mapping, Term, str, int, Fraction]) -> LinExpr:
+    """Coerce mappings/terms/names/numbers to a :class:`LinExpr`."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Mapping):
+        return LinExpr.make(value)
+    if isinstance(value, str):
+        return LinExpr.of_var(value)
+    if isinstance(value, (Var, Const)):
+        return LinExpr.of_term(value)
+    return LinExpr.of_const(value)
+
+
+@dataclass(frozen=True)
+class LinAtom:
+    """A normalized linear atom ``expr op 0``.
+
+    Normalization divides by the absolute value of the leading
+    coefficient (and for equalities makes it ``+1``), so equal
+    half-planes compare equal structurally.
+    """
+
+    expr: LinExpr
+    op: LinOp
+
+    # ------------------------------------------------------------ protocol
+
+    @property
+    def variables(self) -> FrozenSet[Var]:
+        return self.expr.variables()
+
+    @property
+    def constants(self) -> FrozenSet[Fraction]:
+        """Constants of the atom's normal form (the constant term)."""
+        if self.expr.const:
+            return frozenset({self.expr.const})
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[Var, Term]) -> Union["LinAtom", bool]:
+        replacement = {
+            v.name: LinExpr.of_term(t) for v, t in mapping.items()
+        }
+        return linatom(self.expr.substitute(replacement), self.op)
+
+    def negate(self) -> List["LinAtom"]:
+        """Negation as a disjunction of linear atoms."""
+        # self.expr has at least one variable, so linatom() cannot fold
+        if self.op is LinOp.LT:  # not(e < 0) == -e <= 0
+            return [linatom(self.expr.scale(Fraction(-1)), LinOp.LE)]
+        if self.op is LinOp.LE:  # not(e <= 0) == -e < 0
+            return [linatom(self.expr.scale(Fraction(-1)), LinOp.LT)]
+        # not(e = 0) == e < 0 or -e < 0
+        return [
+            linatom(self.expr, LinOp.LT),
+            linatom(self.expr.scale(Fraction(-1)), LinOp.LT),
+        ]
+
+    def expand_ne(self) -> List["LinAtom"]:
+        """Kept for protocol compatibility; LinAtom has no NE form."""
+        return [self]
+
+    def evaluate(self, assignment: Mapping[Var, Fraction]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.op is LinOp.LT:
+            return value < 0
+        if self.op is LinOp.LE:
+            return value <= 0
+        return value == 0
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.op.value} 0"
+
+
+def linatom(expr: LinExpr, op: LinOp) -> Union[LinAtom, bool]:
+    """Normalize ``expr op 0``; folds ground atoms to booleans."""
+    if expr.is_constant:
+        if op is LinOp.LT:
+            return expr.const < 0
+        if op is LinOp.LE:
+            return expr.const <= 0
+        return expr.const == 0
+    lead = expr.coeffs[0][1]
+    if op is LinOp.EQ:
+        expr = expr.scale(Fraction(1) / lead)
+    else:
+        expr = expr.scale(Fraction(1) / abs(lead))
+    return LinAtom(expr, op)
+
+
+def _compare(left, right, op: LinOp) -> Union[LinAtom, bool]:
+    return linatom(linexpr(left) - linexpr(right), op)
+
+
+def lin_lt(left, right) -> Union[LinAtom, bool]:
+    """``left < right`` over linear expressions."""
+    return _compare(left, right, LinOp.LT)
+
+
+def lin_le(left, right) -> Union[LinAtom, bool]:
+    """``left <= right``"""
+    return _compare(left, right, LinOp.LE)
+
+
+def lin_eq(left, right) -> Union[LinAtom, bool]:
+    """``left = right``"""
+    return _compare(left, right, LinOp.EQ)
+
+
+def lin_ge(left, right) -> Union[LinAtom, bool]:
+    """``left >= right``"""
+    return _compare(right, left, LinOp.LE)
+
+
+def lin_gt(left, right) -> Union[LinAtom, bool]:
+    """``left > right``"""
+    return _compare(right, left, LinOp.LT)
+
+
+def lin_ne(left, right) -> List[LinAtom]:
+    """``left != right`` as a disjunction (list) of strict atoms."""
+    diff = linexpr(left) - linexpr(right)
+    parts = []
+    for candidate in (linatom(diff, LinOp.LT), linatom(diff.scale(Fraction(-1)), LinOp.LT)):
+        if candidate is True:
+            return [candidate]  # pragma: no cover - strict ground atom pairs
+        if candidate is not False:
+            parts.append(candidate)
+    return parts
+
+
+def from_dense_atom(a: Atom) -> Union[LinAtom, bool, List[LinAtom]]:
+    """Translate a dense-order atom into the linear language.
+
+    NE atoms return a *list* (disjunction); others a single atom.
+    """
+    left = LinExpr.of_term(a.left)
+    right = LinExpr.of_term(a.right)
+    if a.op is Op.LT:
+        return linatom(left - right, LinOp.LT)
+    if a.op is Op.LE:
+        return linatom(left - right, LinOp.LE)
+    if a.op is Op.EQ:
+        return linatom(left - right, LinOp.EQ)
+    if a.op is Op.NE:
+        return lin_ne(left, right)
+    raise TheoryError(f"unnormalized dense atom {a}")  # pragma: no cover

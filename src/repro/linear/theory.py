@@ -1,0 +1,235 @@
+"""The linear constraint theory: Fourier-Motzkin elimination over Q.
+
+FO+ (paper Section 4) is first-order logic with linear constraints.
+Because the structure ``(Q, +, <=)`` is the *additive* fragment of
+Tarski's decidable theory of the reals [Tar51], quantifier elimination
+does not need cylindrical algebraic decomposition: Fourier-Motzkin
+elimination with strict/weak bookkeeping is complete.
+
+:class:`LinearTheory` plugs this into the generic engine: generalized
+tuples, relations, formulas and the Datalog engine all work unchanged
+with linear atoms.  Satisfiability of a conjunction is decided by
+eliminating every variable and folding the resulting ground atoms;
+witnesses are produced by back-substitution through the elimination
+order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.terms import Const, Term, Var
+from repro.core.theory import ConstraintTheory
+from repro.errors import TheoryError
+from repro.linear.latoms import LinAtom, LinExpr, LinOp, lin_eq, linatom
+
+__all__ = ["LinearTheory", "LINEAR"]
+
+
+def _solve_for(a: LinAtom, name: str) -> Tuple[str, LinExpr, bool]:
+    """Rewrite ``a`` as a bound on variable ``name``.
+
+    Returns ``(kind, bound_expr, strict)`` with kind in
+    ``{"lower", "upper", "equal"}`` such that the atom is equivalent to
+    ``var (>|>=) bound``, ``var (<|<=) bound`` or ``var = bound``.
+    """
+    coeff = a.expr.coefficient(name)
+    if not coeff:
+        raise TheoryError(f"atom {a} does not mention {name}")  # pragma: no cover
+    bound = a.expr.drop(name).scale(Fraction(-1) / coeff)
+    if a.op is LinOp.EQ:
+        return ("equal", bound, False)
+    strict = a.op is LinOp.LT
+    if coeff > 0:  # coeff*var + rest op 0  =>  var op bound
+        return ("upper", bound, strict)
+    return ("lower", bound, strict)
+
+
+class LinearTheory(ConstraintTheory):
+    """Conjunctions of linear atoms, with Fourier-Motzkin projection."""
+
+    name = "linear"
+
+    def coerce_atom(self, a: Union[LinAtom, bool]) -> Union[LinAtom, bool]:
+        if isinstance(a, bool):
+            return a
+        if not isinstance(a, LinAtom):
+            raise TheoryError(f"not a linear atom: {a!r}")
+        return a
+
+    def atom_variables(self, a: LinAtom) -> FrozenSet[Var]:
+        return a.variables
+
+    def atom_constants(self, a: LinAtom) -> FrozenSet[Fraction]:
+        return a.constants
+
+    def negate_atom(self, a: LinAtom) -> List[LinAtom]:
+        return a.negate()
+
+    def substitute_atom(self, a: LinAtom, mapping: Mapping[Var, Term]) -> Union[LinAtom, bool]:
+        return a.substitute(mapping)
+
+    def equality_atom(self, left: Term, right: Term) -> Union[LinAtom, bool]:
+        return lin_eq(LinExpr.of_term(left), LinExpr.of_term(right))
+
+    def weaken_atom(self, a: LinAtom) -> LinAtom:
+        if a.op is LinOp.LT:
+            return LinAtom(a.expr, LinOp.LE)
+        return a
+
+    def evaluate_atom(self, a: LinAtom, assignment: Mapping[Var, Fraction]) -> bool:
+        return a.evaluate(assignment)
+
+    # ------------------------------------------------------------- projection
+
+    def project_out(self, conjunction: Sequence[LinAtom], var: Var) -> List[List[LinAtom]]:
+        """Fourier-Motzkin elimination of one variable.
+
+        An equality pins the variable and is substituted; otherwise each
+        lower bound is combined with each upper bound, strict when
+        either side is strict.  The result is a single conjunction (no
+        case splits) and may be unsatisfiable only through ground
+        folding, reported as an empty disjunction.
+        """
+        name = var.name
+        keep: List[LinAtom] = []
+        lowers: List[Tuple[LinExpr, bool]] = []
+        uppers: List[Tuple[LinExpr, bool]] = []
+        pin: Optional[LinExpr] = None
+        pin_atom: Optional[LinAtom] = None
+        for a in conjunction:
+            if not a.expr.coefficient(name):
+                keep.append(a)
+                continue
+            kind, bound, strict = _solve_for(a, name)
+            if kind == "equal":
+                if pin is None:
+                    pin, pin_atom = bound, a
+                else:
+                    lowers.append((bound, False))
+                    uppers.append((bound, False))
+            elif kind == "lower":
+                lowers.append((bound, strict))
+            else:
+                uppers.append((bound, strict))
+        if pin is not None:
+            out: List[LinAtom] = []
+            replacement = {name: pin}
+            for a in conjunction:
+                if a is pin_atom:
+                    continue
+                sub = linatom(a.expr.substitute(replacement), a.op)
+                if sub is True:
+                    continue
+                if sub is False:
+                    return []
+                out.append(sub)
+            return [out]
+        for low, low_strict in lowers:
+            for high, high_strict in uppers:
+                op = LinOp.LT if (low_strict or high_strict) else LinOp.LE
+                made = linatom(low - high, op)
+                if made is True:
+                    continue
+                if made is False:
+                    return []
+                keep.append(made)
+        return [keep]
+
+    # ---------------------------------------------------------- satisfiability
+
+    def is_satisfiable(self, conjunction: Iterable[LinAtom]) -> bool:
+        atoms = list(conjunction)
+        while True:
+            names = sorted({n for a in atoms for n, _ in a.expr.coeffs})
+            if not names:
+                return True  # non-folding atoms always mention a variable
+            cases = self.project_out(atoms, Var(names[-1]))
+            if not cases:
+                return False
+            [atoms] = cases
+
+    def entails(self, conjunction: Iterable[LinAtom], a: LinAtom) -> bool:
+        atoms = list(conjunction)
+        if not self.is_satisfiable(atoms):
+            return True
+        for disjunct in a.negate():
+            if self.is_satisfiable(atoms + [disjunct]):
+                return False
+        return True
+
+    def canonicalize(self, conjunction: Iterable[LinAtom]) -> FrozenSet[LinAtom]:
+        """Normalized-atom set with entailed atoms pruned.
+
+        Cheaper than a true canonical form (which would need a full
+        redundancy analysis); sound because only implied atoms are
+        dropped.
+        """
+        atoms = list(dict.fromkeys(conjunction))
+        kept: List[LinAtom] = []
+        for i, a in enumerate(atoms):
+            others = kept + atoms[i + 1 :]
+            if others and self.entails(others, a):
+                continue
+            kept.append(a)
+        return frozenset(kept)
+
+    # ----------------------------------------------------------------- solve
+
+    def solve(self, conjunction: Iterable[LinAtom]) -> Optional[Dict[Var, Fraction]]:
+        atoms = list(conjunction)
+        if not self.is_satisfiable(atoms):
+            return None
+        names = sorted({n for a in atoms for n, _ in a.expr.coeffs})
+        return self._solve_ordered(atoms, names)
+
+    def _solve_ordered(
+        self, atoms: List[LinAtom], names: List[str]
+    ) -> Dict[Var, Fraction]:
+        if not names:
+            return {}
+        name = names[-1]
+        cases = self.project_out(atoms, Var(name))
+        if not cases:  # pragma: no cover - caller checked satisfiability
+            raise TheoryError("projection of a satisfiable system became empty")
+        [reduced] = cases
+        witness = self._solve_ordered(reduced, names[:-1])
+        lo: Optional[Fraction] = None
+        hi: Optional[Fraction] = None
+        lo_strict = hi_strict = False
+        pin: Optional[Fraction] = None
+        for a in atoms:
+            if not a.expr.coefficient(name):
+                continue
+            kind, bound, strict = _solve_for(a, name)
+            value = bound.evaluate(witness)
+            if kind == "equal":
+                pin = value
+            elif kind == "lower":
+                if lo is None or value > lo or (value == lo and strict):
+                    lo, lo_strict = value, strict
+            else:
+                if hi is None or value < hi or (value == hi and strict):
+                    hi, hi_strict = value, strict
+        if pin is not None:
+            choice = pin
+        elif lo is None and hi is None:
+            choice = Fraction(0)
+        elif lo is None:
+            choice = hi - 1
+        elif hi is None:
+            choice = lo + 1
+        elif lo == hi:
+            if lo_strict or hi_strict:  # pragma: no cover - unsat, filtered earlier
+                raise TheoryError("empty interval for witness")
+            choice = lo
+        else:
+            choice = (lo + hi) / 2
+        witness = dict(witness)
+        witness[Var(name)] = choice
+        return witness
+
+
+#: the shared linear theory instance
+LINEAR = LinearTheory()

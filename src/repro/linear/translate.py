@@ -1,0 +1,83 @@
+"""Embedding FO into FO+: dense-order formulas/relations as linear ones.
+
+The dense-order language is a sublanguage of the linear one (every
+order atom ``x <= y`` is the linear atom ``x - y <= 0``).  These
+translators make the inclusion executable:
+
+* :func:`dense_to_linear_formula` rewrites every constraint atom of a
+  formula (relation atoms are left alone -- point the evaluated query
+  at a linear database);
+* :func:`dense_to_linear_relation` re-types a generalized relation.
+
+Used by the cross-theory integration tests (two decision procedures
+cross-checking each other) and to run the FO topology operators over
+linear databases.
+"""
+
+from __future__ import annotations
+
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+)
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import TheoryError
+from repro.linear.latoms import from_dense_atom
+from repro.linear.theory import LINEAR
+
+__all__ = ["dense_to_linear_formula", "dense_to_linear_relation"]
+
+
+def dense_to_linear_formula(formula: Formula) -> Formula:
+    """Rewrite dense-order constraint atoms into linear atoms."""
+    if isinstance(formula, _Boolean):
+        return formula
+    if isinstance(formula, Constraint):
+        linear = from_dense_atom(formula.atom)
+        if isinstance(linear, bool):
+            return TRUE if linear else FALSE
+        if isinstance(linear, list):  # NE split
+            return Or(tuple(Constraint(a) for a in linear))
+        return Constraint(linear)
+    if isinstance(formula, RelationAtom):
+        return formula
+    if isinstance(formula, And):
+        return And(tuple(dense_to_linear_formula(s) for s in formula.subs))
+    if isinstance(formula, Or):
+        return Or(tuple(dense_to_linear_formula(s) for s in formula.subs))
+    if isinstance(formula, Not):
+        return Not(dense_to_linear_formula(formula.sub))
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, dense_to_linear_formula(formula.sub))
+    if isinstance(formula, ForAll):
+        return ForAll(formula.variables, dense_to_linear_formula(formula.sub))
+    raise TheoryError(f"cannot translate formula node {type(formula).__name__}")
+
+
+def dense_to_linear_relation(relation: Relation) -> Relation:
+    """Re-type a dense-order generalized relation as a linear one."""
+    if relation.theory is not DENSE_ORDER:
+        raise TheoryError("input must be a dense-order relation")
+    tuples = []
+    for t in relation.tuples:
+        atoms = []
+        for a in t.atoms:
+            linear = from_dense_atom(a)
+            if isinstance(linear, (bool, list)):  # pragma: no cover - NE-free
+                raise TheoryError("unexpected atom form in canonical tuple")
+            atoms.append(linear)
+        made = GTuple.make(LINEAR, relation.schema, atoms)
+        if made is not None:  # pragma: no branch - satisfiable by construction
+            tuples.append(made)
+    return Relation(LINEAR, relation.schema, tuples)

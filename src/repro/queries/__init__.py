@@ -1,0 +1,56 @@
+"""The paper's query catalogue, Allen interval relations, FO topology."""
+
+import repro.queries.allen as allen
+
+from repro.queries.library import (
+    between_query,
+    bounded_query,
+    contains_open_interval_query,
+    graph_connectivity_procedural,
+    interval_overlap_tc_program,
+    is_dense_in_itself_query,
+    midpoint_formula,
+    nonempty_query,
+    parity_ccalc,
+    parity_procedural,
+    reachability_program,
+    transitive_closure_program,
+)
+from repro.queries.topology import (
+    boundary,
+    boundary_formula,
+    closure,
+    closure_formula,
+    interior,
+    interior_formula,
+    isolated_points,
+    isolated_points_formula,
+    limit_points,
+    limit_points_formula,
+)
+
+__all__ = [
+    "allen",
+    "between_query",
+    "bounded_query",
+    "contains_open_interval_query",
+    "graph_connectivity_procedural",
+    "interval_overlap_tc_program",
+    "is_dense_in_itself_query",
+    "midpoint_formula",
+    "nonempty_query",
+    "parity_ccalc",
+    "parity_procedural",
+    "reachability_program",
+    "transitive_closure_program",
+    "boundary",
+    "boundary_formula",
+    "closure",
+    "closure_formula",
+    "interior",
+    "interior_formula",
+    "isolated_points",
+    "isolated_points_formula",
+    "limit_points",
+    "limit_points_formula",
+]

@@ -1,0 +1,129 @@
+"""Allen's thirteen interval relations as FO queries.
+
+Temporal databases are the paper's other canonical motivation (dense
+*time* instead of dense space).  When intervals are stored as a binary
+point relation ``I(lo, hi)`` with ``lo < hi``, each of Allen's thirteen
+basic relations between two intervals is a quantifier-free dense-order
+formula -- so *interval calculus is FO over dense order*, a concrete
+instance of the paper's expressiveness story.
+
+Every builder returns a formula with free variables
+``a_lo, a_hi, b_lo, b_hi`` (the two intervals' endpoints); evaluate
+with the endpoint columns bound via relation atoms, e.g.::
+
+    pairs = exists(
+        [],  # no extra vars
+        rel("I", "a_lo", "a_hi") & rel("I", "b_lo", "b_hi") & allen.before()
+    )
+
+The thirteen relations partition all configurations of two proper
+intervals (property-tested in ``tests/queries/test_allen.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.atoms import eq, lt
+from repro.core.formula import Formula, conj, constraint
+
+__all__ = [
+    "before",
+    "after",
+    "meets",
+    "met_by",
+    "overlaps",
+    "overlapped_by",
+    "starts",
+    "started_by",
+    "during",
+    "contains",
+    "finishes",
+    "finished_by",
+    "equals",
+    "ALLEN_RELATIONS",
+]
+
+#: default endpoint variable names
+A_LO, A_HI, B_LO, B_HI = "a_lo", "a_hi", "b_lo", "b_hi"
+
+
+def _f(*atoms) -> Formula:
+    return conj(*(constraint(a) for a in atoms))
+
+
+def before(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """A ends strictly before B starts."""
+    return _f(lt(a_hi, b_lo))
+
+
+def after(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """A starts strictly after B ends."""
+    return _f(lt(b_hi, a_lo))
+
+
+def meets(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """A's end is exactly B's start."""
+    return _f(eq(a_hi, b_lo))
+
+
+def met_by(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return _f(eq(b_hi, a_lo))
+
+
+def overlaps(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """A starts first, they overlap, B ends last."""
+    return _f(lt(a_lo, b_lo), lt(b_lo, a_hi), lt(a_hi, b_hi))
+
+
+def overlapped_by(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return overlaps(b_lo, b_hi, a_lo, a_hi)
+
+
+def starts(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """Same start; A ends first."""
+    return _f(eq(a_lo, b_lo), lt(a_hi, b_hi))
+
+
+def started_by(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return starts(b_lo, b_hi, a_lo, a_hi)
+
+
+def during(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """A strictly inside B."""
+    return _f(lt(b_lo, a_lo), lt(a_hi, b_hi))
+
+
+def contains(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return during(b_lo, b_hi, a_lo, a_hi)
+
+
+def finishes(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    """Same end; A starts last."""
+    return _f(eq(a_hi, b_hi), lt(b_lo, a_lo))
+
+
+def finished_by(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return finishes(b_lo, b_hi, a_lo, a_hi)
+
+
+def equals(a_lo=A_LO, a_hi=A_HI, b_lo=B_LO, b_hi=B_HI) -> Formula:
+    return _f(eq(a_lo, b_lo), eq(a_hi, b_hi))
+
+
+#: name -> builder, in Allen's canonical order
+ALLEN_RELATIONS: Dict[str, Callable[..., Formula]] = {
+    "before": before,
+    "meets": meets,
+    "overlaps": overlaps,
+    "starts": starts,
+    "during": during,
+    "finishes": finishes,
+    "equals": equals,
+    "finished_by": finished_by,
+    "contains": contains,
+    "started_by": started_by,
+    "overlapped_by": overlapped_by,
+    "met_by": met_by,
+    "after": after,
+}

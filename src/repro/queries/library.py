@@ -1,0 +1,284 @@
+"""The paper's catalogue of queries, with their language placements.
+
+Section 3-4 of the paper organizes concrete queries by where they live:
+
+========================  =============================================
+query                     status in the paper
+========================  =============================================
+non-emptiness, bounded-   FO (dense-order first-order definable)
+ness, open-interval
+containment, topology
+midpoint / averages       FO+ only (need +); *not generic* -- not
+                          queries in the Definition 3.1 sense
+parity, graph             PTIME; **not** FO+ (Theorem 4.2); expressible
+connectivity              in inflationary Datalog(not) (Theorem 4.4)
+                          and in C-CALC_1 (Theorem 5.2)
+region connectivity       computable; **not** linear (Theorem 4.3)
+transitive closure        Datalog(not) (not FO)
+========================  =============================================
+
+This module provides each of them as executable artifacts: FO formula
+builders, Datalog program builders, C-CALC formula builders, and
+procedural implementations -- the raw material of experiments E2-E8.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cobjects.calculus import (
+    CAnd,
+    CConstraint,
+    CExists,
+    CForAll,
+    CFormula,
+    CNot,
+    CRelation,
+    ExistsSet,
+    Member,
+    SetVar,
+)
+from repro.cobjects.types import Q, SetType
+from repro.core.atoms import eq, le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Formula, Not, conj, constraint, disj, exists, forall, rel
+from repro.core.relation import Relation
+from repro.core.terms import as_term
+from repro.datalog.ast import Program, cons, pred, rule
+from repro.linear.latoms import lin_eq
+from repro.linear.region import is_connected
+
+__all__ = [
+    "nonempty_query",
+    "bounded_query",
+    "contains_open_interval_query",
+    "is_dense_in_itself_query",
+    "between_query",
+    "midpoint_formula",
+    "transitive_closure_program",
+    "reachability_program",
+    "interval_overlap_tc_program",
+    "parity_ccalc",
+    "graph_connectivity_procedural",
+    "parity_procedural",
+]
+
+
+# ------------------------------------------------------------------ FO queries
+
+
+def nonempty_query(name: str, arity: int) -> Formula:
+    """``exists x1..xk R(x1..xk)`` -- FO."""
+    variables = [f"q{i}" for i in range(arity)]
+    return exists(variables, rel(name, *variables))
+
+
+def bounded_query(name: str) -> Formula:
+    """Is the unary relation bounded (above and below)?  FO."""
+    above = exists("u", forall("x", rel(name, "x").implies(constraint(le("x", "u")))))
+    below = exists("l", forall("x", rel(name, "x").implies(constraint(le("l", "x")))))
+    return above & below
+
+
+def contains_open_interval_query(name: str) -> Formula:
+    """Does the unary relation have non-empty interior?  FO."""
+    inside = constraint(lt("a", "x")) & constraint(lt("x", "b"))
+    return exists(
+        ["a", "b"],
+        constraint(lt("a", "b"))
+        & forall("x", inside.implies(rel(name, "x"))),
+    )
+
+
+def is_dense_in_itself_query(name: str) -> Formula:
+    """No isolated points: every member is a limit of members.  FO."""
+    y_near = (
+        rel(name, "y")
+        & constraint(lt("a", "y"))
+        & constraint(lt("y", "b"))
+        & Not(constraint(eq("x", "y")))
+    )
+    punctured = (
+        constraint(lt("a", "x"))
+        & constraint(lt("x", "b"))
+    ).implies(exists("y", y_near))
+    return forall(
+        "x", rel(name, "x").implies(forall(["a", "b"], punctured))
+    )
+
+
+def between_query(name: str) -> Formula:
+    """Points strictly between two members of the unary relation.  FO.
+
+    Free variable: ``x``.
+    """
+    return exists(
+        ["a", "b"],
+        rel(name, "a")
+        & rel(name, "b")
+        & constraint(lt("a", "x"))
+        & constraint(lt("x", "b")),
+    )
+
+
+# -------------------------------------------------------------- FO+ (and why)
+
+
+def midpoint_formula(name: str):
+    """``{z | exists x, y: S(x), S(y), x + y = 2z}`` -- FO+ only.
+
+    Needs addition, hence FO+; and it is **not generic** (automorphisms
+    of Q move midpoints), so by Definition 3.1 it is not a *query* --
+    the paper's motivating example for restricting FO+ to its generic
+    fragment.  Returns a core formula whose constraint atom is linear;
+    evaluate with ``theory=LINEAR``.
+    """
+    return exists(
+        ["mx", "my"],
+        rel(name, "mx")
+        & rel(name, "my")
+        & constraint(lin_eq({"mx": 1, "my": 1}, {"z": 2})),
+    )
+
+
+# ----------------------------------------------------------- Datalog programs
+
+
+def transitive_closure_program(edge: str = "E", out: str = "tc") -> Program:
+    """Transitive closure -- Datalog(not) (not FO over finite graphs)."""
+    return Program(
+        [
+            rule(out, ["x", "y"], pred(edge, "x", "y")),
+            rule(out, ["x", "z"], pred(out, "x", "y"), pred(edge, "y", "z")),
+        ],
+        edb={edge: 2},
+    )
+
+
+def reachability_program(edge: str = "E", source: str = "Src", out: str = "reach") -> Program:
+    """Reachable set from source vertices."""
+    return Program(
+        [
+            rule(out, ["x"], pred(source, "x")),
+            rule(out, ["y"], pred(out, "x"), pred(edge, "x", "y")),
+        ],
+        edb={edge: 2, source: 1},
+    )
+
+
+def interval_overlap_tc_program(intervals: str = "I", out: str = "linked") -> Program:
+    """Connectivity of intervals by overlap, on an interval relation.
+
+    ``I(lo, hi)`` stores closed intervals as pairs; two intervals are
+    linked when they intersect; ``linked`` is the transitive closure --
+    a dense-order Datalog program exercising constraint joins.
+    """
+    overlap = [
+        pred(intervals, "a", "b"),
+        pred(intervals, "c", "d"),
+        cons(le("a", "d")),
+        cons(le("c", "b")),
+    ]
+    return Program(
+        [
+            rule(out, ["a", "b", "c", "d"], *overlap),
+            rule(
+                out,
+                ["a", "b", "e", "f"],
+                pred(out, "a", "b", "c", "d"),
+                pred(out, "c", "d", "e", "f"),
+            ),
+        ],
+        edb={intervals: 2},
+    )
+
+
+# ----------------------------------------------------------------- C-CALC_1
+
+
+def parity_ccalc(name: str = "S") -> CFormula:
+    """Odd cardinality of a finite unary relation -- C-CALC_1.
+
+    The Theorem 5.2 witness that C-CALC_1 goes beyond FO: guess a set
+    ``T`` (ranging, by the active-domain semantics, over unions of
+    cells), pin it to the odd-indexed elements of ``S`` by alternation
+    along the order, and test the maximum.
+    """
+    T = SetVar("T", SetType(Q))
+
+    def member_s(v: str) -> CFormula:
+        return CRelation(name, (as_term(v),))
+
+    def in_t(v: str) -> CFormula:
+        return Member((as_term(v),), T)
+
+    def less(a: str, b: str) -> CFormula:
+        return CConstraint(lt(a, b))
+
+    def predecessor(y: str, x: str) -> CFormula:
+        gap = CExists(("pz",), CAnd((member_s("pz"), less(y, "pz"), less("pz", x))))
+        return CAnd((member_s(y), less(y, x), CNot(gap)))
+
+    has_pred = CExists(("py",), predecessor("py", "px"))
+    subset = CForAll(("px",), Member((as_term("px"),), T).implies(member_s("px")))
+    first_in = CForAll(
+        ("px",), CAnd((member_s("px"), CNot(has_pred))).implies(in_t("px"))
+    )
+    alternate = CForAll(
+        ("px",),
+        member_s("px").implies(
+            CForAll(
+                ("py",),
+                predecessor("py", "px").implies(in_t("px").iff(CNot(in_t("py")))),
+            )
+        ),
+    )
+    is_max = CAnd(
+        (
+            member_s("px"),
+            CNot(CExists(("pz",), CAnd((member_s("pz"), less("px", "pz"))))),
+        )
+    )
+    odd = CExists(("px",), CAnd((is_max, in_t("px"))))
+    return ExistsSet(T, CAnd((subset, first_in, alternate, odd)))
+
+
+# ----------------------------------------------------------------- procedural
+
+
+def parity_procedural(database: Database, name: str = "S") -> bool:
+    """Reference implementation: odd cardinality of a finite unary relation."""
+    relation = database[name]
+    points = set()
+    for t in relation.tuples:
+        sample = t.sample_point()
+        points.add(next(iter(sample.values())))
+    return len(points) % 2 == 1
+
+
+def graph_connectivity_procedural(
+    database: Database, vertices: str = "V", edges: str = "E"
+) -> bool:
+    """Reference implementation: connectivity of a finite graph."""
+    vs = {t.sample_point()[database[vertices].schema[0]] for t in database[vertices].tuples}
+    if len(vs) <= 1:
+        return True
+    adj = {v: set() for v in vs}
+    xcol, ycol = database[edges].schema
+    for t in database[edges].tuples:
+        p = t.sample_point()
+        a, b = p[xcol], p[ycol]
+        if a in adj and b in adj:
+            adj[a].add(b)
+            adj[b].add(a)
+    start = next(iter(vs))
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for other in adj[node]:
+            if other not in seen:
+                seen.add(other)
+                stack.append(other)
+    return seen == vs

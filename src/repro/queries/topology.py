@@ -1,0 +1,168 @@
+"""FO-definable topological operators on constraint relations.
+
+Section 3 of the paper relates queries (Definition 3.1) to the order
+topology on Q; a striking contrast powering experiments E2 and E5 is
+that *local* topological notions -- interior, closure, boundary,
+isolated points -- are plain FO queries over dense order, while the
+*global* notion of connectivity is not even FO+ (Theorem 4.3).
+
+All operators here are implemented as FO formula builders (arbitrary
+arity, using the product order topology on ``Q^k``) evaluated in closed
+form, plus convenience wrappers returning relations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.atoms import eq, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.formula import Formula, Not, conj, constraint, exists, forall, rel
+from repro.core.relation import Relation
+
+__all__ = [
+    "interior_formula",
+    "closure_formula",
+    "boundary_formula",
+    "isolated_points_formula",
+    "limit_points_formula",
+    "interior",
+    "closure",
+    "boundary",
+    "isolated_points",
+    "limit_points",
+]
+
+
+def _box_around(
+    name: str, columns: Sequence[str], lows: Sequence[str], highs: Sequence[str],
+    inner: Sequence[str],
+) -> Formula:
+    """``forall inner (lows < inner < highs -> R(inner))``."""
+    bounds = conj(
+        *(
+            constraint(lt(lo, y)) & constraint(lt(y, hi))
+            for lo, y, hi in zip(lows, inner, highs)
+        )
+    )
+    return forall(list(inner), bounds.implies(rel(name, *inner)))
+
+
+def interior_formula(name: str, arity: int) -> Formula:
+    """``x`` is interior to ``R``: some open box around it lies in R.
+
+    Free variables: ``x0 .. x{arity-1}``.
+    """
+    xs = [f"x{i}" for i in range(arity)]
+    lows = [f"lo{i}" for i in range(arity)]
+    highs = [f"hi{i}" for i in range(arity)]
+    ys = [f"y{i}" for i in range(arity)]
+    around = conj(
+        *(
+            constraint(lt(lo, x)) & constraint(lt(x, hi))
+            for lo, x, hi in zip(lows, xs, highs)
+        )
+    )
+    return exists(lows + highs, around & _box_around(name, xs, lows, highs, ys))
+
+
+def closure_formula(name: str, arity: int) -> Formula:
+    """``x`` is in the closure: every open box around it meets ``R``."""
+    xs = [f"x{i}" for i in range(arity)]
+    lows = [f"lo{i}" for i in range(arity)]
+    highs = [f"hi{i}" for i in range(arity)]
+    ys = [f"y{i}" for i in range(arity)]
+    around = conj(
+        *(
+            constraint(lt(lo, x)) & constraint(lt(x, hi))
+            for lo, x, hi in zip(lows, xs, highs)
+        )
+    )
+    meets = exists(
+        ys,
+        conj(
+            *(
+                constraint(lt(lo, y)) & constraint(lt(y, hi))
+                for lo, y, hi in zip(lows, ys, highs)
+            )
+        )
+        & rel(name, *ys),
+    )
+    return forall(lows + highs, around.implies(meets))
+
+
+def boundary_formula(name: str, arity: int) -> Formula:
+    """Closure minus interior."""
+    return closure_formula(name, arity) & Not(interior_formula(name, arity))
+
+
+def isolated_points_formula(name: str, arity: int) -> Formula:
+    """Members with a punctured neighbourhood disjoint from ``R``."""
+    xs = [f"x{i}" for i in range(arity)]
+    lows = [f"lo{i}" for i in range(arity)]
+    highs = [f"hi{i}" for i in range(arity)]
+    ys = [f"y{i}" for i in range(arity)]
+    around = conj(
+        *(
+            constraint(lt(lo, x)) & constraint(lt(x, hi))
+            for lo, x, hi in zip(lows, xs, highs)
+        )
+    )
+    same_point = conj(*(constraint(eq(x, y)) for x, y in zip(xs, ys)))
+    other_member = exists(
+        ys,
+        conj(
+            *(
+                constraint(lt(lo, y)) & constraint(lt(y, hi))
+                for lo, y, hi in zip(lows, ys, highs)
+            )
+        )
+        & rel(name, *ys)
+        & Not(same_point),
+    )
+    return rel(name, *xs) & exists(lows + highs, around & Not(other_member))
+
+
+def limit_points_formula(name: str, arity: int) -> Formula:
+    """Points every punctured neighbourhood of which meets ``R``."""
+    xs = [f"x{i}" for i in range(arity)]
+    return closure_formula(name, arity) & Not(isolated_points_formula(name, arity))
+
+
+def _run(formula: Formula, database: Database, arity: int) -> Relation:
+    out = evaluate(formula, database)
+    ordered_schema = tuple(f"x{i}" for i in range(arity))
+    return Relation(
+        out.theory, ordered_schema, [t.reorder(ordered_schema) for t in out.tuples]
+    )
+
+
+def interior(database: Database, name: str) -> Relation:
+    """The interior of relation ``name`` (closed form)."""
+    arity = database.arity(name)
+    return _run(interior_formula(name, arity), database, arity)
+
+
+def closure(database: Database, name: str) -> Relation:
+    """The topological closure of relation ``name``."""
+    arity = database.arity(name)
+    return _run(closure_formula(name, arity), database, arity)
+
+
+def boundary(database: Database, name: str) -> Relation:
+    """The boundary of relation ``name``."""
+    arity = database.arity(name)
+    return _run(boundary_formula(name, arity), database, arity)
+
+
+def isolated_points(database: Database, name: str) -> Relation:
+    """The isolated points of relation ``name``."""
+    arity = database.arity(name)
+    return _run(isolated_points_formula(name, arity), database, arity)
+
+
+def limit_points(database: Database, name: str) -> Relation:
+    """The limit points (within the closure) of relation ``name``."""
+    arity = database.arity(name)
+    return _run(limit_points_formula(name, arity), database, arity)

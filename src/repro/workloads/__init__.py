@@ -1,0 +1,33 @@
+"""Seeded workload generators."""
+
+from repro.workloads.generators import (
+    checkerboard_region,
+    cycle_graph,
+    disjoint_cycles,
+    interval_chain,
+    interval_pairs_relation,
+    path_graph,
+    point_set,
+    random_box_database,
+    random_finite_graph,
+    random_interval_database,
+    random_interval_set,
+    rng_of,
+    staircase_region,
+)
+
+__all__ = [
+    "checkerboard_region",
+    "cycle_graph",
+    "disjoint_cycles",
+    "interval_chain",
+    "interval_pairs_relation",
+    "path_graph",
+    "point_set",
+    "random_box_database",
+    "random_finite_graph",
+    "random_interval_database",
+    "random_interval_set",
+    "rng_of",
+    "staircase_region",
+]

@@ -1,0 +1,74 @@
+"""Tests for the active-domain construction (Section 5 semantics)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.active_domain import ActiveDomain
+from repro.cobjects.objects import FiniteSetObject, PointObject, RegionObject, TupleObject
+from repro.cobjects.types import Q, SetType, TupleType
+from repro.workloads.generators import point_set
+
+
+@pytest.fixture
+def ad():
+    return ActiveDomain(point_set(2))
+
+
+class TestDomainSizes:
+    def test_base(self, ad):
+        # constants {0, 1} -> 5 cells
+        assert ad.domain_size(Q) == 5
+
+    def test_tuple_product(self, ad):
+        assert ad.domain_size(TupleType((Q, Q))) == 25
+
+    def test_flat_set_is_powerset_of_cells(self, ad):
+        assert ad.domain_size(SetType(Q)) == 2 ** 5
+
+    def test_binary_flat_set(self, ad):
+        count = ad.decomposition.type_count(2)
+        assert ad.domain_size(SetType(TupleType((Q, Q)))) == 2 ** count
+
+    def test_hyper_exponential_growth(self, ad):
+        """Each set construct exponentiates: the Theorem 5.3-5.5 axis."""
+        h1 = ad.domain_size(SetType(Q))
+        h2 = ad.domain_size(SetType(SetType(Q)))
+        assert h1 == 32
+        assert h2 == 2 ** 32
+
+    def test_extra_constants_refine(self):
+        db = point_set(1)
+        small = ActiveDomain(db)
+        big = ActiveDomain(db, extra_constants=[Fraction(10)])
+        assert big.domain_size(Q) > small.domain_size(Q)
+
+
+class TestEnumeration:
+    def test_points_cover_cells(self, ad):
+        values = [o.value for o in ad.enumerate(Q)]
+        assert len(values) == 5
+        assert Fraction(0) in values and Fraction(1) in values
+
+    def test_enumerate_matches_size(self, ad):
+        for ctype in (Q, TupleType((Q, Q)), SetType(Q)):
+            objects = list(ad.enumerate(ctype))
+            assert len(objects) == ad.domain_size(ctype)
+            assert len(set(objects)) == len(objects)
+
+    def test_region_objects_are_unions_of_cells(self, ad):
+        for obj in ad.enumerate(SetType(Q)):
+            assert isinstance(obj, RegionObject)
+            assert obj.arity == 1
+
+    def test_nested_sets_enumerate(self):
+        ad = ActiveDomain(point_set(0))  # no constants: 1 cell
+        assert ad.domain_size(SetType(Q)) == 2
+        nested = list(ad.enumerate(SetType(SetType(Q))))
+        assert len(nested) == 4  # powerset of a 2-element domain
+        assert all(isinstance(o, FiniteSetObject) for o in nested)
+
+    def test_point_values(self, ad):
+        values = ad.point_values()
+        assert values == sorted(values)
+        assert len(values) == 5

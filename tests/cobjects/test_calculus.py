@@ -1,0 +1,182 @@
+"""Tests for C-CALC evaluation under the active-domain semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.calculus import (
+    CAnd,
+    CConstraint,
+    CExists,
+    CForAll,
+    CNot,
+    CRelation,
+    CTrue,
+    Comprehension,
+    ExistsSet,
+    ForAllSet,
+    Member,
+    MemberSet,
+    SetConst,
+    SetEq,
+    SetVar,
+    evaluate_ccalc,
+    evaluate_ccalc_boolean,
+    set_height,
+)
+from repro.cobjects.objects import finite_set, region
+from repro.cobjects.types import Q, SetType, TupleType
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.terms import Var, as_term
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EvaluationError, TypeCheckError
+from repro.queries.library import parity_ccalc
+from repro.workloads.generators import point_set
+
+
+def seg(lo, hi):
+    return Relation.from_atoms(("x",), [[le(lo, "x"), le("x", hi)]], DENSE_ORDER)
+
+
+def S(v):
+    return CRelation("S", (as_term(v),))
+
+
+class TestSetHeight:
+    def test_fo_fragment_is_height_zero(self):
+        f = CExists(("x",), CAnd((S("x"), CConstraint(lt("x", 1)))))
+        assert set_height(f) == 0
+
+    def test_flat_set_variable_is_one(self):
+        T = SetVar("T", SetType(Q))
+        f = ExistsSet(T, Member((as_term("x"),), T))
+        assert set_height(f) == 1
+
+    def test_nested_is_two(self):
+        U = SetVar("U", SetType(SetType(Q)))
+        T = SetVar("T", SetType(Q))
+        f = ExistsSet(U, ExistsSet(T, MemberSet(T, U)))
+        assert set_height(f) == 2
+
+    def test_comprehension_counts(self):
+        c = Comprehension(("x",), S("x"))
+        f = SetEq(c, c)
+        assert set_height(f) == 1
+
+
+class TestGroundEvaluation:
+    def test_membership_in_constant_region(self):
+        f = Member((as_term("x"),), SetConst(region(seg(0, 1))))
+        out = evaluate_ccalc(f, Database(), extra_constants=[Fraction(0), Fraction(1)])
+        assert out.contains_point([Fraction(1, 2)])
+        assert not out.contains_point([Fraction(2)])
+
+    def test_set_equality_of_constants(self):
+        a = SetConst(region(seg(0, 1)))
+        b = SetConst(region(seg(0, 1)))
+        c = SetConst(region(seg(0, 2)))
+        assert evaluate_ccalc_boolean(SetEq(a, b), Database())
+        assert not evaluate_ccalc_boolean(SetEq(a, c), Database())
+
+    def test_member_set(self):
+        element = SetConst(region(seg(0, 1)))
+        container = SetConst(finite_set([region(seg(0, 1)), region(seg(2, 3))]))
+        assert evaluate_ccalc_boolean(MemberSet(element, container), Database())
+        other = SetConst(region(seg(5, 6)))
+        assert not evaluate_ccalc_boolean(MemberSet(other, container), Database())
+
+    def test_unbound_set_variable_rejected(self):
+        T = SetVar("T", SetType(Q))
+        with pytest.raises(EvaluationError):
+            evaluate_ccalc_boolean(Member((as_term("x"),), T), Database())
+
+
+class TestComprehension:
+    def test_comprehension_equals_relation(self):
+        db = Database()
+        db["S"] = seg(0, 1)
+        c = Comprehension(("x",), S("x"))
+        f = SetEq(c, SetConst(region(seg(0, 1))))
+        assert evaluate_ccalc_boolean(f, db)
+
+    def test_comprehension_with_connectives(self):
+        db = Database()
+        db["S"] = seg(0, 2)
+        c = Comprehension(("x",), CAnd((S("x"), CConstraint(lt("x", 1)))))
+        half_open = Relation.from_atoms(
+            ("x",), [[le(0, "x"), lt("x", 1)]], DENSE_ORDER
+        )
+        assert evaluate_ccalc_boolean(SetEq(c, SetConst(region(half_open))), db)
+
+
+class TestSetQuantifiers:
+    def test_exists_superset_cell_union(self):
+        """There is an active-domain set containing all of S."""
+        db = point_set(2)
+        T = SetVar("T", SetType(Q))
+        f = ExistsSet(
+            T, CForAll(("x",), S("x").implies(Member((as_term("x"),), T)))
+        )
+        assert evaluate_ccalc_boolean(f, db)
+
+    def test_forall_fails_on_empty_set(self):
+        """Not every active-domain set contains S (the empty one)."""
+        db = point_set(1)
+        T = SetVar("T", SetType(Q))
+        f = ForAllSet(
+            T, CForAll(("x",), S("x").implies(Member((as_term("x"),), T)))
+        )
+        assert not evaluate_ccalc_boolean(f, db)
+
+    def test_parity_in_ccalc1(self):
+        """Theorem 5.2's flavor: a PTIME non-FO query in C-CALC_1."""
+        f = parity_ccalc("S")
+        assert set_height(f) == 1
+        for n in (0, 1, 2, 3):
+            db = point_set(n)
+            assert evaluate_ccalc_boolean(f, db) == (n % 2 == 1)
+
+    def test_binary_set_variable(self):
+        """Set variables over Q^2 range over unions of 2-D cells.
+
+        A constant-free instance keeps the active domain tiny (the 3
+        order cells of Q^2, so 8 candidate sets): enumeration over
+        binary set types is exponential in the 2-type count.
+        """
+        db = Database()
+        db["E"] = Relation.from_atoms(("x", "y"), [[lt("x", "y")]], DENSE_ORDER)
+        T = SetVar("T", SetType(TupleType((Q, Q))))
+        member = Member((as_term("x"), as_term("y")), T)
+        f = ExistsSet(
+            T,
+            CForAll(
+                ("x", "y"),
+                CRelation("E", (as_term("x"), as_term("y"))).iff(member),
+            ),
+        )
+        assert evaluate_ccalc_boolean(f, db)
+
+
+class TestFreePointVariables:
+    def test_result_over_free_vars(self):
+        db = point_set(2)
+        T = SetVar("T", SetType(Q))
+        # x such that every active-domain set containing S contains x:
+        # exactly the points of S
+        f = ForAllSet(
+            T,
+            CForAll(("y",), S("y").implies(Member((as_term("y"),), T))).implies(
+                Member((as_term("x"),), T)
+            ),
+        )
+        out = evaluate_ccalc(f, db)
+        assert out.contains_point([0])
+        assert out.contains_point([1])
+        assert not out.contains_point([Fraction(1, 2)])
+
+    def test_sentence_check(self):
+        db = point_set(1)
+        with pytest.raises(EvaluationError):
+            evaluate_ccalc_boolean(S("x"), db)

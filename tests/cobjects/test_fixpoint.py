@@ -1,0 +1,84 @@
+"""Tests for the C-CALC fixpoint extension (Theorem 5.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.calculus import CAnd, CConstraint, CExists, COr, CRelation
+from repro.cobjects.fixpoint import FixpointQuery, evaluate_fixpoint
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.terms import as_term
+from repro.errors import DatalogError, EvaluationError
+from repro.workloads.generators import path_graph
+
+
+def R(name, *args):
+    return CRelation(name, tuple(as_term(a) for a in args))
+
+
+class TestTransitiveClosure:
+    def test_tc_in_ccalc0_fixpoint(self):
+        """Transitive closure -- not FO, definable in C-CALC_0 + fixpoint."""
+        db = path_graph(5)
+        step = COr(
+            (
+                R("E", "x", "y"),
+                CExists(("z",), CAnd((R("TC", "x", "z"), R("E", "z", "y")))),
+            )
+        )
+        query = FixpointQuery("TC", ("x", "y"), step)
+        tc = evaluate_fixpoint(query, db)
+        assert tc.contains_point([0, 4])
+        assert not tc.contains_point([4, 0])
+
+    def test_dense_interval_spread(self):
+        """Fixpoint over constraint relations stays in closed form."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (10,)])
+        body = COr(
+            (
+                R("S", "x"),
+                CExists(
+                    ("a", "b"),
+                    CAnd(
+                        (
+                            R("F", "a"),
+                            R("F", "b"),
+                            CConstraint(lt("a", "x")),
+                            CConstraint(lt("x", "b")),
+                        )
+                    ),
+                ),
+            )
+        )
+        query = FixpointQuery("F", ("x",), body)
+        out = evaluate_fixpoint(query, db)
+        assert out.contains_point([5])
+        assert out.contains_point([0])
+        assert not out.contains_point([11])
+
+
+class TestGuards:
+    def test_name_clash_rejected(self):
+        db = path_graph(2)
+        query = FixpointQuery("E", ("x", "y"), R("E", "x", "y"))
+        with pytest.raises(DatalogError):
+            evaluate_fixpoint(query, db)
+
+    def test_max_rounds(self):
+        db = path_graph(6)
+        step = COr(
+            (
+                R("E", "x", "y"),
+                CExists(("z",), CAnd((R("TC", "x", "z"), R("E", "z", "y")))),
+            )
+        )
+        query = FixpointQuery("TC", ("x", "y"), step)
+        with pytest.raises(EvaluationError):
+            evaluate_fixpoint(query, db, max_rounds=1)
+
+    def test_arity_property(self):
+        q = FixpointQuery("X", ("a", "b", "c"), CRelation("E", ()))
+        assert q.arity == 3

@@ -1,0 +1,114 @@
+"""Tests for c-objects."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.objects import (
+    FiniteSetObject,
+    PointObject,
+    RegionObject,
+    TupleObject,
+    check_type,
+    finite_set,
+    point,
+    region,
+    tup,
+)
+from repro.cobjects.types import Q, SetType, TupleType
+from repro.core.atoms import le, lt
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import TypeCheckError
+from repro.linear.theory import LINEAR
+
+
+def seg(lo, hi):
+    return Relation.from_atoms(("x",), [[le(lo, "x"), le("x", hi)]], DENSE_ORDER)
+
+
+class TestPointsAndTuples:
+    def test_point_coercion(self):
+        assert point(3).value == Fraction(3)
+
+    def test_tuple(self):
+        t = tup(point(1), point(2))
+        assert t.components == (PointObject(Fraction(1)), PointObject(Fraction(2)))
+
+    def test_hashable(self):
+        assert hash(tup(point(1))) == hash(tup(point(1)))
+
+
+class TestRegionObjects:
+    def test_equality_is_semantic(self):
+        a = region(seg(0, 2))
+        split = Relation.from_atoms(
+            ("x",),
+            [[le(0, "x"), lt("x", 1)], [le(1, "x"), le("x", 2)]],
+            DENSE_ORDER,
+        )
+        b = region(split)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert region(seg(0, 1)) != region(seg(0, 2))
+
+    def test_junk_constants_still_equal(self):
+        """Representations mentioning extra constants compare correctly."""
+        a = region(seg(0, 2))
+        redundant = Relation.from_atoms(
+            ("x",), [[le(0, "x"), le("x", 2), lt("x", 5)]], DENSE_ORDER
+        )
+        b = region(redundant)
+        assert a == b
+
+    def test_arity_mismatch_not_equal(self):
+        assert region(seg(0, 1)) != region(Relation.universe(("x", "y")))
+
+    def test_linear_rejected(self):
+        with pytest.raises(TypeCheckError):
+            region(Relation.universe(("x",), LINEAR))
+
+    def test_empty(self):
+        assert region(Relation.empty(("x",))).is_empty()
+        assert not region(seg(0, 1)).is_empty()
+
+
+class TestFiniteSets:
+    def test_set_of_regions(self):
+        s = finite_set([region(seg(0, 1)), region(seg(2, 3))])
+        assert len(s.elements) == 2
+
+    def test_semantic_dedup_inside_sets(self):
+        a = region(seg(0, 1))
+        b = region(
+            Relation.from_atoms(
+                ("x",), [[le(0, "x"), le("x", 1)], [le(0, "x"), le("x", 1)]], DENSE_ORDER
+            )
+        )
+        s = finite_set([a, b])
+        assert len(s.elements) == 1
+
+
+class TestCheckType:
+    def test_points(self):
+        assert check_type(point(1), Q)
+        assert not check_type(point(1), SetType(Q))
+
+    def test_tuples(self):
+        t = tup(point(1), point(2))
+        assert check_type(t, TupleType((Q, Q)))
+        assert not check_type(t, TupleType((Q, Q, Q)))
+
+    def test_regions(self):
+        r = region(seg(0, 1))
+        assert check_type(r, SetType(Q))
+        assert not check_type(r, SetType(TupleType((Q, Q))))
+        r2 = region(Relation.universe(("x", "y")))
+        assert check_type(r2, SetType(TupleType((Q, Q))))
+
+    def test_nested_sets(self):
+        s = finite_set([region(seg(0, 1))])
+        assert check_type(s, SetType(SetType(Q)))
+        assert not check_type(s, SetType(Q))

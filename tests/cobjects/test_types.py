@@ -1,0 +1,73 @@
+"""Tests for c-types and set-height."""
+
+import pytest
+
+from repro.cobjects.types import (
+    Q,
+    QType,
+    SetType,
+    TupleType,
+    flat_arity,
+    is_flat,
+    set_height,
+)
+from repro.errors import TypeCheckError
+
+
+class TestConstruction:
+    def test_q_singleton_semantics(self):
+        assert QType() == Q
+
+    def test_tuple_needs_components(self):
+        with pytest.raises(TypeCheckError):
+            TupleType(())
+
+    def test_non_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            TupleType((Q, "oops"))
+        with pytest.raises(TypeCheckError):
+            SetType("oops")
+
+    def test_str(self):
+        t = SetType(TupleType((Q, Q)))
+        assert str(t) == "{[Q, Q]}"
+
+
+class TestSetHeight:
+    def test_base(self):
+        assert set_height(Q) == 0
+
+    def test_tuple_takes_max(self):
+        t = TupleType((Q, SetType(Q)))
+        assert set_height(t) == 1
+
+    def test_nesting_adds(self):
+        assert set_height(SetType(SetType(Q))) == 2
+        assert set_height(SetType(TupleType((SetType(Q), Q)))) == 2
+
+    def test_paper_hierarchy_measure(self):
+        """C-CALC_i uses types of set-height <= i; heights must be
+        strictly increasing along nesting (Theorem 5.4's axis)."""
+        levels = [Q]
+        for _ in range(4):
+            levels.append(SetType(levels[-1]))
+        assert [set_height(t) for t in levels] == [0, 1, 2, 3, 4]
+
+
+class TestFlatness:
+    def test_q_is_flat(self):
+        assert is_flat(Q)
+        assert flat_arity(Q) == 1
+
+    def test_tuple_of_q_is_flat(self):
+        t = TupleType((Q, Q, Q))
+        assert is_flat(t)
+        assert flat_arity(t) == 3
+
+    def test_set_is_not_flat(self):
+        assert not is_flat(SetType(Q))
+        with pytest.raises(TypeCheckError):
+            flat_arity(SetType(Q))
+
+    def test_tuple_with_set_not_flat(self):
+        assert not is_flat(TupleType((Q, SetType(Q))))

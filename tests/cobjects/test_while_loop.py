@@ -1,0 +1,99 @@
+"""Tests for the while extension (Theorem 5.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.calculus import CAnd, CConstraint, CExists, CNot, COr, CRelation
+from repro.cobjects.while_loop import WhileDivergence, WhileQuery, evaluate_while
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.terms import as_term
+from repro.errors import DatalogError
+from repro.workloads.generators import path_graph
+
+
+def R(name, *args):
+    return CRelation(name, tuple(as_term(a) for a in args))
+
+
+class TestStabilization:
+    def test_transitive_closure_as_while(self):
+        """Inflationary bodies stabilize: S := E union (S ; E)."""
+        db = path_graph(4)
+        body = COr(
+            (
+                R("E", "x", "y"),
+                CExists(("z",), CAnd((R("W", "x", "z"), R("E", "z", "y")))),
+            )
+        )
+        out = evaluate_while(WhileQuery("W", ("x", "y"), body), db)
+        assert out.contains_point([0, 3])
+        assert not out.contains_point([3, 0])
+
+    def test_constant_body_stabilizes_immediately(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(1,)])
+        body = R("S", "x")
+        out = evaluate_while(WhileQuery("W", ("x",), body), db)
+        assert out.contains_point([1])
+
+    def test_empty_loop(self):
+        db = Database()
+        db["S"] = Relation.empty(("x",))
+        body = R("S", "x")
+        out = evaluate_while(WhileQuery("W", ("x",), body), db)
+        assert out.is_empty()
+
+
+class TestDivergence:
+    def test_complement_alternation_diverges(self):
+        """S := {x | not W(x) and 0 <= x <= 1} flips between the empty
+        set and [0, 1]: a 2-cycle, detected exactly."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        body = CAnd(
+            (
+                CNot(R("W", "x")),
+                CConstraint(le(0, "x")),
+                CConstraint(le("x", 1)),
+            )
+        )
+        with pytest.raises(WhileDivergence):
+            evaluate_while(WhileQuery("W", ("x",), body), db)
+
+    def test_max_rounds_guard(self):
+        db = path_graph(6)
+        body = COr(
+            (
+                R("E", "x", "y"),
+                CExists(("z",), CAnd((R("W", "x", "z"), R("E", "z", "y")))),
+            )
+        )
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            evaluate_while(WhileQuery("W", ("x", "y"), body), db, max_rounds=1)
+
+
+class TestGuards:
+    def test_name_clash(self):
+        db = path_graph(2)
+        with pytest.raises(DatalogError):
+            evaluate_while(WhileQuery("E", ("x", "y"), R("E", "x", "y")), db)
+
+    def test_formula_constants_join_the_decomposition(self):
+        """Constants appearing only in the body do not break state
+        hashing (they refine the decomposition up front)."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,)])
+        body = COr(
+            (
+                R("S", "x"),
+                CAnd((CConstraint(le(5, "x")), CConstraint(le("x", 6)))),
+            )
+        )
+        out = evaluate_while(WhileQuery("W", ("x",), body), db)
+        assert out.contains_point([Fraction(11, 2)])
+        assert out.contains_point([0])

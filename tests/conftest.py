@@ -1,0 +1,16 @@
+"""Test-suite configuration: hypothesis profiles.
+
+* default: the library's regular settings;
+* ``quick``: fewer examples for fast local iteration
+  (``HYPOTHESIS_PROFILE=quick pytest tests/``).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "quick", max_examples=20, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.register_profile("default", deadline=1000)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

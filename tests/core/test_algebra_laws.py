@@ -1,0 +1,149 @@
+"""Property tests: the relational algebra satisfies the boolean and
+relational laws.
+
+These laws are what make the closed-form evaluation *compositional*:
+the evaluator silently relies on all of them when it maps connectives
+to algebra operations.
+"""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import eq, le, lt
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from tests.strategies import fractions as fracs
+
+
+@st.composite
+def unary(draw, column="x", max_tuples=3):
+    tuples = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_tuples))):
+        a, b = sorted([draw(fracs), draw(fracs)])
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            tuples.append([eq(column, a)])
+        elif kind == 1:
+            tuples.append([lt(a, column), lt(column, b)])
+        else:
+            tuples.append([le(a, column), le(column, b)])
+    return Relation.from_atoms((column,), tuples, DENSE_ORDER)
+
+
+@st.composite
+def binary(draw, max_tuples=2):
+    tuples = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_tuples))):
+        a = draw(fracs)
+        pattern = draw(st.integers(min_value=0, max_value=2))
+        if pattern == 0:
+            tuples.append([lt("x", "y"), le(a, "x")])
+        elif pattern == 1:
+            tuples.append([le("x", a), le(a, "y")])
+        else:
+            tuples.append([eq("x", "y")])
+    return Relation.from_atoms(("x", "y"), tuples, DENSE_ORDER)
+
+
+class TestBooleanLaws:
+    @settings(max_examples=80)
+    @given(unary(), unary())
+    def test_de_morgan(self, a, b):
+        left = a.union(b).complement()
+        right = a.complement().intersection(b.complement())
+        assert left.equivalent(right)
+
+    @settings(max_examples=80)
+    @given(unary(), unary())
+    def test_de_morgan_dual(self, a, b):
+        left = a.intersection(b).complement()
+        right = a.complement().union(b.complement())
+        assert left.equivalent(right)
+
+    @settings(max_examples=60)
+    @given(unary(), unary(), unary())
+    def test_distributivity(self, a, b, c):
+        left = a.intersection(b.union(c))
+        right = a.intersection(b).union(a.intersection(c))
+        assert left.equivalent(right)
+
+    @settings(max_examples=60)
+    @given(unary(), unary())
+    def test_absorption(self, a, b):
+        assert a.union(a.intersection(b)).equivalent(a)
+        assert a.intersection(a.union(b)).equivalent(a)
+
+    @settings(max_examples=60)
+    @given(unary())
+    def test_complement_laws(self, a):
+        assert a.union(a.complement()).equivalent(Relation.universe(("x",)))
+        assert a.intersection(a.complement()).is_empty()
+
+    @settings(max_examples=60)
+    @given(unary(), unary())
+    def test_difference_definition(self, a, b):
+        assert a.difference(b).equivalent(a.intersection(b.complement()))
+
+
+class TestRelationalLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(binary(), binary())
+    def test_join_commutes_semantically(self, r, s):
+        """R join S == S join R (same pointset; column order aside)."""
+        left = r.join(s)
+        right = s.join(r)
+        assert left.schema == right.schema == ("x", "y")
+        assert left.equivalent(right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(binary())
+    def test_projection_after_join_with_universe(self, r):
+        """Joining with the universe then projecting is the identity."""
+        u = Relation.universe(("y", "z"))
+        wide = r.join(u)
+        back = wide.project(("x", "y"))
+        assert back.equivalent(r)
+
+    @settings(max_examples=50, deadline=None)
+    @given(binary())
+    def test_projection_order_irrelevant(self, r):
+        """Eliminating x then y equals eliminating y then x."""
+        via_x = r.project(("y",)).project(())
+        via_y = r.project(("x",)).project(())
+        assert via_x.is_empty() == via_y.is_empty()
+
+    @settings(max_examples=50, deadline=None)
+    @given(binary(), unary(column="x"))
+    def test_selection_pushes_through_join(self, r, s):
+        """sigma(R) join S == sigma(R join S) for a selection on R's column."""
+        condition = [le(0, "x")]
+        left = r.select(condition).join(s)
+        right = r.join(s).select(condition)
+        assert left.equivalent(right)
+
+    @settings(max_examples=60)
+    @given(unary())
+    def test_rename_round_trip(self, a):
+        assert a.rename({"x": "t"}).rename({"t": "x"}).equivalent(a)
+
+    @settings(max_examples=60)
+    @given(unary())
+    def test_extend_then_project_identity(self, a):
+        assert a.extend(("x", "w")).project(("x",)).equivalent(a)
+
+
+class TestMonotonicity:
+    @settings(max_examples=50, deadline=None)
+    @given(unary(), unary(), unary())
+    def test_union_monotone_in_containment(self, a, b, c):
+        if a.contains(b):
+            assert a.union(c).contains(b.union(c))
+
+    @settings(max_examples=50, deadline=None)
+    @given(unary(), unary())
+    def test_complement_antitone(self, a, b):
+        if a.contains(b):
+            assert b.complement().contains(a.complement())

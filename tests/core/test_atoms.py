@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.atoms."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.core.atoms import Atom, Op, atom, eq, ge, gt, le, lt, ne
+from repro.core.terms import Const, Var
+from tests.strategies import fractions, real_atoms
+
+
+class TestNormalization:
+    def test_ge_flips(self):
+        a = ge("x", "y")
+        assert a.op is Op.LE
+        assert a.left == Var("y") and a.right == Var("x")
+
+    def test_gt_flips(self):
+        a = gt("x", 3)
+        assert a.op is Op.LT
+        assert a.left == Const(Fraction(3)) and a.right == Var("x")
+
+    def test_eq_sides_sorted(self):
+        assert eq("y", "x") == eq("x", "y")
+        assert eq(3, "x") == eq("x", 3)
+
+    def test_ne_sides_sorted(self):
+        assert ne("y", "x") == ne("x", "y")
+
+    def test_constant_folding(self):
+        assert atom(1, "<", 2) is True
+        assert atom(2, "<", 1) is False
+        assert atom(1, "=", 1) is True
+        assert atom(1, "!=", 1) is False
+        assert atom(Fraction(1, 2), "<=", Fraction(1, 2)) is True
+
+    def test_reflexive_folding(self):
+        assert lt("x", "x") is False
+        assert le("x", "x") is True
+        assert eq("x", "x") is True
+        assert ne("x", "x") is False
+        assert ge("x", "x") is True
+        assert gt("x", "x") is False
+
+
+class TestNegate:
+    def test_lt(self):
+        [n] = lt("x", "y").negate()
+        assert n == le("y", "x")
+
+    def test_le(self):
+        [n] = le("x", "y").negate()
+        assert n == lt("y", "x")
+
+    def test_eq_splits(self):
+        parts = eq("x", "y").negate()
+        assert set(parts) == {lt("x", "y"), lt("y", "x")}
+
+    @given(real_atoms())
+    def test_negation_is_complement(self, a):
+        """At any sample point exactly one of atom / negation holds."""
+        if a.op is Op.NE:
+            a = a.expand_ne()[0]
+        assignment = {v: Fraction(i - 1, 2) for i, v in enumerate(sorted(a.variables))}
+        original = a.evaluate(assignment)
+        negated = any(n.evaluate(assignment) for n in a.negate())
+        assert original != negated
+
+
+class TestExpandNe:
+    def test_ne_expands(self):
+        parts = ne("x", 3).expand_ne()
+        assert set(parts) == {lt("x", 3), lt(3, "x")}
+
+    def test_other_ops_unchanged(self):
+        a = lt("x", "y")
+        assert a.expand_ne() == [a]
+
+
+class TestEvaluate:
+    def test_lt(self):
+        a = lt("x", "y")
+        assert a.evaluate({Var("x"): Fraction(1), Var("y"): Fraction(2)})
+        assert not a.evaluate({Var("x"): Fraction(2), Var("y"): Fraction(1)})
+
+    def test_against_constant(self):
+        a = le("x", Fraction(1, 2))
+        assert a.evaluate({Var("x"): Fraction(1, 2)})
+        assert not a.evaluate({Var("x"): Fraction(1)})
+
+    def test_missing_variable_raises(self):
+        from repro.errors import TheoryError
+
+        with pytest.raises(TheoryError):
+            lt("x", "y").evaluate({Var("x"): Fraction(0)})
+
+
+class TestAccessors:
+    def test_variables(self):
+        assert lt("x", "y").variables == {Var("x"), Var("y")}
+        assert lt("x", 1).variables == {Var("x")}
+
+    def test_constants(self):
+        assert lt("x", Fraction(1, 3)).constants == {Fraction(1, 3)}
+        assert lt("x", "y").constants == frozenset()
+
+    def test_str(self):
+        assert str(lt("x", 1)) == "x < 1"
+        assert str(le(2, "y")) == "2 <= y"
+
+
+class TestOpProperties:
+    @given(fractions, fractions)
+    def test_holds_matches_python(self, a, b):
+        assert Op.LT.holds(a, b) == (a < b)
+        assert Op.LE.holds(a, b) == (a <= b)
+        assert Op.EQ.holds(a, b) == (a == b)
+        assert Op.NE.holds(a, b) == (a != b)
+        assert Op.GE.holds(a, b) == (a >= b)
+        assert Op.GT.holds(a, b) == (a > b)
+
+    def test_negated_involution(self):
+        for op in Op:
+            assert op.negated.negated is op
+
+    def test_flip_involution(self):
+        for op in Op:
+            assert op.flipped.flipped is op

@@ -1,0 +1,132 @@
+"""Unit tests for the box (rectangle) fast path of paper Section 2."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import lt
+from repro.core.boxes import Box, BoxSet
+from repro.core.intervals import Interval
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import SchemaError
+from tests.strategies import fractions as fracs
+
+GRID2 = [
+    (Fraction(a, 2), Fraction(b, 2)) for a in range(-4, 5) for b in range(-4, 5)
+]
+
+
+def grid_points(s: BoxSet):
+    return {p for p in GRID2 if s.contains(p)}
+
+
+@st.composite
+def boxes2(draw):
+    a, b = sorted([draw(fracs), draw(fracs)])
+    c, d = sorted([draw(fracs), draw(fracs)])
+    open_x, open_y = draw(st.booleans()), draw(st.booleans())
+    return Box(
+        (
+            Interval.make(a, b, open_x, open_x),
+            Interval.make(c, d, open_y, open_y),
+        )
+    )
+
+
+@st.composite
+def box_sets2(draw, max_size=3):
+    return BoxSet(draw(st.lists(boxes2(), max_size=max_size)), dimension=2)
+
+
+class TestBox:
+    def test_closed_rectangle(self):
+        b = Box.closed((0, 2), (0, 1))
+        assert b.dimension == 2
+        assert b.contains([1, Fraction(1, 2)])
+        assert not b.contains([3, 0])
+
+    def test_open_excludes_border(self):
+        b = Box.open((0, 1), (0, 1))
+        assert not b.contains([0, Fraction(1, 2)])
+
+    def test_empty(self):
+        assert Box.open((1, 1), (0, 2)).is_empty()
+        assert not Box.closed((1, 1), (0, 2)).is_empty()
+
+    def test_intersection(self):
+        a = Box.closed((0, 2), (0, 2))
+        b = Box.closed((1, 3), (1, 3))
+        i = a.intersection(b)
+        assert i.contains([Fraction(3, 2), Fraction(3, 2)])
+        assert not i.contains([Fraction(1, 2), Fraction(1, 2)])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(SchemaError):
+            Box.closed((0, 1)).intersection(Box.closed((0, 1), (0, 1)))
+
+    def test_to_gtuple(self):
+        t = Box.closed((0, 1), (2, 3)).to_gtuple(("x", "y"))
+        assert t.contains_point([Fraction(1, 2), Fraction(5, 2)])
+        assert not t.contains_point([Fraction(1, 2), Fraction(1, 2)])
+
+
+class TestBoxSet:
+    def test_union_contains_both(self):
+        s = BoxSet([Box.closed((0, 1), (0, 1))]).union(BoxSet([Box.closed((2, 3), (2, 3))]))
+        assert s.contains([Fraction(1, 2), Fraction(1, 2)])
+        assert s.contains([Fraction(5, 2), Fraction(5, 2)])
+
+    def test_complement_of_square(self):
+        s = BoxSet([Box.closed((0, 1), (0, 1))])
+        c = s.complement()
+        assert c.contains([2, 2])
+        assert c.contains([Fraction(1, 2), 2])
+        assert not c.contains([Fraction(1, 2), Fraction(1, 2)])
+
+    def test_empty_needs_dimension(self):
+        with pytest.raises(SchemaError):
+            BoxSet([])
+
+    @settings(max_examples=80, deadline=None)
+    @given(box_sets2(), box_sets2())
+    def test_algebra_pointwise(self, a, b):
+        pa, pb = grid_points(a), grid_points(b)
+        assert grid_points(a.union(b)) == pa | pb
+        assert grid_points(a.intersection(b)) == pa & pb
+        assert grid_points(a.difference(b)) == pa - pb
+
+    @settings(max_examples=60, deadline=None)
+    @given(box_sets2())
+    def test_complement_pointwise(self, a):
+        assert grid_points(a.complement()) == set(GRID2) - grid_points(a)
+
+
+class TestRelationConversion:
+    def test_round_trip(self):
+        s = BoxSet([Box.closed((0, 1), (0, 1)), Box.open((2, 3), (2, 3))])
+        r = s.to_relation(("x", "y"))
+        back = BoxSet.from_relation(r)
+        assert grid_points(back) == grid_points(s)
+
+    def test_relation_and_boxset_agree(self):
+        s = BoxSet([Box.closed((0, 2), (1, 3))])
+        r = s.to_relation(("x", "y"))
+        for p in GRID2:
+            assert r.contains_point(list(p)) == s.contains(p)
+
+    def test_non_axis_aligned_rejected(self):
+        r = Relation.from_atoms(("x", "y"), [[lt("x", "y")]], DENSE_ORDER)
+        with pytest.raises(SchemaError):
+            BoxSet.from_relation(r)
+
+    @settings(max_examples=40, deadline=None)
+    @given(box_sets2())
+    def test_complement_matches_relation_complement(self, s):
+        r = s.to_relation(("x", "y"))
+        rc = r.complement()
+        sc = s.complement()
+        for p in GRID2:
+            assert rc.contains_point(list(p)) == sc.contains(p)

@@ -1,0 +1,62 @@
+"""Unit tests for database instances."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER, DenseOrderTheory
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d["S"] = Relation.from_atoms(("x",), [[lt(0, "x"), lt("x", 1)]], DENSE_ORDER)
+    d["T"] = Relation.from_atoms(("x", "y"), [[le("x", "y")]], DENSE_ORDER)
+    return d
+
+
+class TestMapping:
+    def test_get_set(self, db):
+        assert db["S"].arity == 1
+        assert "S" in db and "T" in db
+        assert "U" not in db
+
+    def test_unknown_raises(self, db):
+        with pytest.raises(SchemaError):
+            db["U"]
+
+    def test_invalid_name(self, db):
+        with pytest.raises(SchemaError):
+            db[""] = Relation.empty(("x",))
+
+    def test_len_iter_names(self, db):
+        assert len(db) == 2
+        assert set(db) == {"S", "T"}
+        assert db.names() == ("S", "T")
+
+    def test_theory_mismatch(self, db):
+        other = DenseOrderTheory()
+        with pytest.raises(SchemaError):
+            db["U"] = Relation.empty(("x",), other)
+
+
+class TestInspection:
+    def test_schema_arity(self, db):
+        assert db.schema("T") == ("x", "y")
+        assert db.arity("T") == 2
+
+    def test_constants(self, db):
+        assert db.constants() == {Fraction(0), Fraction(1)}
+
+    def test_copy_is_shallow_independent(self, db):
+        c = db.copy()
+        c["U"] = Relation.empty(("x",))
+        assert "U" not in db
+
+    def test_repr(self, db):
+        assert "S/1" in repr(db)
+        assert "T/2" in repr(db)

@@ -1,0 +1,168 @@
+"""Unit tests for closed-form FO evaluation (paper Section 3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import eq, le, lt, ne
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Not, constraint, exists, forall, rel
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EvaluationError, SchemaError
+
+
+def C(a):
+    return constraint(a)
+
+
+@pytest.fixture
+def db():
+    triangle = GTuple.make(
+        DENSE_ORDER, ("x", "y"), [le("x", "y"), le(0, "x"), le("y", 10)]
+    )
+    segment = GTuple.make(DENSE_ORDER, ("x",), [lt(2, "x"), lt("x", 4)])
+    database = Database()
+    database["T"] = Relation(DENSE_ORDER, ("x", "y"), [triangle])
+    database["S"] = Relation(DENSE_ORDER, ("x",), [segment])
+    database["E"] = Relation.from_points(("x", "y"), [(1, 2), (2, 3), (5, 6)])
+    return database
+
+
+class TestConstraints:
+    def test_single_atom(self):
+        out = evaluate(C(lt("x", 3)))
+        assert out.schema == ("x",)
+        assert out.contains_point([2])
+        assert not out.contains_point([3])
+
+    def test_ne_expands(self):
+        out = evaluate(C(ne("x", 0)))
+        assert out.contains_point([1])
+        assert out.contains_point([-1])
+        assert not out.contains_point([0])
+
+    def test_sentence_true(self):
+        assert evaluate_boolean(C(lt(0, 1)))
+
+    def test_sentence_with_free_variable_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_boolean(C(lt("x", 1)))
+
+
+class TestRelationAtoms:
+    def test_plain(self, db):
+        out = evaluate(rel("T", "a", "b"), db)
+        assert out.schema == ("a", "b")
+        assert out.contains_point([1, 5])
+        assert not out.contains_point([5, 1])
+
+    def test_constant_argument(self, db):
+        out = evaluate(rel("T", 0, "b"), db)
+        assert out.schema == ("b",)
+        assert out.contains_point([7])
+        assert not out.contains_point([11])
+
+    def test_repeated_variable(self, db):
+        out = evaluate(rel("T", "a", "a"), db)  # diagonal of the triangle
+        assert out.contains_point([5])
+        assert not out.contains_point([11])
+        assert not out.contains_point([-1])
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(rel("S", "a", "b"), db)
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(rel("Nope", "a"), db)
+
+
+class TestConnectives:
+    def test_and_is_intersection(self, db):
+        out = evaluate(rel("S", "x") & C(lt("x", 3)), db)
+        assert out.contains_point([Fraction(5, 2)])
+        assert not out.contains_point([Fraction(7, 2)])
+
+    def test_or_pads_schemas(self, db):
+        out = evaluate(rel("S", "x") | C(lt("y", 0)), db)
+        assert out.schema == ("x", "y")
+        assert out.contains_point([3, 100])  # from S(x)
+        assert out.contains_point([100, -1])  # from y < 0
+
+    def test_not_is_complement(self, db):
+        out = evaluate(Not(rel("S", "x")), db)
+        assert out.contains_point([2])
+        assert out.contains_point([4])
+        assert not out.contains_point([3])
+
+
+class TestQuantifiers:
+    def test_exists_projection(self, db):
+        out = evaluate(exists("y", rel("T", "x", "y")), db)
+        assert out.schema == ("x",)
+        assert out.contains_point([0])
+        assert out.contains_point([10])
+        assert not out.contains_point([11])
+        assert not out.contains_point([-1])
+
+    def test_forall(self, db):
+        # forall y (0 < y < 1 -> S does not contain y): S = (2,4)
+        f = forall("y", (C(lt(0, "y")) & C(lt("y", 1))).implies(Not(rel("S", "y"))))
+        assert evaluate_boolean(f, db)
+
+    def test_forall_false(self, db):
+        f = forall("y", rel("S", "y"))
+        assert not evaluate_boolean(f, db)
+
+    def test_density_sentence(self):
+        f = forall(
+            ["a", "b"],
+            C(lt("a", "b")).implies(exists("m", C(lt("a", "m")) & C(lt("m", "b")))),
+        )
+        assert evaluate_boolean(f)
+
+    def test_no_endpoints_sentence(self):
+        f = forall("a", exists("b", C(lt("b", "a"))))
+        assert evaluate_boolean(f)
+
+    def test_discreteness_fails(self):
+        """'a has an immediate successor' is false in Q."""
+        f = exists(
+            ["a", "b"],
+            C(lt("a", "b"))
+            & forall("m", Not(C(lt("a", "m")) & C(lt("m", "b")))),
+        )
+        assert not evaluate_boolean(f)
+
+
+class TestFiniteRelations:
+    def test_finite_join(self, db):
+        # E composed with E: pairs (x, z) with E(x,y), E(y,z)
+        f = exists("y", rel("E", "x", "y") & rel("E", "y", "z"))
+        out = evaluate(f, db)
+        assert out.contains_point([1, 3])
+        assert not out.contains_point([2, 6])
+        assert not out.contains_point([1, 6])
+
+    def test_theory_mismatch_detected(self, db):
+        from repro.core.theory import DenseOrderTheory
+
+        other = DenseOrderTheory()
+        with pytest.raises(EvaluationError):
+            evaluate(rel("E", "x", "y"), db, theory=other)
+
+
+class TestClosedForm:
+    def test_output_is_instance(self, db):
+        """Closed form: the output is again a generalized relation whose
+        constants come from the input (no new constants invented)."""
+        f = exists("y", rel("T", "x", "y") & C(lt("y", 8)))
+        out = evaluate(f, db)
+        assert out.constants() <= db.constants() | {Fraction(8)}
+
+    def test_empty_result(self, db):
+        out = evaluate(rel("S", "x") & C(lt("x", 0)), db)
+        assert out.is_empty()

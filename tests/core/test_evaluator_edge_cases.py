@@ -1,0 +1,149 @@
+"""Evaluator edge cases beyond the main suite."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import eq, le, lt, ne
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    conj,
+    constraint,
+    disj,
+    exists,
+    forall,
+    rel,
+)
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+
+
+def C(a):
+    return constraint(a)
+
+
+class TestBooleanNodes:
+    def test_true_false_leaves(self):
+        assert evaluate_boolean(TRUE)
+        assert not evaluate_boolean(FALSE)
+
+    def test_empty_connectives(self):
+        assert evaluate_boolean(And(()))
+        assert not evaluate_boolean(Or(()))
+
+    def test_mixed_boolean_leaves(self):
+        assert evaluate_boolean(TRUE & Not(FALSE))
+        assert not evaluate_boolean(TRUE & FALSE)
+
+
+class TestMultiVariableQuantifiers:
+    def test_forall_block(self):
+        f = forall(["a", "b", "c"],
+                   (C(lt("a", "b")) & C(lt("b", "c"))).implies(C(lt("a", "c"))))
+        assert evaluate_boolean(f)
+
+    def test_exists_block_with_constraints(self):
+        f = exists(["a", "b", "c"], C(lt("a", "b")) & C(lt("b", "c")) & C(lt("c", "a")))
+        assert not evaluate_boolean(f)
+
+    def test_quantifying_absent_variable(self):
+        """Quantifying a variable not occurring in the body is a no-op."""
+        f = exists("ghost", C(lt("x", 1)))
+        out = evaluate(f)
+        assert out.schema == ("x",)
+        assert out.contains_point([0])
+
+    def test_forall_absent_variable(self):
+        f = forall("ghost", C(lt("x", 1)))
+        out = evaluate(f)
+        assert out.contains_point([0])
+        assert not out.contains_point([2])
+
+
+class TestNeInQueries:
+    def test_ne_against_relation(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        f = rel("S", "x") & C(ne("x", 0))
+        out = evaluate(f, db)
+        assert out.contains_point([1])
+        assert not out.contains_point([0])
+
+    def test_ne_between_variables(self):
+        f = C(ne("x", "y"))
+        out = evaluate(f)
+        assert out.contains_point([1, 2])
+        assert not out.contains_point([1, 1])
+
+
+class TestRepeatedAndConstantArguments:
+    @pytest.fixture
+    def db(self):
+        d = Database()
+        d["T"] = Relation.from_atoms(
+            ("x", "y"), [[le("x", "y"), le(0, "x"), le("y", 4)]], DENSE_ORDER
+        )
+        return d
+
+    def test_both_constants(self, db):
+        assert evaluate_boolean(rel("T", 1, 2), db)
+        assert not evaluate_boolean(rel("T", 2, 1), db)
+
+    def test_triple_use_of_one_variable(self, db):
+        db["U"] = Relation.universe(("a", "b", "c"))
+        f = rel("U", "x", "x", "x") & C(lt("x", 1))
+        out = evaluate(f, db)
+        assert out.schema == ("x",)
+        assert out.contains_point([0])
+
+    def test_constant_and_repeated(self, db):
+        f = rel("T", "z", "z") & rel("T", 0, "z")
+        out = evaluate(f, db)
+        assert out.contains_point([2])
+        assert not out.contains_point([5])
+
+
+class TestSchemaOrderingInvariants:
+    def test_result_schema_is_sorted(self):
+        f = C(lt("zeta", "alpha"))
+        out = evaluate(f)
+        assert out.schema == ("alpha", "zeta")
+
+    def test_or_branches_align(self):
+        f = disj(C(lt("b", 1)), C(lt("a", 1)), C(lt("c", 1)))
+        out = evaluate(f)
+        assert out.schema == ("a", "b", "c")
+        assert out.contains_point([0, 5, 5])
+        assert out.contains_point([5, 0, 5])
+        assert out.contains_point([5, 5, 0])
+        assert not out.contains_point([5, 5, 5])
+
+    def test_nested_or_and_mix(self):
+        f = (C(lt("a", 0)) | C(lt("b", 0))) & (C(lt("a", 1)) | C(lt("c", 0)))
+        out = evaluate(f)
+        assert out.schema == ("a", "b", "c")
+        assert out.contains_point([-1, 5, 5])   # a<0 covers both conjuncts
+        assert out.contains_point([5, -1, -1])  # b<0 and c<0
+        assert not out.contains_point([5, -1, 5])
+
+
+class TestRenameSwaps:
+    def test_simultaneous_column_swap(self):
+        r = Relation.from_atoms(("x", "y"), [[lt("x", "y")]], DENSE_ORDER)
+        swapped = r.rename({"x": "y", "y": "x"})
+        assert swapped.schema == ("y", "x")
+        # the pointset follows the columns: first column (now y) < second (x)
+        assert swapped.contains_point([1, 2])
+        assert not swapped.contains_point([2, 1])
+
+    def test_swap_round_trip(self):
+        r = Relation.from_atoms(("x", "y"), [[lt("x", "y"), le(0, "x")]], DENSE_ORDER)
+        back = r.rename({"x": "y", "y": "x"}).rename({"x": "y", "y": "x"})
+        assert back.schema == r.schema
+        assert back.equivalent(r)

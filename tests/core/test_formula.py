@@ -1,0 +1,156 @@
+"""Unit tests for the FO formula AST."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import eq, le, lt
+from repro.core.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    RelationAtom,
+    conj,
+    constraint,
+    disj,
+    exists,
+    forall,
+    rel,
+)
+from repro.core.terms import Const, Var
+from repro.errors import EvaluationError
+
+
+class TestFreeVariables:
+    def test_constraint(self):
+        f = constraint(lt("x", "y"))
+        assert f.free_variables() == {Var("x"), Var("y")}
+
+    def test_relation_atom(self):
+        f = rel("R", "x", 3, "y")
+        assert f.free_variables() == {Var("x"), Var("y")}
+
+    def test_quantifier_binds(self):
+        f = exists("x", constraint(lt("x", "y")))
+        assert f.free_variables() == {Var("y")}
+
+    def test_nested(self):
+        f = forall("y", exists("x", constraint(lt("x", "y")) & constraint(lt("z", "x"))))
+        assert f.free_variables() == {Var("z")}
+
+    def test_boolean(self):
+        assert TRUE.free_variables() == frozenset()
+
+
+class TestConstants:
+    def test_collects_from_atoms_and_args(self):
+        f = constraint(lt("x", Fraction(1, 2))) & rel("R", 3, "x")
+        assert f.constants() == {Fraction(1, 2), Fraction(3)}
+
+
+class TestRelationNames:
+    def test_collects(self):
+        f = exists("x", rel("R", "x") | Not(rel("S", "x")))
+        assert f.relation_names() == {"R", "S"}
+
+
+class TestSubstitution:
+    def test_free_variable_substituted(self):
+        f = constraint(lt("x", "y"))
+        g = f.substitute({Var("x"): Const(Fraction(1))})
+        assert g == constraint(lt(1, "y"))
+
+    def test_folds_to_boolean(self):
+        f = constraint(lt("x", "y"))
+        g = f.substitute({Var("x"): Const(Fraction(1)), Var("y"): Const(Fraction(2))})
+        assert g is TRUE
+
+    def test_bound_variable_untouched(self):
+        f = exists("x", constraint(lt("x", "y")))
+        g = f.substitute({Var("x"): Const(Fraction(9))})
+        assert g == f
+
+    def test_capture_avoided(self):
+        """Substituting y := x under exists x must rename the bound x."""
+        f = exists("x", constraint(lt("x", "y")))
+        g = f.substitute({Var("y"): Var("x")})
+        assert isinstance(g, Exists)
+        bound = g.variables[0]
+        assert bound != Var("x")
+        # body must now be  bound < x
+        assert g.sub == constraint(lt(bound, "x"))
+
+    def test_relation_atom_args_substituted(self):
+        f = rel("R", "x", "y")
+        g = f.substitute({Var("x"): Const(Fraction(0))})
+        assert g == RelationAtom("R", (Const(Fraction(0)), Var("y")))
+
+
+class TestQuantifierRank:
+    def test_quantifier_free_is_zero(self):
+        assert (constraint(lt("x", "y")) & TRUE).quantifier_rank() == 0
+
+    def test_counts_nesting(self):
+        f = exists("x", forall("y", constraint(lt("x", "y"))))
+        assert f.quantifier_rank() == 2
+
+    def test_parallel_branches_take_max(self):
+        f = exists("x", TRUE) | exists(["y", "z"], TRUE)
+        assert f.quantifier_rank() == 2
+
+
+class TestSugar:
+    def test_operators(self):
+        a = constraint(lt("x", 0))
+        b = constraint(lt(0, "x"))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_implies_iff(self):
+        a, b = constraint(lt("x", 0)), constraint(lt("x", 1))
+        assert isinstance(a.implies(b), Or)
+        assert isinstance(a.iff(b), And)
+
+    def test_conj_disj_edge_cases(self):
+        assert conj() is TRUE
+        assert disj() is FALSE
+        a = constraint(lt("x", 0))
+        assert conj(a) is a
+        assert disj(a) is a
+
+    def test_constraint_wraps_booleans(self):
+        assert constraint(True) is TRUE
+        assert constraint(False) is FALSE
+
+    def test_quantifier_without_variables_rejected(self):
+        with pytest.raises(EvaluationError):
+            Exists((), TRUE)
+
+    def test_multi_variable_quantifier(self):
+        f = exists(["x", "y"], constraint(lt("x", "y")))
+        assert f.free_variables() == frozenset()
+
+    def test_str_forms(self):
+        f = exists("x", constraint(lt("x", 1)) & rel("R", "x"))
+        text = str(f)
+        assert "exists x" in text
+        assert "R(x)" in text
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        f = exists("x", constraint(lt("x", "y")))
+        g = exists("x", constraint(lt("x", "y")))
+        assert f == g
+        assert hash(f) == hash(g)
+
+    def test_exists_forall_differ(self):
+        f = exists("x", TRUE)
+        g = forall("x", TRUE)
+        assert f != g

@@ -1,0 +1,167 @@
+"""Unit and property tests for the canonical 1-D interval form."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import le, lt
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import SchemaError
+from tests.strategies import fractions as fracs, interval_sets, intervals
+
+GRID = [Fraction(n, 2) for n in range(-8, 9)]
+
+
+def grid_points(s: IntervalSet):
+    return {v for v in GRID if s.contains(v)}
+
+
+class TestInterval:
+    def test_point(self):
+        p = Interval.point(3)
+        assert p.is_point()
+        assert p.contains(3)
+        assert not p.contains(Fraction(31, 10))
+
+    def test_open_excludes_endpoints(self):
+        i = Interval.open(0, 1)
+        assert not i.contains(0)
+        assert not i.contains(1)
+        assert i.contains(Fraction(1, 2))
+
+    def test_closed_includes_endpoints(self):
+        i = Interval.closed(0, 1)
+        assert i.contains(0)
+        assert i.contains(1)
+
+    def test_empty_detection(self):
+        assert Interval.open(1, 1).is_empty()
+        assert Interval.make(2, 1).is_empty()
+        assert not Interval.point(1).is_empty()
+        assert not Interval.all().is_empty()
+
+    def test_rays(self):
+        assert Interval.less_than(0).contains(-100)
+        assert not Interval.less_than(0).contains(0)
+        assert Interval.at_most(0).contains(0)
+        assert Interval.greater_than(0).contains(100)
+        assert Interval.at_least(0).contains(0)
+
+    def test_intersection(self):
+        a = Interval.closed(0, 2)
+        b = Interval.open(1, 3)
+        i = a.intersection(b)
+        assert i.contains(Fraction(3, 2))
+        assert not i.contains(1)
+        assert i.contains(2)
+
+    def test_touches_adjacent_half_open(self):
+        a = Interval.closed(0, 1)
+        b = Interval.open(1, 2)
+        assert a.touches(b)
+        assert b.touches(a)
+
+    def test_open_gap_does_not_touch(self):
+        a = Interval.open(0, 1)
+        b = Interval.open(1, 2)
+        assert not a.touches(b)
+
+    def test_complement_of_closed(self):
+        parts = Interval.closed(0, 1).complement()
+        assert len(parts) == 2
+        assert parts[0].contains(-1) and not parts[0].contains(0)
+        assert parts[1].contains(2) and not parts[1].contains(1)
+
+    def test_complement_of_all_is_empty(self):
+        assert Interval.all().complement() == []
+
+    def test_str(self):
+        assert str(Interval.closed(0, 1)) == "[0, 1]"
+        assert str(Interval.open(0, 1)) == "(0, 1)"
+        assert str(Interval.all()) == "(-inf, +inf)"
+
+
+class TestIntervalSetCanonical:
+    def test_overlapping_merged(self):
+        s = IntervalSet([Interval.closed(0, 2), Interval.closed(1, 3)])
+        assert len(s) == 1
+        assert s.intervals[0] == Interval.closed(0, 3)
+
+    def test_adjacent_merged(self):
+        s = IntervalSet([Interval.closed(0, 1), Interval.open(1, 2)])
+        assert len(s) == 1
+
+    def test_gap_kept(self):
+        s = IntervalSet([Interval.open(0, 1), Interval.open(1, 2)])
+        assert len(s) == 2
+
+    def test_point_plugs_gap(self):
+        s = IntervalSet([Interval.open(0, 1), Interval.point(1), Interval.open(1, 2)])
+        assert len(s) == 1
+        assert s.intervals[0] == Interval.open(0, 2)
+
+    def test_empties_dropped(self):
+        s = IntervalSet([Interval.open(1, 1), Interval.make(3, 2)])
+        assert s.is_empty()
+
+    def test_canonical_equality(self):
+        a = IntervalSet([Interval.closed(0, 1), Interval.closed(1, 2)])
+        b = IntervalSet([Interval.closed(0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    @settings(max_examples=150)
+    @given(interval_sets(), interval_sets())
+    def test_algebra_pointwise(self, a, b):
+        pa, pb = grid_points(a), grid_points(b)
+        assert grid_points(a.union(b)) == pa | pb
+        assert grid_points(a.intersection(b)) == pa & pb
+        assert grid_points(a.difference(b)) == pa - pb
+
+    @settings(max_examples=100)
+    @given(interval_sets())
+    def test_double_complement(self, a):
+        assert a.complement().complement() == a
+
+    @settings(max_examples=100)
+    @given(interval_sets())
+    def test_union_with_complement_is_all(self, a):
+        assert a.union(a.complement()) == IntervalSet.all()
+        assert a.intersection(a.complement()).is_empty()
+
+
+class TestRelationConversion:
+    def test_from_unary_relation(self):
+        r = Relation.from_atoms(
+            ("x",),
+            [[le(0, "x"), le("x", 1)], [lt(5, "x")]],
+            DENSE_ORDER,
+        )
+        s = IntervalSet.from_relation(r)
+        assert s == IntervalSet([Interval.closed(0, 1), Interval.greater_than(5)])
+
+    def test_point_tuple(self):
+        r = Relation.from_points(("x",), [(3,)])
+        assert IntervalSet.from_relation(r) == IntervalSet([Interval.point(3)])
+
+    def test_arity_guard(self):
+        with pytest.raises(SchemaError):
+            IntervalSet.from_relation(Relation.universe(("x", "y")))
+
+    def test_round_trip(self):
+        s = IntervalSet([Interval.open(0, 1), Interval.point(2), Interval.at_least(3)])
+        assert IntervalSet.from_relation(s.to_relation()) == s
+
+    @settings(max_examples=100)
+    @given(interval_sets())
+    def test_round_trip_random(self, s):
+        assert IntervalSet.from_relation(s.to_relation()) == s
+
+    @settings(max_examples=60)
+    @given(interval_sets())
+    def test_relation_complement_matches_interval_complement(self, s):
+        r = s.to_relation()
+        assert IntervalSet.from_relation(r.complement()) == s.complement()

@@ -1,0 +1,126 @@
+"""Tests for NNF and prenex normal forms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import eq, le, lt
+from repro.core.formula import (
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    constraint,
+    exists,
+    forall,
+    rel,
+)
+from repro.core.normal_forms import (
+    is_quantifier_free,
+    matrix_and_prefix,
+    to_nnf,
+    to_prenex,
+)
+from repro.core.qe import equivalent
+from repro.errors import EvaluationError
+from tests.strategies import formulas
+
+
+def C(a):
+    return constraint(a)
+
+
+class TestNNF:
+    def test_double_negation(self):
+        f = Not(Not(C(lt("x", 1))))
+        assert to_nnf(f) == C(lt("x", 1))
+
+    def test_de_morgan(self):
+        f = Not(C(lt("x", 1)) & C(lt("y", 1)))
+        g = to_nnf(f)
+        assert isinstance(g, Or)
+        assert all(isinstance(s, Not) or isinstance(s, Constraint) for s in g.subs)
+
+    def test_quantifier_duals(self):
+        f = Not(exists("x", C(lt("x", 1))))
+        g = to_nnf(f)
+        assert isinstance(g, ForAll)
+
+    def test_expand_ne_removes_all_negation(self):
+        f = Not(C(le("x", 1)) | Not(C(eq("x", "y"))))
+        g = to_nnf(f, expand_ne=True)
+
+        def no_not(node):
+            if isinstance(node, Not):
+                return False
+            if isinstance(node, (And, Or)):
+                return all(no_not(s) for s in node.subs)
+            if isinstance(node, (Exists, ForAll)):
+                return no_not(node.sub)
+            return True
+
+        assert no_not(g)
+
+    def test_negated_relation_atom_keeps_not(self):
+        f = Not(rel("R", "x"))
+        assert to_nnf(f) == f
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(depth=2))
+    def test_nnf_preserves_semantics(self, f):
+        assert equivalent(f, to_nnf(f))
+        assert equivalent(f, to_nnf(f, expand_ne=True))
+
+
+class TestPrenex:
+    def test_already_prenex(self):
+        f = exists("x", forall("y", C(lt("x", "y"))))
+        g = to_prenex(f)
+        prefix, matrix = matrix_and_prefix(g)
+        assert [k for k, _ in prefix] == ["exists", "forall"]
+        assert is_quantifier_free(matrix)
+
+    def test_pulls_from_conjunction(self):
+        f = exists("x", C(lt("x", 0))) & exists("x", C(lt(0, "x")))
+        g = to_prenex(f)
+        prefix, matrix = matrix_and_prefix(g)
+        assert len(prefix) == 2
+        # the two bound x's must have been renamed apart
+        names = {v.name for _, v in prefix}
+        assert len(names) == 2
+
+    def test_negation_flips_quantifier(self):
+        f = Not(exists("x", C(lt("x", "y"))))
+        g = to_prenex(f)
+        prefix, _ = matrix_and_prefix(g)
+        assert prefix[0][0] == "forall"
+
+    def test_capture_avoidance(self):
+        # free y outside, bound y inside a sibling
+        f = C(lt("y", 0)) & exists("y", C(lt(0, "y")))
+        g = to_prenex(f)
+        prefix, matrix = matrix_and_prefix(g)
+        [(kind, bound)] = prefix
+        assert bound.name != "y"
+        assert g.free_variables() == f.free_variables()
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(depth=2))
+    def test_prenex_preserves_semantics(self, f):
+        g = to_prenex(f)
+        matrix_and_prefix(g)  # must not raise: g is prenex
+        assert equivalent(f, g)
+
+
+class TestMatrixAndPrefix:
+    def test_rejects_non_prenex(self):
+        f = exists("x", C(lt("x", 0))) & C(lt("y", 0))
+        with pytest.raises(EvaluationError):
+            matrix_and_prefix(f)
+
+    def test_quantifier_free_passthrough(self):
+        f = C(lt("x", 0)) & C(lt("y", 0))
+        prefix, matrix = matrix_and_prefix(f)
+        assert prefix == []
+        assert matrix == f

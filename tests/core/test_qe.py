@@ -1,0 +1,85 @@
+"""Unit tests for quantifier elimination and decision procedures."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import eq, le, lt
+from repro.core.formula import FALSE, TRUE, Not, constraint, exists, forall, rel
+from repro.core.qe import (
+    eliminate_quantifiers,
+    equivalent,
+    formula_to_relation,
+    is_satisfiable,
+    is_valid,
+    relation_to_formula,
+)
+from repro.core.sampling import eval_at
+from repro.errors import EvaluationError
+from tests.strategies import formulas
+
+
+def C(a):
+    return constraint(a)
+
+
+class TestEliminateQuantifiers:
+    def test_density_example(self):
+        f = exists("y", C(lt("x", "y")) & C(lt("y", "z")))
+        g = eliminate_quantifiers(f)
+        assert equivalent(g, C(lt("x", "z")))
+        assert g.quantifier_rank() == 0
+
+    def test_sentence_collapses(self):
+        f = exists("x", C(lt("x", 0)))
+        assert eliminate_quantifiers(f) is TRUE
+        g = exists("x", C(lt("x", 0)) & C(lt(1, "x")))
+        assert eliminate_quantifiers(g) is FALSE
+
+    def test_forall(self):
+        f = forall("y", C(le("x", "y")) | C(le("y", "x")))
+        assert eliminate_quantifiers(f) is TRUE
+
+    def test_relation_atoms_rejected(self):
+        with pytest.raises(EvaluationError):
+            eliminate_quantifiers(exists("x", rel("R", "x")))
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(depth=2))
+    def test_result_is_quantifier_free_and_equivalent(self, f):
+        g = eliminate_quantifiers(f)
+        assert g.quantifier_rank() == 0
+        assert equivalent(f, g)
+
+
+class TestDecisionProcedures:
+    def test_satisfiable(self):
+        assert is_satisfiable(C(lt("x", "y")))
+        assert not is_satisfiable(C(lt("x", "y")) & C(lt("y", "x")))
+
+    def test_valid(self):
+        assert is_valid(C(le("x", "y")) | C(le("y", "x")))
+        assert not is_valid(C(le("x", "y")))
+
+    def test_equivalent(self):
+        a = C(le("x", "y")) & C(le("y", "x"))
+        b = C(eq("x", "y"))
+        assert equivalent(a, b)
+        assert not equivalent(C(le("x", "y")), C(lt("x", "y")))
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(depth=2))
+    def test_excluded_middle(self, f):
+        assert is_valid(f | Not(f))
+        assert not is_satisfiable(f & Not(f))
+
+
+class TestRelationFormulaRoundTrip:
+    def test_round_trip(self):
+        f = C(lt(0, "x")) & C(lt("x", 1)) | C(eq("x", 5))
+        r = formula_to_relation(f)
+        g = relation_to_formula(r)
+        assert equivalent(f, g)
+
+    def test_empty_relation_is_false(self):
+        r = formula_to_relation(C(lt("x", 0)) & C(lt(0, "x")))
+        assert relation_to_formula(r) is FALSE

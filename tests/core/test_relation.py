@@ -1,0 +1,231 @@
+"""Unit and property tests for generalized relations and their algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import eq, le, lt
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import SchemaError
+from tests.strategies import conjunctions, fractions as fracs
+
+import hypothesis.strategies as st
+
+
+def rel_from(schema, *conjs):
+    return Relation.from_atoms(schema, conjs, DENSE_ORDER)
+
+
+SAMPLE_GRID = [Fraction(n, 2) for n in range(-6, 7)]
+
+
+def points1(relation):
+    """Membership fingerprint of a unary relation on a fixed grid."""
+    return {v for v in SAMPLE_GRID if relation.contains_point([v])}
+
+
+@st.composite
+def unary_relations(draw, max_tuples=3):
+    """Random unary relations over column x."""
+    tuples = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_tuples))):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        a, b = draw(fracs), draw(fracs)
+        lo, hi = min(a, b), max(a, b)
+        if kind == 0:
+            tuples.append([eq("x", lo)])
+        elif kind == 1:
+            tuples.append([lt(lo, "x"), lt("x", hi)])
+        elif kind == 2:
+            tuples.append([le(lo, "x"), le("x", hi)])
+        else:
+            tuples.append([le("x", lo)])
+    return rel_from(("x",), *tuples)
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = Relation.empty(("x",))
+        assert r.is_empty()
+        assert not r.contains_point([Fraction(0)])
+
+    def test_universe(self):
+        r = Relation.universe(("x", "y"))
+        assert r.contains_point([Fraction(5), Fraction(-5)])
+
+    def test_unsatisfiable_tuples_filtered(self):
+        r = rel_from(("x",), [lt("x", 0), lt(0, "x")])
+        assert r.is_empty()
+
+    def test_duplicate_tuples_merged(self):
+        r = rel_from(("x",), [le("x", 1)], [le("x", 1)])
+        assert len(r) == 1
+
+    def test_from_points(self):
+        r = Relation.from_points(("x", "y"), [(1, 2), (3, 4)])
+        assert r.contains_point([1, 2])
+        assert r.contains_point([3, 4])
+        assert not r.contains_point([1, 4])
+
+    def test_schema_mismatch_rejected(self):
+        t = GTuple.universe(DENSE_ORDER, ("x",))
+        with pytest.raises(SchemaError):
+            Relation(DENSE_ORDER, ("y",), [t])
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = rel_from(("x",), [lt("x", 0)])
+        b = rel_from(("x",), [lt(0, "x")])
+        u = a.union(b)
+        assert u.contains_point([Fraction(-1)])
+        assert u.contains_point([Fraction(1)])
+        assert not u.contains_point([Fraction(0)])
+
+    def test_intersection(self):
+        a = rel_from(("x",), [le(0, "x")])
+        b = rel_from(("x",), [le("x", 1)])
+        i = a.intersection(b)
+        assert i.contains_point([Fraction(1, 2)])
+        assert not i.contains_point([Fraction(2)])
+
+    def test_complement_of_interval(self):
+        a = rel_from(("x",), [le(0, "x"), le("x", 1)])
+        c = a.complement()
+        assert c.contains_point([Fraction(-1)])
+        assert c.contains_point([Fraction(2)])
+        assert not c.contains_point([Fraction(1, 2)])
+        assert not c.contains_point([Fraction(0)])
+
+    def test_complement_of_empty_is_universe(self):
+        assert Relation.empty(("x",)).complement().contains_point([Fraction(9)])
+
+    def test_complement_of_universe_is_empty(self):
+        assert Relation.universe(("x",)).complement().is_empty()
+
+    def test_difference(self):
+        a = rel_from(("x",), [le(0, "x"), le("x", 10)])
+        b = rel_from(("x",), [lt(2, "x"), lt("x", 3)])
+        d = a.difference(b)
+        assert d.contains_point([Fraction(2)])
+        assert d.contains_point([Fraction(3)])
+        assert not d.contains_point([Fraction(5, 2)])
+
+    @settings(max_examples=100)
+    @given(unary_relations(), unary_relations())
+    def test_algebra_matches_pointwise(self, a, b):
+        """Union/intersection/difference agree with pointwise semantics."""
+        pa, pb = points1(a), points1(b)
+        assert points1(a.union(b)) == pa | pb
+        assert points1(a.intersection(b)) == pa & pb
+        assert points1(a.difference(b)) == pa - pb
+
+    @settings(max_examples=60)
+    @given(unary_relations())
+    def test_double_complement(self, a):
+        assert a.complement().complement().equivalent(a)
+
+    @settings(max_examples=60)
+    @given(unary_relations())
+    def test_complement_is_pointwise_negation(self, a):
+        pa = points1(a)
+        pc = points1(a.complement())
+        assert pc == set(SAMPLE_GRID) - pa
+
+
+class TestRelationalOps:
+    def test_select(self):
+        r = Relation.universe(("x", "y"))
+        s = r.select([lt("x", "y")])
+        assert s.contains_point([1, 2])
+        assert not s.contains_point([2, 1])
+
+    def test_project_uses_density(self):
+        r = rel_from(("x", "y"), [lt("x", "y"), lt("y", 3)])
+        p = r.project(("x",))
+        # exists y (x < y < 3) <=> x < 3
+        assert p.contains_point([Fraction(2)])
+        assert not p.contains_point([Fraction(3)])
+
+    def test_project_empty_schema(self):
+        r = rel_from(("x",), [lt("x", 0)])
+        p = r.project(())
+        assert not p.is_empty()  # "exists x (x < 0)" is true
+
+    def test_project_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            Relation.universe(("x",)).project(("z",))
+
+    def test_rename(self):
+        r = rel_from(("x",), [le("x", 1)])
+        s = r.rename({"x": "t"})
+        assert s.schema == ("t",)
+        assert s.contains_point([Fraction(0)])
+
+    def test_join_on_shared_column(self):
+        r = rel_from(("x", "y"), [lt("x", "y")])
+        s = rel_from(("y", "z"), [lt("y", "z")])
+        j = r.join(s)
+        assert j.schema == ("x", "y", "z")
+        assert j.contains_point([1, 2, 3])
+        assert not j.contains_point([1, 2, 0])
+
+    def test_join_disjoint_is_product(self):
+        r = rel_from(("x",), [le(0, "x")])
+        s = rel_from(("y",), [le("y", 0)])
+        j = r.join(s)
+        assert j.schema == ("x", "y")
+        assert j.contains_point([1, -1])
+        assert not j.contains_point([-1, -1])
+
+
+class TestComparisons:
+    def test_contains(self):
+        big = rel_from(("x",), [le(0, "x"), le("x", 10)])
+        small = rel_from(("x",), [le(2, "x"), le("x", 3)])
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_equivalent_different_representations(self):
+        a = rel_from(("x",), [le(0, "x"), le("x", 2)])
+        b = rel_from(("x",), [le(0, "x"), le("x", 1)], [le(1, "x"), le("x", 2)])
+        assert a.equivalent(b)
+
+    def test_not_equivalent(self):
+        a = rel_from(("x",), [le(0, "x")])
+        b = rel_from(("x",), [lt(0, "x")])
+        assert not a.equivalent(b)
+        assert a.contains(b)
+
+    @settings(max_examples=60)
+    @given(unary_relations(), unary_relations())
+    def test_containment_sound_on_grid(self, a, b):
+        if a.contains(b):
+            assert points1(b) <= points1(a)
+
+
+class TestSimplify:
+    def test_subsumed_tuple_dropped(self):
+        r = rel_from(("x",), [le(0, "x")], [le(1, "x")])
+        s = r.simplify()
+        assert len(s) == 1
+        assert s.equivalent(r)
+
+    def test_incomparable_tuples_kept(self):
+        r = rel_from(("x",), [le("x", 0)], [le(1, "x")])
+        assert len(r.simplify()) == 2
+
+    @settings(max_examples=60)
+    @given(unary_relations())
+    def test_simplify_preserves_semantics(self, a):
+        assert a.simplify().equivalent(a)
+
+
+class TestSamplePoints:
+    def test_samples_in_relation(self):
+        r = rel_from(("x", "y"), [lt("x", "y")], [lt("y", "x"), lt("x", 0)])
+        for pt in r.sample_points():
+            assert r.contains_point([pt["x"], pt["y"]])

@@ -1,0 +1,103 @@
+"""Cross-validation: closed-form evaluator vs sample-point oracle.
+
+The two implementations of FO semantics share no code above the atom
+level; agreement on random formulas over random databases is strong
+evidence for both.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Exists, ForAll, Formula, constraint, exists, forall, rel
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.sampling import eval_at, evaluate_sentence, sample_points
+from repro.core.terms import Var
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EvaluationError
+from tests.strategies import formulas, fractions as fracs
+
+
+class TestSamplePoints:
+    def test_no_constants(self):
+        assert sample_points([]) == [Fraction(0)]
+
+    def test_covers_all_cells(self):
+        pts = sample_points([Fraction(0), Fraction(2)])
+        assert pts == [Fraction(-1), Fraction(0), Fraction(1), Fraction(2), Fraction(3)]
+
+    def test_duplicates_ignored(self):
+        assert sample_points([Fraction(1), Fraction(1)]) == [Fraction(0), Fraction(1), Fraction(2)]
+
+
+class TestEvalAt:
+    def test_simple_atom(self):
+        f = constraint(lt("x", 1))
+        assert eval_at(f, None, {Var("x"): Fraction(0)})
+        assert not eval_at(f, None, {Var("x"): Fraction(2)})
+
+    def test_missing_assignment_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_at(constraint(lt("x", 1)), None, {})
+
+    def test_quantifier_uses_parameters(self):
+        # exists y (x < y and y < 1): truth depends on x even though
+        # x's value is not a formula constant
+        f = exists("y", constraint(lt("x", "y")) & constraint(lt("y", 1)))
+        assert eval_at(f, None, {Var("x"): Fraction(0)})
+        assert not eval_at(f, None, {Var("x"): Fraction(2)})
+
+    def test_database_membership(self):
+        db = Database()
+        db["S"] = Relation.from_atoms(("x",), [[lt(0, "x"), lt("x", 1)]], DENSE_ORDER)
+        f = rel("S", "x")
+        assert eval_at(f, db, {Var("x"): Fraction(1, 2)})
+        assert not eval_at(f, db, {Var("x"): Fraction(2)})
+
+
+class TestCrossValidation:
+    @settings(max_examples=120, deadline=None)
+    @given(formulas(depth=2), st.data())
+    def test_closed_form_matches_oracle_on_points(self, f, data):
+        """For random formulas, membership in the evaluated relation
+        agrees with the sampling oracle at random points."""
+        out = evaluate(f)
+        names = sorted(v.name for v in f.free_variables())
+        values = [data.draw(fracs) for _ in names]
+        closed_form = out.contains_point(values)
+        oracle = eval_at(f, None, {Var(n): v for n, v in zip(names, values)})
+        assert closed_form == oracle
+
+    @settings(max_examples=80, deadline=None)
+    @given(formulas(depth=2))
+    def test_sentences_agree(self, f):
+        names = sorted(v.name for v in f.free_variables())
+        sentence: Formula = f
+        if names:
+            sentence = Exists(tuple(Var(n) for n in names), f)
+        assert evaluate_boolean(sentence) == evaluate_sentence(sentence)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(depth=2))
+    def test_universal_closure_agrees(self, f):
+        names = sorted(v.name for v in f.free_variables())
+        sentence: Formula = f
+        if names:
+            sentence = ForAll(tuple(Var(n) for n in names), f)
+        assert evaluate_boolean(sentence) == evaluate_sentence(sentence)
+
+    def test_oracle_agrees_on_database_query(self):
+        db = Database()
+        db["T"] = Relation.from_atoms(
+            ("x", "y"), [[le("x", "y"), le(0, "x"), le("y", 10)]], DENSE_ORDER
+        )
+        f = exists("y", rel("T", "x", "y") & constraint(lt("y", 5)))
+        out = evaluate(f, db)
+        for value in sample_points(db.constants() | {Fraction(5)}):
+            assert out.contains_point([value]) == eval_at(f, db, {Var("x"): value})

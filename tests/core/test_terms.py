@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.terms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.terms import Const, Var, as_fraction, as_term, substitute_term, term_key
+from repro.errors import TheoryError
+
+
+class TestVar:
+    def test_name_round_trip(self):
+        assert Var("x").name == "x"
+        assert str(Var("abc")) == "abc"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TheoryError):
+            Var("")
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_ordering(self):
+        assert Var("a") < Var("b")
+
+
+class TestConst:
+    def test_coerces_to_fraction(self):
+        assert Const(3).value == Fraction(3)
+        assert isinstance(Const(3).value, Fraction)
+
+    def test_fraction_preserved(self):
+        assert Const(Fraction(1, 3)).value == Fraction(1, 3)
+
+    def test_str(self):
+        assert str(Const(Fraction(1, 2))) == "1/2"
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(7) == Fraction(7)
+
+    def test_fraction_identity(self):
+        f = Fraction(2, 5)
+        assert as_fraction(f) is f
+
+    def test_string(self):
+        assert as_fraction("3/4") == Fraction(3, 4)
+
+    def test_float_rejected(self):
+        with pytest.raises(TheoryError):
+            as_fraction(0.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TheoryError):
+            as_fraction(True)
+
+
+class TestAsTerm:
+    def test_string_is_variable(self):
+        assert as_term("x") == Var("x")
+
+    def test_int_is_constant(self):
+        assert as_term(5) == Const(Fraction(5))
+
+    def test_term_passthrough(self):
+        v = Var("x")
+        assert as_term(v) is v
+
+
+class TestTermKey:
+    def test_vars_before_consts(self):
+        assert term_key(Var("z")) < term_key(Const(Fraction(-100)))
+
+    def test_consts_by_value(self):
+        assert term_key(Const(Fraction(1))) < term_key(Const(Fraction(2)))
+
+
+class TestSubstituteTerm:
+    def test_variable_replaced(self):
+        assert substitute_term(Var("x"), {Var("x"): Const(Fraction(1))}) == Const(Fraction(1))
+
+    def test_unmapped_variable_kept(self):
+        assert substitute_term(Var("y"), {Var("x"): Const(Fraction(1))}) == Var("y")
+
+    def test_constant_untouched(self):
+        c = Const(Fraction(2))
+        assert substitute_term(c, {Var("x"): Var("y")}) is c

@@ -1,0 +1,149 @@
+"""Contract tests: every ConstraintTheory obeys the engine's assumptions.
+
+The generic engine (tuples, relations, evaluator, Datalog) only sees
+the :class:`~repro.core.theory.ConstraintTheory` interface; these tests
+run both shipped theories through one battery so a third theory can be
+validated by adding a fixture param.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import eq, le, lt
+from repro.core.terms import Const, Var
+from repro.core.theory import DENSE_ORDER
+from repro.linear.latoms import lin_eq, lin_le, lin_lt
+from repro.linear.theory import LINEAR
+
+THEORIES = {
+    "dense-order": (
+        DENSE_ORDER,
+        {
+            "lt": lambda a, b: lt(a, b),
+            "le": lambda a, b: le(a, b),
+            "eq": lambda a, b: eq(a, b),
+        },
+    ),
+    "linear": (
+        LINEAR,
+        {
+            "lt": lambda a, b: lin_lt(a, b),
+            "le": lambda a, b: lin_le(a, b),
+            "eq": lambda a, b: lin_eq(a, b),
+        },
+    ),
+}
+
+
+@pytest.fixture(params=sorted(THEORIES))
+def theory_kit(request):
+    return THEORIES[request.param]
+
+
+class TestSatisfiability:
+    def test_empty(self, theory_kit):
+        theory, _ = theory_kit
+        assert theory.is_satisfiable([])
+
+    def test_chain(self, theory_kit):
+        theory, ops = theory_kit
+        assert theory.is_satisfiable([ops["lt"]("x", "y"), ops["lt"]("y", "z")])
+
+    def test_contradiction(self, theory_kit):
+        theory, ops = theory_kit
+        assert not theory.is_satisfiable([ops["lt"]("x", "y"), ops["lt"]("y", "x")])
+
+    def test_tight_equalities(self, theory_kit):
+        theory, ops = theory_kit
+        atoms = [ops["le"]("x", "y"), ops["le"]("y", "x"), ops["eq"]("x", 3)]
+        assert theory.is_satisfiable(atoms)
+        witness = theory.solve(atoms)
+        assert witness[Var("x")] == witness[Var("y")] == Fraction(3)
+
+
+class TestProjection:
+    def test_density_law(self, theory_kit):
+        """exists y (x < y < z)  <=>  x < z  in both theories."""
+        theory, ops = theory_kit
+        [projected] = theory.project_out(
+            [ops["lt"]("x", "y"), ops["lt"]("y", "z")], Var("y")
+        )
+        # semantically x < z: satisfiable with x < z, unsat with z <= x
+        assert theory.is_satisfiable(projected + [ops["lt"]("x", "z")])
+        assert not theory.is_satisfiable(projected + [ops["le"]("z", "x")])
+
+    def test_no_endpoints(self, theory_kit):
+        theory, ops = theory_kit
+        [projected] = theory.project_out([ops["lt"]("y", "x")], Var("y"))
+        assert projected == []
+
+    def test_pin_substitution(self, theory_kit):
+        theory, ops = theory_kit
+        [projected] = theory.project_out(
+            [ops["eq"]("y", 3), ops["lt"]("x", "y")], Var("y")
+        )
+        assert theory.is_satisfiable(projected + [ops["eq"]("x", 0)])
+        assert not theory.is_satisfiable(projected + [ops["eq"]("x", 5)])
+
+
+class TestNegation:
+    @pytest.mark.parametrize("value", [Fraction(-1), Fraction(0), Fraction(1)])
+    def test_atom_negation_partitions(self, theory_kit, value):
+        theory, ops = theory_kit
+        for make in (ops["lt"], ops["le"], ops["eq"]):
+            a = make("x", 0)
+            env = {Var("x"): value}
+            holds = theory.evaluate_atom(a, env)
+            negated = any(theory.evaluate_atom(n, env) for n in theory.negate_atom(a))
+            assert holds != negated
+
+
+class TestEntailment:
+    def test_transitivity(self, theory_kit):
+        theory, ops = theory_kit
+        premises = [ops["lt"]("x", "y"), ops["lt"]("y", "z")]
+        assert theory.entails(premises, ops["lt"]("x", "z"))
+        assert not theory.entails(premises, ops["eq"]("x", "z"))
+
+    def test_entailer_matches_entails(self, theory_kit):
+        theory, ops = theory_kit
+        premises = [ops["le"]("x", 1), ops["le"](1, "x")]
+        check = theory.make_entailer(premises)
+        for candidate in (ops["eq"]("x", 1), ops["lt"]("x", 2), ops["lt"]("x", 1)):
+            assert check(candidate) == theory.entails(premises, candidate)
+
+
+class TestCanonicalization:
+    def test_fused_path_agrees(self, theory_kit):
+        theory, ops = theory_kit
+        atoms = [ops["le"]("x", 1), ops["le"]("x", 2)]
+        fused = theory.canonicalize_if_satisfiable(atoms)
+        assert fused == theory.canonicalize(atoms)
+        bad = [ops["lt"]("x", 0), ops["lt"](1, "x")]
+        assert theory.canonicalize_if_satisfiable(bad) is None
+
+    def test_canonical_form_equivalent(self, theory_kit):
+        theory, ops = theory_kit
+        atoms = [ops["le"]("x", "y"), ops["le"]("y", "x")]
+        canon = list(theory.canonicalize(atoms))
+        for a in atoms:
+            assert theory.entails(canon, a)
+        for a in canon:
+            assert theory.entails(atoms, a)
+
+
+class TestEqualityAndWeakening:
+    def test_equality_atom(self, theory_kit):
+        theory, _ = theory_kit
+        a = theory.equality_atom(Var("x"), Const(Fraction(2)))
+        assert theory.evaluate_atom(a, {Var("x"): Fraction(2)})
+        assert not theory.evaluate_atom(a, {Var("x"): Fraction(3)})
+
+    def test_weaken_admits_boundary(self, theory_kit):
+        theory, ops = theory_kit
+        strict = ops["lt"]("x", 1)
+        weak = theory.weaken_atom(strict)
+        assert theory.evaluate_atom(weak, {Var("x"): Fraction(1)})
+        assert not theory.evaluate_atom(strict, {Var("x"): Fraction(1)})
+        assert theory.weaken_atom(weak) == weak

@@ -1,0 +1,91 @@
+"""Unit tests for Datalog program syntax and static checks."""
+
+import pytest
+
+from repro.core.atoms import lt
+from repro.core.terms import Const, Var
+from repro.datalog.ast import (
+    ConstraintLiteral,
+    PredicateLiteral,
+    Program,
+    Rule,
+    cons,
+    negated,
+    pred,
+    rule,
+)
+from repro.errors import DatalogError
+
+
+class TestLiterals:
+    def test_pred_coercion(self):
+        literal = pred("R", "x", 3)
+        assert literal.args == (Var("x"), Const(3))
+        assert not literal.negated
+
+    def test_negated(self):
+        literal = negated("R", "x")
+        assert literal.negated
+        assert str(literal) == "not R(x)"
+
+    def test_cons_rejects_booleans(self):
+        with pytest.raises(DatalogError):
+            cons(lt(1, 2))
+
+    def test_variables(self):
+        assert pred("R", "x", 3, "y").variables() == {Var("x"), Var("y")}
+        assert cons(lt("x", 5)).variables() == {Var("x")}
+
+
+class TestRule:
+    def test_head_must_be_variables(self):
+        with pytest.raises(DatalogError):
+            Rule("H", (Const(1),), ())
+
+    def test_head_repetition_rejected(self):
+        with pytest.raises(DatalogError):
+            rule("H", ["x", "x"], pred("R", "x"))
+
+    def test_str(self):
+        r = rule("H", ["x"], pred("R", "x", "y"), cons(lt("y", 0)))
+        assert str(r) == "H(x) :- R(x, y), y < 0."
+
+    def test_fact_str(self):
+        assert str(rule("H", ["x"])) == "H(x)."
+
+    def test_body_variables(self):
+        r = rule("H", ["x"], pred("R", "x", "y"), negated("S", "z"))
+        assert r.body_variables() == {Var("x"), Var("y"), Var("z")}
+
+
+class TestProgram:
+    def test_idb_inferred(self):
+        p = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        assert p.idb == {"H": 1}
+        assert p.edb == {"R": 1}
+
+    def test_arity_conflict_in_heads(self):
+        with pytest.raises(DatalogError):
+            Program(
+                [
+                    rule("H", ["x"], pred("R", "x")),
+                    rule("H", ["x", "y"], pred("R", "x")),
+                ],
+                edb={"R": 1},
+            )
+
+    def test_edb_idb_overlap_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([rule("R", ["x"], pred("R", "x"))], edb={"R": 1})
+
+    def test_undeclared_predicate_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([rule("H", ["x"], pred("Mystery", "x"))])
+
+    def test_body_arity_checked(self):
+        with pytest.raises(DatalogError):
+            Program([rule("H", ["x"], pred("R", "x", "y"))], edb={"R": 1})
+
+    def test_predicates(self):
+        p = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        assert p.predicates() == {"H", "R"}

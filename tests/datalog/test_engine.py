@@ -1,0 +1,159 @@
+"""Tests for inflationary Datalog(not) over constraint relations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.datalog.ast import Program, cons, negated, pred, rule
+from repro.datalog.engine import evaluate_program
+from repro.errors import DatalogError
+from repro.queries.library import interval_overlap_tc_program, transitive_closure_program
+from repro.workloads.generators import interval_pairs_relation, path_graph
+
+
+class TestTransitiveClosure:
+    def test_path(self):
+        db = path_graph(5)
+        result = evaluate_program(transitive_closure_program(), db)
+        tc = result["tc"]
+        assert tc.contains_point([0, 4])
+        assert not tc.contains_point([4, 0])
+        assert not tc.contains_point([0, 0])
+
+    def test_rounds_grow_with_diameter(self):
+        slim = evaluate_program(transitive_closure_program(), path_graph(3))
+        wide = evaluate_program(transitive_closure_program(), path_graph(7))
+        assert wide.rounds > slim.rounds
+
+    def test_max_rounds_cutoff(self):
+        result = evaluate_program(
+            transitive_closure_program(), path_graph(6), max_rounds=1
+        )
+        assert not result.reached_fixpoint
+        assert result["tc"].contains_point([0, 1])
+        assert not result["tc"].contains_point([0, 3])
+
+
+class TestConstraintRules:
+    def test_dense_fill_between(self):
+        """fill(x) :- S(a), S(b), a < x < b -- an infinite derived set."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (10,)])
+        program = Program(
+            [
+                rule(
+                    "fill",
+                    ["x"],
+                    pred("S", "a"),
+                    pred("S", "b"),
+                    cons(lt("a", "x")),
+                    cons(lt("x", "b")),
+                )
+            ],
+            edb={"S": 1},
+        )
+        result = evaluate_program(program, db)
+        assert result["fill"].contains_point([5])
+        assert result["fill"].contains_point([Fraction(1, 3)])
+        assert not result["fill"].contains_point([0])
+        assert not result["fill"].contains_point([11])
+
+    def test_interval_overlap_reachability(self):
+        db = Database()
+        db["I"] = Relation.from_points(
+            ("lo", "hi"), [(0, 2), (1, 3), (5, 6)]
+        )
+        result = evaluate_program(interval_overlap_tc_program(), db)
+        linked = result["linked"]
+        assert linked.contains_point([0, 2, 1, 3])
+        assert not linked.contains_point([0, 2, 5, 6])
+
+    def test_unbounded_head_variable(self):
+        """A head variable absent from the body ranges over all of Q."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(1,)])
+        program = Program(
+            [rule("pairs", ["x", "anything"], pred("S", "x"))], edb={"S": 1}
+        )
+        result = evaluate_program(program, db)
+        assert result["pairs"].contains_point([1, 999])
+        assert not result["pairs"].contains_point([2, 0])
+
+
+class TestNegation:
+    def test_inflationary_staging(self):
+        """Negation of an EDB-complete IDB is sound from round 2 on."""
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,), (2,)])
+        program = Program(
+            [
+                rule("stage1", []),
+                rule("stage2", [], pred("stage1")),
+                rule(
+                    "smaller",
+                    ["x"],
+                    pred("S", "x"),
+                    pred("S", "y"),
+                    cons(lt("y", "x")),
+                ),
+                rule(
+                    "minimum",
+                    ["x"],
+                    pred("S", "x"),
+                    negated("smaller", "x"),
+                    pred("stage2"),
+                ),
+            ],
+            edb={"S": 1},
+        )
+        result = evaluate_program(program, db)
+        minimum = result["minimum"]
+        assert minimum.contains_point([0])
+        assert not minimum.contains_point([1])
+        assert not minimum.contains_point([2])
+
+    def test_negation_of_edb(self):
+        db = Database()
+        db["S"] = Relation.from_atoms(
+            ("x",), [[le(0, "x"), le("x", 1)]], DENSE_ORDER
+        )
+        program = Program(
+            [rule("outside", ["x"], negated("S", "x"))], edb={"S": 1}
+        )
+        result = evaluate_program(program, db)
+        assert result["outside"].contains_point([2])
+        assert not result["outside"].contains_point([Fraction(1, 2)])
+
+
+class TestValidation:
+    def test_missing_edb(self):
+        program = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        with pytest.raises(DatalogError):
+            evaluate_program(program, Database())
+
+    def test_edb_arity_mismatch(self):
+        db = Database()
+        db["R"] = Relation.universe(("x", "y"))
+        program = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        with pytest.raises(DatalogError):
+            evaluate_program(program, db)
+
+    def test_idb_name_clash(self):
+        db = Database()
+        db["H"] = Relation.universe(("x",))
+        db["R"] = Relation.universe(("x",))
+        program = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        with pytest.raises(DatalogError):
+            evaluate_program(program, db)
+
+
+class TestClosedForm:
+    def test_no_new_constants(self):
+        """Fixpoint outputs stay within the input's constants."""
+        db = interval_pairs_relation(7, count=5)
+        result = evaluate_program(interval_overlap_tc_program(), db)
+        assert result["linked"].constants() <= db.constants()

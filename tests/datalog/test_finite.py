@@ -1,0 +1,120 @@
+"""Tests for the classical finite-relation inflationary engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import lt
+from repro.datalog.ast import Program, cons, negated, pred, rule
+from repro.datalog.finite import FiniteInstance, evaluate_finite
+from repro.errors import DatalogError
+
+
+@pytest.fixture
+def chain():
+    return FiniteInstance({"E": [(1, 2), (2, 3), (3, 4)]})
+
+
+class TestFiniteInstance:
+    def test_arity_inferred(self, chain):
+        assert chain.arity("E") == 2
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(DatalogError):
+            FiniteInstance({"R": [(1,), (1, 2)]})
+
+    def test_empty_needs_arity(self):
+        with pytest.raises(DatalogError):
+            FiniteInstance().add_relation("R", [])
+        inst = FiniteInstance()
+        inst.add_relation("R", [], arity=2)
+        assert inst.arity("R") == 2
+
+    def test_active_domain(self, chain):
+        assert chain.active_domain() == {Fraction(i) for i in (1, 2, 3, 4)}
+
+    def test_copy_independent(self, chain):
+        clone = chain.copy()
+        clone["E"].add((9, 9))
+        assert (Fraction(9), Fraction(9)) not in chain["E"]
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, chain):
+        program = Program(
+            [
+                rule("tc", ["x", "y"], pred("E", "x", "y")),
+                rule("tc", ["x", "z"], pred("tc", "x", "y"), pred("E", "y", "z")),
+            ],
+            edb={"E": 2},
+        )
+        result = evaluate_finite(program, chain)
+        pairs = {(int(a), int(b)) for a, b in result["tc"]}
+        assert pairs == {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+
+    def test_constraint_filter(self, chain):
+        program = Program(
+            [rule("down", ["x", "y"], pred("E", "x", "y"), cons(lt(2, "x")))],
+            edb={"E": 2},
+        )
+        result = evaluate_finite(program, chain)
+        assert {(int(a), int(b)) for a, b in result["down"]} == {(3, 4)}
+
+    def test_constant_argument(self, chain):
+        program = Program(
+            [rule("from2", ["y"], pred("E", 2, "y"))], edb={"E": 2}
+        )
+        result = evaluate_finite(program, chain)
+        assert {int(a) for (a,) in result["from2"]} == {3}
+
+    def test_negation(self, chain):
+        program = Program(
+            [
+                rule("v", ["x"], pred("E", "x", "y")),
+                rule("v", ["y"], pred("E", "x", "y")),
+                rule("stage1", []),
+                rule("stage2", [], pred("stage1")),
+                rule("sink", ["x"], pred("v", "x"), negated("hasout", "x"), pred("stage2")),
+                rule("hasout", ["x"], pred("E", "x", "y")),
+            ],
+            edb={"E": 2},
+        )
+        result = evaluate_finite(program, chain)
+        assert {int(a) for (a,) in result["sink"]} == {4}
+
+    def test_zero_ary_predicates(self, chain):
+        program = Program(
+            [rule("nonempty", [], pred("E", "x", "y"))], edb={"E": 2}
+        )
+        result = evaluate_finite(program, chain)
+        assert result["nonempty"] == {()}
+
+    def test_max_rounds(self, chain):
+        program = Program(
+            [
+                rule("tc", ["x", "y"], pred("E", "x", "y")),
+                rule("tc", ["x", "z"], pred("tc", "x", "y"), pred("E", "y", "z")),
+            ],
+            edb={"E": 2},
+        )
+        result = evaluate_finite(program, chain, max_rounds=1)
+        assert not result.reached_fixpoint
+
+
+class TestSafety:
+    def test_unbound_head_variable_rejected(self):
+        program = Program([rule("H", ["x"], negated("R", "x"))], edb={"R": 1})
+        with pytest.raises(DatalogError):
+            evaluate_finite(program, FiniteInstance({"R": [(1,)]}))
+
+    def test_constraint_only_variable_rejected(self):
+        program = Program(
+            [rule("H", ["x"], pred("R", "y"), cons(lt("x", "y")))], edb={"R": 1}
+        )
+        with pytest.raises(DatalogError):
+            evaluate_finite(program, FiniteInstance({"R": [(1,)]}))
+
+    def test_missing_edb_detected(self):
+        program = Program([rule("H", ["x"], pred("R", "x"))], edb={"R": 1})
+        with pytest.raises(DatalogError):
+            evaluate_finite(program, FiniteInstance())

@@ -1,0 +1,109 @@
+"""Tests for stratified Datalog(not)."""
+
+import pytest
+
+from repro.core.atoms import lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.datalog.ast import Program, cons, negated, pred, rule
+from repro.datalog.engine import evaluate_program
+from repro.datalog.stratified import evaluate_stratified, is_stratifiable, stratify
+from repro.errors import DatalogError
+from repro.workloads.generators import path_graph, point_set
+
+
+def tc_program():
+    return Program(
+        [
+            rule("tc", ["x", "y"], pred("E", "x", "y")),
+            rule("tc", ["x", "z"], pred("tc", "x", "y"), pred("E", "y", "z")),
+        ],
+        edb={"E": 2},
+    )
+
+
+def min_program():
+    """minimum needs negation of an IDB: the stratified showcase."""
+    return Program(
+        [
+            rule("smaller", ["x"], pred("S", "x"), pred("S", "y"), cons(lt("y", "x"))),
+            rule("minimum", ["x"], pred("S", "x"), negated("smaller", "x")),
+        ],
+        edb={"S": 1},
+    )
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self):
+        assert stratify(tc_program()) == [["tc"]]
+
+    def test_negation_splits_strata(self):
+        assert stratify(min_program()) == [["smaller"], ["minimum"]]
+
+    def test_unstratifiable_detected(self):
+        program = Program(
+            [
+                rule("win", ["x"], pred("move", "x", "y"), negated("win", "y")),
+            ],
+            edb={"move": 2},
+        )
+        assert not is_stratifiable(program)
+        with pytest.raises(DatalogError):
+            stratify(program)
+
+    def test_negation_of_edb_is_free(self):
+        program = Program(
+            [rule("out", ["x"], pred("V", "x"), negated("S", "x"))],
+            edb={"V": 1, "S": 1},
+        )
+        assert stratify(program) == [["out"]]
+
+
+class TestEvaluation:
+    def test_agrees_with_inflationary_on_positive_programs(self):
+        db = path_graph(5)
+        stratified = evaluate_stratified(tc_program(), db)
+        inflationary = evaluate_program(tc_program(), db)
+        assert stratified["tc"].equivalent(inflationary["tc"])
+
+    def test_negation_needs_no_staging(self):
+        """The guard-free minimum program is *correct* under stratified
+        semantics (under inflationary semantics it would misfire in
+        round 1 while ``smaller`` is still empty)."""
+        db = point_set(3)
+        result = evaluate_stratified(min_program(), db)
+        assert result.reached_fixpoint
+        assert result["minimum"].contains_point([0])
+        assert not result["minimum"].contains_point([1])
+        # contrast: the same program evaluated inflationarily over-derives
+        sloppy = evaluate_program(min_program(), db)
+        assert sloppy["minimum"].contains_point([1])  # the round-1 artifact
+
+    def test_three_strata(self):
+        program = Program(
+            [
+                rule("a", ["x"], pred("S", "x")),
+                rule("b", ["x"], pred("S", "x"), negated("a", "x")),
+                rule("c", ["x"], pred("S", "x"), negated("b", "x")),
+            ],
+            edb={"S": 1},
+        )
+        db = point_set(2)
+        result = evaluate_stratified(program, db)
+        assert result["a"].contains_point([0])
+        assert result["b"].is_empty()
+        assert result["c"].contains_point([0])
+
+    def test_max_rounds(self):
+        db = path_graph(6)
+        result = evaluate_stratified(tc_program(), db, max_rounds=1)
+        assert not result.reached_fixpoint
+
+    def test_validation_errors(self):
+        db = Database()
+        with pytest.raises(DatalogError):
+            evaluate_stratified(tc_program(), db)  # missing EDB
+        db2 = path_graph(2)
+        db2["tc"] = Relation.universe(("x", "y"))
+        with pytest.raises(DatalogError):
+            evaluate_stratified(tc_program(), db2)  # IDB clash

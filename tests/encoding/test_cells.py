@@ -1,0 +1,148 @@
+"""Tests for canonical cell decompositions and complete types."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import le, lt
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.encoding.cells import CellDecomposition, CellType, weak_orderings
+from repro.errors import EncodingError
+from tests.strategies import interval_sets
+
+FUBINI = {0: 1, 1: 1, 2: 3, 3: 13, 4: 75}
+
+
+class TestWeakOrderings:
+    @pytest.mark.parametrize("n", sorted(FUBINI))
+    def test_fubini_counts(self, n):
+        assert sum(1 for _ in weak_orderings(list(range(n)))) == FUBINI[n]
+
+    def test_blocks_partition(self):
+        for ordering in weak_orderings([0, 1, 2]):
+            flat = [x for block in ordering for x in block]
+            assert sorted(flat) == [0, 1, 2]
+
+
+@pytest.fixture
+def deco():
+    return CellDecomposition([Fraction(0), Fraction(1)])
+
+
+class TestOneDim:
+    def test_cell_count(self, deco):
+        assert deco.cell_count == 5
+
+    def test_cell_intervals(self, deco):
+        texts = [str(deco.cell_interval(i)) for i in range(5)]
+        assert texts == ["(-inf, 0)", "[0, 0]", "(0, 1)", "[1, 1]", "(1, +inf)"]
+
+    def test_point_cells_odd(self, deco):
+        assert [deco.is_point_cell(i) for i in range(5)] == [
+            False, True, False, True, False,
+        ]
+
+    def test_cell_of_value(self, deco):
+        assert deco.cell_of_value(Fraction(-5)) == 0
+        assert deco.cell_of_value(Fraction(0)) == 1
+        assert deco.cell_of_value(Fraction(1, 2)) == 2
+        assert deco.cell_of_value(Fraction(1)) == 3
+        assert deco.cell_of_value(Fraction(7)) == 4
+
+    def test_cell_sample_in_cell(self, deco):
+        for i in range(deco.cell_count):
+            assert deco.cell_interval(i).contains(deco.cell_sample(i))
+
+    def test_sample_ranks_increase(self, deco):
+        for i in (0, 2, 4):
+            a = deco.cell_sample(i, 0, 3)
+            b = deco.cell_sample(i, 1, 3)
+            c = deco.cell_sample(i, 2, 3)
+            assert a < b < c
+            for v in (a, b, c):
+                assert deco.cell_interval(i).contains(v)
+
+    def test_bad_index(self, deco):
+        with pytest.raises(EncodingError):
+            deco.cell_interval(9)
+
+    def test_empty_decomposition(self):
+        d = CellDecomposition([])
+        assert d.cell_count == 1
+        assert str(d.cell_interval(0)) == "(-inf, +inf)"
+
+
+class TestCompleteTypes:
+    def test_unary_count(self, deco):
+        assert deco.type_count(1) == 5
+
+    def test_binary_count(self, deco):
+        # 5*5 cell pairs; the 3 same-open-cell pairs each expand to 3 orderings
+        assert deco.type_count(2) == 31
+
+    def test_types_are_distinct(self, deco):
+        types = list(deco.complete_types(2))
+        assert len(types) == len(set(types))
+
+    def test_samples_realize_their_type(self, deco):
+        for t in deco.complete_types(2):
+            assert deco.type_of_point(deco.type_sample(t)) == t
+
+    def test_ternary_samples_realize_their_type(self):
+        d = CellDecomposition([Fraction(0)])
+        for t in d.complete_types(3):
+            assert d.type_of_point(d.type_sample(t)) == t
+
+    def test_types_partition_sample_space(self, deco):
+        """Every point belongs to exactly one complete type."""
+        points = [
+            (Fraction(-1), Fraction(2)),
+            (Fraction(0), Fraction(0)),
+            (Fraction(1, 3), Fraction(2, 3)),
+            (Fraction(1, 2), Fraction(1, 2)),
+        ]
+        all_types = set(deco.complete_types(2))
+        for p in points:
+            t = deco.type_of_point(p)
+            assert t in all_types
+
+
+class TestSignatures:
+    def test_segment_signature(self, deco):
+        r = Relation.from_atoms(("x",), [[le(0, "x"), le("x", 1)]], DENSE_ORDER)
+        sig = deco.signature(r)
+        assert sorted(t.cells[0] for t in sig) == [1, 2, 3]
+
+    def test_signature_round_trip(self, deco):
+        r = Relation.from_atoms(
+            ("x", "y"), [[le(0, "x"), le("x", "y"), le("y", 1)]], DENSE_ORDER
+        )
+        sig = deco.signature(r)
+        back = deco.relation_of_signature(sig, ("x", "y"))
+        assert back.equivalent(r)
+
+    def test_signature_equivalence_is_canonical(self, deco):
+        a = Relation.from_atoms(("x",), [[le(0, "x"), le("x", 1)]], DENSE_ORDER)
+        b = Relation.from_atoms(
+            ("x",),
+            [[le(0, "x"), lt("x", Fraction(1, 2))], [le(Fraction(1, 2), "x"), le("x", 1)]],
+            DENSE_ORDER,
+        )
+        big = CellDecomposition([Fraction(0), Fraction(1, 2), Fraction(1)])
+        assert big.signature(a) == big.signature(b)
+
+    def test_missing_constants_rejected(self, deco):
+        r = Relation.from_atoms(("x",), [[le(7, "x")]], DENSE_ORDER)
+        with pytest.raises(EncodingError):
+            deco.signature(r)
+
+    @settings(max_examples=60, deadline=None)
+    @given(interval_sets(max_size=3))
+    def test_random_unary_round_trip(self, s):
+        r = s.to_relation("x")
+        deco = CellDecomposition(r.constants())
+        back = deco.relation_of_signature(deco.signature(r), ("x",))
+        assert back.equivalent(r)

@@ -1,0 +1,111 @@
+"""Tests for the Theorem 4.4 order encoding / relational representation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.encoding.cells import CellDecomposition, CellType
+from repro.encoding.order_encoding import (
+    AUX_RELATIONS,
+    encode_instance,
+    decode_rows,
+    row_of_type,
+    row_width,
+    rows_of_signature,
+    type_of_row,
+)
+from repro.errors import EncodingError
+from tests.strategies import interval_sets
+
+
+class TestRowCodec:
+    def test_row_width(self):
+        assert row_width(0) == 0
+        assert row_width(1) == 1
+        assert row_width(2) == 3
+        assert row_width(3) == 6
+
+    def test_round_trip(self):
+        t = CellType((2, 2), (-1,))
+        assert type_of_row(row_of_type(t), 2) == t
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(EncodingError):
+            type_of_row((Fraction(1), Fraction(2)), 2)
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(EncodingError):
+            type_of_row((Fraction(0), Fraction(0), Fraction(9)), 2)
+
+    def test_rows_are_small_consecutive_integers(self):
+        """The paper: constants become consecutive integers."""
+        deco = CellDecomposition([Fraction(-5), Fraction(22, 7)])
+        for t in deco.complete_types(1):
+            (cell,) = row_of_type(t)
+            assert cell.denominator == 1
+            assert 0 <= cell < deco.cell_count
+
+
+class TestEncodeInstance:
+    def test_aux_relations_present(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        encoded = encode_instance(db)
+        for name in AUX_RELATIONS:
+            assert name in encoded.instance
+
+    def test_cell_order_is_linear(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        encoded = encode_instance(db)
+        n = encoded.decomposition.cell_count
+        assert len(encoded.instance["cell"]) == n
+        assert len(encoded.instance["cell_lt"]) == n * (n - 1) // 2
+        assert len(encoded.instance["cell_succ"]) == n - 1
+
+    def test_reserved_names_rejected(self):
+        db = Database()
+        db["cell"] = Relation.from_points(("x",), [(0,)])
+        with pytest.raises(EncodingError):
+            encode_instance(db)
+
+    def test_extra_constants_refine(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,)])
+        plain = encode_instance(db)
+        refined = encode_instance(db, extra_constants=[Fraction(5)])
+        assert refined.decomposition.cell_count > plain.decomposition.cell_count
+
+    def test_decode_round_trip(self):
+        db = Database()
+        db["T"] = Relation.from_atoms(
+            ("x", "y"), [[le(0, "x"), le("x", "y"), le("y", 1)]], DENSE_ORDER
+        )
+        encoded = encode_instance(db)
+        back = encoded.decode("T", 2, ("x", "y"))
+        assert back.equivalent(db["T"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(interval_sets(max_size=3))
+    def test_random_unary_round_trip(self, s):
+        db = Database()
+        db["S"] = s.to_relation("x")
+        encoded = encode_instance(db)
+        back = encoded.decode("S", 1, ("x",))
+        assert back.equivalent(db["S"])
+
+    def test_order_isomorphic_instances_encode_identically(self):
+        """The whole point of the order encoding: only the order type of
+        the constants matters, not their values."""
+        a = Database()
+        a["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        b = Database()
+        b["S"] = Relation.from_points(("x",), [(Fraction(-7, 3),), (Fraction(100),)])
+        ea, eb = encode_instance(a), encode_instance(b)
+        assert ea.instance["S"] == eb.instance["S"]
+        assert ea.instance["cell"] == eb.instance["cell"]

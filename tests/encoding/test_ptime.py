@@ -1,0 +1,121 @@
+"""Tests for the PTIME capture pipeline (Theorem 4.4, hard direction)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.encoding.order_encoding import row_width
+from repro.encoding.ptime import (
+    capture_boolean,
+    cardinality_parity_program,
+    graph_connectivity_program,
+    run_capture,
+)
+from repro.errors import EncodingError
+from repro.queries.library import (
+    graph_connectivity_procedural,
+    parity_procedural,
+)
+from repro.workloads.generators import (
+    cycle_graph,
+    disjoint_cycles,
+    path_graph,
+    point_set,
+    random_finite_graph,
+)
+from repro.datalog.ast import Program, pred, rule
+
+
+class TestParityCapture:
+    @pytest.mark.parametrize("n", range(7))
+    def test_matches_reference(self, n):
+        db = point_set(n)
+        expected = n % 2 == 1
+        assert capture_boolean(cardinality_parity_program("S"), db, "result_odd") == expected
+
+    def test_rational_constants(self):
+        db = Database()
+        db["S"] = Relation.from_points(
+            ("x",), [(Fraction(1, 3),), (Fraction(2, 3),), (Fraction(5),)]
+        )
+        assert capture_boolean(cardinality_parity_program("S"), db, "result_odd")
+
+    @pytest.mark.parametrize("n", (2, 5))
+    def test_agrees_with_procedural(self, n):
+        db = point_set(n, step=3)
+        assert (
+            capture_boolean(cardinality_parity_program("S"), db, "result_odd")
+            == parity_procedural(db, "S")
+        )
+
+
+class TestConnectivityCapture:
+    def test_path_connected(self):
+        db = path_graph(5)
+        assert capture_boolean(graph_connectivity_program(), db, "connected")
+        assert not capture_boolean(graph_connectivity_program(), db, "disconnected")
+
+    def test_cycle_connected(self):
+        assert capture_boolean(graph_connectivity_program(), cycle_graph(6), "connected")
+
+    def test_disjoint_cycles_disconnected(self):
+        db = disjoint_cycles(3)
+        assert not capture_boolean(graph_connectivity_program(), db, "connected")
+        assert capture_boolean(graph_connectivity_program(), db, "disconnected")
+
+    def test_single_vertex(self):
+        db = path_graph(1)
+        assert capture_boolean(graph_connectivity_program(), db, "connected")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_procedural(self, seed):
+        db = random_finite_graph(seed, vertex_count=5, edge_probability=0.4)
+        expected = graph_connectivity_procedural(db)
+        got = capture_boolean(graph_connectivity_program(), db, "connected")
+        assert got == expected
+
+
+class TestRunCapture:
+    def test_relation_output_decodes(self):
+        """A capture program whose output is a set of cells decodes to a
+        generalized relation: 'members of S', the identity query."""
+        program = Program(
+            [rule("out", ["x"], pred("S", "x"))],
+            edb={"S": 1, "cell": 1, "cell_lt": 2, "cell_succ": 2, "cell_point": 1},
+        )
+        db = point_set(3)
+        out = run_capture(program, db, "out", 1, ("x",))
+        assert out.equivalent(db["S"])
+
+    def test_output_must_be_idb(self):
+        program = Program(
+            [rule("out", ["x"], pred("S", "x"))],
+            edb={"S": 1, "cell": 1, "cell_lt": 2, "cell_succ": 2, "cell_point": 1},
+        )
+        with pytest.raises(EncodingError):
+            run_capture(program, point_set(2), "nope", 1, ("x",))
+
+    def test_output_width_checked(self):
+        program = Program(
+            [rule("out", ["x"], pred("S", "x"))],
+            edb={"S": 1, "cell": 1, "cell_lt": 2, "cell_succ": 2, "cell_point": 1},
+        )
+        with pytest.raises(EncodingError):
+            run_capture(program, point_set(2), "out", 2, ("x", "y"))
+
+
+class TestGenericityOfCapture:
+    def test_invariance_under_automorphism(self):
+        """The captured query commutes with automorphisms: the pipeline
+        only sees the order type (Definition 3.1 made operational)."""
+        from repro.genericity.automorphisms import moving
+
+        db = point_set(4)
+        phi = moving({0: Fraction(-10), 1: Fraction(-1, 2), 2: Fraction(3), 3: Fraction(44)})
+        moved = phi.apply_to_database(db)
+        program = cardinality_parity_program("S")
+        assert capture_boolean(program, db, "result_odd") == capture_boolean(
+            program, moved, "result_odd"
+        )

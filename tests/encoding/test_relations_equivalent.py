@@ -1,0 +1,66 @@
+"""Tests for the cell-signature equivalence fast path."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import le, lt
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.encoding.cells import relations_equivalent
+from repro.linear.latoms import lin_le
+from repro.linear.theory import LINEAR
+from tests.strategies import interval_sets
+
+
+def seg(lo, hi, column="x"):
+    return Relation.from_atoms((column,), [[le(lo, column), le(column, hi)]], DENSE_ORDER)
+
+
+class TestFastPath:
+    def test_equal_different_representations(self):
+        a = seg(0, 2)
+        b = Relation.from_atoms(
+            ("x",),
+            [[le(0, "x"), lt("x", 1)], [le(1, "x"), le("x", 2)]],
+            DENSE_ORDER,
+        )
+        assert relations_equivalent(a, b)
+
+    def test_unequal(self):
+        assert not relations_equivalent(seg(0, 1), seg(0, 2))
+
+    def test_schema_mismatch_is_false(self):
+        assert not relations_equivalent(seg(0, 1), seg(0, 1, column="y"))
+
+    def test_binary_relations(self):
+        a = Relation.from_atoms(
+            ("x", "y"), [[le("x", "y"), le(0, "x"), le("y", 1)]], DENSE_ORDER
+        )
+        split = Relation.from_atoms(
+            ("x", "y"),
+            [
+                [le("x", "y"), le(0, "x"), lt("y", Fraction(1, 2))],
+                [le("x", "y"), le(Fraction(1, 2), "y"), le("y", 1), le(0, "x")],
+            ],
+            DENSE_ORDER,
+        )
+        assert relations_equivalent(a, split)
+
+    def test_linear_fallback(self):
+        a = Relation.from_atoms(("x",), [[lin_le({"x": 2}, 2)]], LINEAR)
+        b = Relation.from_atoms(("x",), [[lin_le({"x": 1}, 1)]], LINEAR)
+        assert relations_equivalent(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_sets(max_size=3), interval_sets(max_size=3))
+    def test_agrees_with_generic_equivalence(self, s, t):
+        a, b = s.to_relation("x"), t.to_relation("x")
+        assert relations_equivalent(a, b) == a.equivalent(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(interval_sets(max_size=3))
+    def test_reflexive(self, s):
+        a = s.to_relation("x")
+        assert relations_equivalent(a, a.simplify())

@@ -1,0 +1,95 @@
+"""Tests for the standard string encoding (Section 3)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.atoms import eq, le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.encoding.standard import (
+    decode_database,
+    encode_database,
+    encoding_size,
+    is_integer_instance,
+)
+from repro.errors import EncodingError
+from repro.linear.theory import LINEAR
+from repro.workloads.generators import random_interval_database
+from tests.strategies import interval_sets
+
+import hypothesis.strategies as st
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        db = Database()
+        db["T"] = Relation.from_atoms(
+            ("x", "y"), [[le("x", "y"), le(0, "x"), le("y", 10)]], DENSE_ORDER
+        )
+        back = decode_database(encode_database(db))
+        assert back["T"].equivalent(db["T"])
+        assert back.schema("T") == ("x", "y")
+
+    def test_rationals(self):
+        db = Database()
+        db["S"] = Relation.from_atoms(
+            ("x",), [[eq("x", Fraction(22, 7))]], DENSE_ORDER
+        )
+        back = decode_database(encode_database(db))
+        assert back["S"].contains_point([Fraction(22, 7)])
+
+    def test_empty_relation(self):
+        db = Database()
+        db["S"] = Relation.empty(("x",))
+        back = decode_database(encode_database(db))
+        assert back["S"].is_empty()
+        assert back.schema("S") == ("x",)
+
+    def test_multiple_relations(self):
+        db = Database()
+        db["A"] = Relation.from_points(("x",), [(1,)])
+        db["B"] = Relation.from_points(("x", "y"), [(2, 3)])
+        back = decode_database(encode_database(db))
+        assert set(back.names()) == {"A", "B"}
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_sets(max_size=3))
+    def test_random_round_trip(self, s):
+        db = Database()
+        db["S"] = s.to_relation("x")
+        back = decode_database(encode_database(db))
+        assert back["S"].equivalent(db["S"])
+
+    def test_deterministic(self):
+        db = random_interval_database(3, count=4)
+        assert encode_database(db) == encode_database(db)
+
+
+class TestValidation:
+    def test_linear_database_rejected(self):
+        db = Database(theory=LINEAR)
+        with pytest.raises(EncodingError):
+            encode_database(db)
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_database("garbage line")
+        with pytest.raises(EncodingError):
+            decode_database("atom var:x < var:y")  # atom outside a tuple
+
+
+class TestSizeMeasure:
+    def test_size_grows_with_content(self):
+        small = random_interval_database(1, count=2)
+        large = random_interval_database(1, count=20)
+        assert encoding_size(large) > encoding_size(small)
+
+    def test_integer_instance_detection(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(1,), (2,)])
+        assert is_integer_instance(db)
+        db["S"] = Relation.from_points(("x",), [(Fraction(1, 2),)])
+        assert not is_integer_instance(db)

@@ -1,0 +1,147 @@
+"""Tests for piecewise-linear automorphisms and their action."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import EncodingError, TheoryError
+from repro.genericity.automorphisms import (
+    PiecewiseLinearMap,
+    identity,
+    moving,
+    random_automorphism,
+    reflection,
+    scaling,
+    translation,
+)
+from repro.linear.theory import LINEAR
+from tests.strategies import fractions as fracs
+
+
+class TestBasicMaps:
+    def test_identity(self):
+        phi = identity()
+        assert phi(Fraction(7, 3)) == Fraction(7, 3)
+
+    def test_translation(self):
+        phi = translation(5)
+        assert phi(0) == 5
+        assert phi(Fraction(-1, 2)) == Fraction(9, 2)
+
+    def test_scaling(self):
+        phi = scaling(Fraction(3))
+        assert phi(2) == 6
+        assert phi(Fraction(1, 3)) == 1
+        assert phi(-2) == -6
+
+    def test_scaling_inverse(self):
+        phi = scaling(3)
+        assert phi.inverse()(phi(Fraction(7, 5))) == Fraction(7, 5)
+
+    def test_scaling_rejects_nonpositive(self):
+        with pytest.raises(TheoryError):
+            scaling(0)
+
+    def test_reflection(self):
+        phi = reflection()
+        assert phi(3) == -3
+        assert not phi.increasing
+
+    def test_moving(self):
+        phi = moving({0: 10, 1: 20})
+        assert phi(0) == 10
+        assert phi(1) == 20
+        assert phi(Fraction(1, 2)) == 15
+        assert phi(2) == 21
+
+    def test_invalid_breakpoints(self):
+        with pytest.raises(TheoryError):
+            moving({0: 5, 1: 5})
+
+
+class TestBijectionLaws:
+    @settings(max_examples=100)
+    @given(fracs, fracs)
+    def test_strictly_increasing(self, a, b):
+        phi = moving({0: Fraction(1), 2: Fraction(10), 5: Fraction(11)})
+        if a < b:
+            assert phi(a) < phi(b)
+
+    @settings(max_examples=100)
+    @given(fracs)
+    def test_inverse_round_trip(self, v):
+        phi = moving({-1: Fraction(-5), 0: Fraction(2), 3: Fraction(7, 2)})
+        assert phi.inverse()(phi(v)) == v
+
+    @settings(max_examples=60)
+    @given(fracs)
+    def test_compose(self, v):
+        phi = moving({0: 1, 1: 3})
+        psi = translation(-2)
+        composed = phi.compose(psi)
+        assert composed(v) == phi(psi(v))
+
+
+class TestActionOnRelations:
+    def test_interval_moves(self):
+        r = Relation.from_atoms(("x",), [[le(0, "x"), le("x", 1)]], DENSE_ORDER)
+        phi = moving({0: 5, 1: 9})
+        moved = phi.apply_to_relation(r)
+        assert moved.contains_point([7])
+        assert not moved.contains_point([0])
+
+    def test_action_is_pointwise_image(self):
+        r = Relation.from_atoms(
+            ("x", "y"), [[lt("x", "y"), le(0, "x"), le("y", 2)]], DENSE_ORDER
+        )
+        phi = moving({0: -3, 2: 8})
+        moved = phi.apply_to_relation(r)
+        rng = random.Random(0)
+        for _ in range(25):
+            a = Fraction(rng.randint(-10, 10), 4)
+            b = Fraction(rng.randint(-10, 10), 4)
+            assert r.contains_point([a, b]) == moved.contains_point([phi(a), phi(b)])
+
+    def test_reflection_flips_order_atoms(self):
+        r = Relation.from_atoms(("x", "y"), [[lt("x", "y")]], DENSE_ORDER)
+        moved = reflection().apply_to_relation(r)
+        assert moved.contains_point([2, 1])
+        assert not moved.contains_point([1, 2])
+
+    def test_linear_relations_rejected(self):
+        r = Relation.universe(("x",), LINEAR)
+        with pytest.raises(EncodingError):
+            identity().apply_to_relation(r)
+
+    def test_database_action(self):
+        db = Database()
+        db["S"] = Relation.from_points(("x",), [(0,), (1,)])
+        moved = translation(10).apply_to_database(db)
+        assert moved["S"].contains_point([10])
+        assert moved["S"].contains_point([11])
+        assert not moved["S"].contains_point([0])
+
+
+class TestRandomAutomorphism:
+    def test_seeded_reproducible(self):
+        constants = [Fraction(0), Fraction(1), Fraction(5)]
+        a = random_automorphism(random.Random(7), constants)
+        b = random_automorphism(random.Random(7), constants)
+        assert a == b
+
+    def test_images_preserve_order(self):
+        constants = [Fraction(i) for i in range(5)]
+        phi = random_automorphism(random.Random(3), constants)
+        images = [phi(c) for c in constants]
+        assert images == sorted(images)
+        assert len(set(images)) == 5
+
+    def test_no_constants_is_identity(self):
+        assert random_automorphism(random.Random(0), []) == identity()

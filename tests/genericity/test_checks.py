@@ -1,0 +1,95 @@
+"""Tests for genericity checking (Definition 3.1 made operational)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.formula import constraint, exists, rel
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.genericity.automorphisms import moving
+from repro.genericity.checks import (
+    check_boolean_generic,
+    check_generic,
+    default_automorphisms,
+)
+from repro.queries.library import bounded_query, parity_procedural
+from repro.workloads.generators import point_set
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database["S"] = Relation.from_points(("x",), [(0,), (4,)])
+    return database
+
+
+class TestGenericQueries:
+    def test_fo_query_is_generic(self, db):
+        def query(database):
+            return evaluate(
+                exists("y", rel("S", "y") & constraint(lt("x", "y"))), database
+            )
+
+        report = check_generic(query, db, count=6)
+        assert report.generic
+        assert report.witness is None
+
+    def test_boolean_fo_query_is_generic(self, db):
+        from repro.core.evaluator import evaluate_boolean
+
+        def query(database):
+            return evaluate_boolean(bounded_query("S"), database)
+
+        assert check_boolean_generic(query, db, count=6)
+
+    def test_parity_is_generic(self, db):
+        assert check_boolean_generic(lambda d: parity_procedural(d, "S"), db, count=6)
+
+
+class TestNonGenericMappings:
+    def test_midpoint_is_not_generic(self, db):
+        """The FO+ midpoint mapping fails genericity (Section 4)."""
+
+        def midpoints(database):
+            values = sorted(
+                t.sample_point()["x"] for t in database["S"].tuples
+            )
+            points = {(a + b) / 2 for a in values for b in values}
+            return Relation.from_points(("z",), [(p,) for p in points])
+
+        # an automorphism that moves 2 = midpoint(0, 4) away from
+        # midpoint(phi(0), phi(4))
+        phi = moving({0: Fraction(0), 2: Fraction(10), 4: Fraction(12)})
+        report = check_generic(midpoints, db, automorphisms=[phi])
+        assert not report.generic
+        assert report.witness is phi
+
+    def test_constant_leak_is_not_generic(self, db):
+        """A mapping hardwiring a constant is refuted."""
+
+        def above_one(database):
+            return evaluate(
+                rel("S", "x") & constraint(lt(1, "x")), database
+            )
+
+        report = check_generic(above_one, db, count=8, seed=1)
+        assert not report.generic
+
+
+class TestDefaultAutomorphisms:
+    def test_count_and_reflection(self, db):
+        maps = default_automorphisms(db, count=5, include_reflection=True)
+        assert len(maps) == 6
+        assert not maps[-1].increasing
+
+    def test_seeded(self, db):
+        assert default_automorphisms(db, seed=3) == default_automorphisms(db, seed=3)
+
+    def test_report_is_boolish(self, db):
+        report = check_boolean_generic(lambda d: True, db, count=2)
+        assert bool(report) is True
+        assert report.tested == 2

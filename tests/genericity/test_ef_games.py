@@ -1,0 +1,90 @@
+"""Tests for the Ehrenfeucht-Fraisse game solver (Theorem 4.2 evidence)."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.errors import EncodingError
+from repro.genericity.ef_games import (
+    FiniteStructure,
+    cell_structure,
+    duplicator_wins,
+    linear_order,
+    min_distinguishing_rank,
+)
+from repro.workloads.generators import interval_chain, point_set
+
+
+class TestFiniteStructure:
+    def test_make(self):
+        s = FiniteStructure.make([0, 1], {"R": [(0, 1)]})
+        assert s.relation("R") == {(0, 1)}
+        assert s.vocabulary() == ("R",)
+
+    def test_unknown_relation(self):
+        s = linear_order(2)
+        with pytest.raises(EncodingError):
+            s.relation("nope")
+
+
+class TestLinearOrderGames:
+    def test_isomorphic_always_win(self):
+        assert duplicator_wins(linear_order(3), linear_order(3), 3)
+
+    @pytest.mark.parametrize(
+        "n,m,rounds,expected",
+        [
+            (1, 2, 1, True),   # rank-1 sentences cannot count to 2
+            (1, 2, 2, False),
+            (2, 3, 2, False),  # exists x exists y exists-free distinction
+            (3, 4, 2, True),   # sizes >= 2^2 - 1 = 3 are 2-equivalent
+            (3, 4, 3, False),
+            (7, 8, 3, True),   # sizes >= 2^3 - 1 = 7 are 3-equivalent
+            (7, 8, 4, False),
+        ],
+    )
+    def test_classical_thresholds(self, n, m, rounds, expected):
+        assert duplicator_wins(linear_order(n), linear_order(m), rounds) is expected
+
+    def test_min_rank_grows_logarithmically(self):
+        """The crux of 'parity is not FO': the distinguishing rank of
+        n vs n+1 grows with n, so no fixed sentence works for all n."""
+        ranks = [
+            min_distinguishing_rank(linear_order(n), linear_order(n + 1), 5)
+            for n in (1, 3, 7)
+        ]
+        assert ranks == [2, 3, 4]
+
+    def test_none_when_rank_insufficient(self):
+        assert min_distinguishing_rank(linear_order(7), linear_order(8), 3) is None
+
+
+class TestCellStructures:
+    def test_shape(self):
+        db = point_set(2)
+        s = cell_structure(db["S"])
+        assert len(s.universe) == 5  # 2 constants -> 5 cells
+        assert s.relation("point") == {(1,), (3,)}
+        assert s.relation("in") == {(1,), (3,)}
+
+    def test_interval_membership_marked(self):
+        db = interval_chain(1)  # [0, 3]
+        s = cell_structure(db["S"])
+        # cells: (-inf,0) [0] (0,3) [3] (3,inf); members: 1, 2, 3
+        assert s.relation("in") == {(1,), (2,), (3,)}
+
+    def test_requires_unary(self):
+        with pytest.raises(EncodingError):
+            cell_structure(Relation.universe(("x", "y")))
+
+    def test_equivalent_cell_words_tie_games(self):
+        """Two interval databases with the same cell pattern are
+        EF-equivalent at every rank (here rank 3)."""
+        a = cell_structure(point_set(3)["S"])
+        b = cell_structure(point_set(3, start=10, step=7)["S"])
+        assert duplicator_wins(a, b, 3)
+
+    def test_point_count_distinguishable_at_low_rank(self):
+        a = cell_structure(point_set(1)["S"])
+        b = cell_structure(point_set(2)["S"])
+        rank = min_distinguishing_rank(a, b, 4)
+        assert rank is not None

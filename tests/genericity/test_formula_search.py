@@ -1,0 +1,75 @@
+"""Tests for the exhaustive FO-definability search."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.genericity.ef_games import linear_order, min_distinguishing_rank
+from repro.genericity.formula_search import SearchResult, enumerate_queries, search_sentence
+
+
+class TestEnumeration:
+    def test_rank_zero_contains_booleans(self):
+        family = [linear_order(2)]
+        queries = enumerate_queries(family, variables=2, rank=0)
+        semantics = {s for s, _ in queries}
+        assert 0 in semantics  # false
+
+    def test_monotone_in_rank(self):
+        family = [linear_order(2), linear_order(3)]
+        r0 = enumerate_queries(family, variables=2, rank=0)
+        r1 = enumerate_queries(family, variables=2, rank=1)
+        assert r0 <= r1
+
+    def test_limit_enforced(self):
+        family = [linear_order(4), linear_order(5)]
+        with pytest.raises(EncodingError):
+            enumerate_queries(family, variables=2, rank=2, limit=100)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(EncodingError):
+            enumerate_queries([], variables=1, rank=0)
+
+
+class TestSentenceSearch:
+    def test_size_one_vs_two_needs_rank_two(self):
+        """Matches the EF game exactly: 1 vs 2 distinguishable at rank 2,
+        not at rank 1."""
+        family = [linear_order(1), linear_order(2)]
+        assert not search_sentence(family, [True, False], variables=2, rank=1)
+        assert search_sentence(family, [True, False], variables=2, rank=2)
+
+    def test_agrees_with_ef_on_pairs(self):
+        for n in (1, 2):
+            family = [linear_order(n), linear_order(n + 1)]
+            ef_rank = min_distinguishing_rank(linear_order(n), linear_order(n + 1), 4)
+            for rank in (1, 2):
+                found = search_sentence(
+                    family, [True, False], variables=2, rank=rank
+                ).found
+                assert found == (ef_rank is not None and ef_rank <= rank)
+
+    def test_parity_not_found_at_rank_one(self):
+        family = [linear_order(n) for n in range(1, 5)]
+        target = [n % 2 == 1 for n in range(1, 5)]
+        result = search_sentence(family, target, variables=2, rank=1)
+        assert not result.found
+        assert result.queries_explored > 0
+
+    def test_nonemptiness_found(self):
+        family = [linear_order(0), linear_order(1), linear_order(2)]
+        result = search_sentence(family, [False, True, True], variables=2, rank=1)
+        assert result.found
+
+    def test_at_least_two_found_at_rank_two(self):
+        family = [linear_order(1), linear_order(2), linear_order(3)]
+        assert search_sentence(family, [False, True, True], variables=2, rank=2)
+
+    def test_target_length_checked(self):
+        with pytest.raises(EncodingError):
+            search_sentence([linear_order(1)], [True, False], variables=1, rank=0)
+
+    def test_result_is_boolish(self):
+        family = [linear_order(1)]
+        result = search_sentence(family, [True], variables=1, rank=0)
+        assert isinstance(result, SearchResult)
+        assert bool(result) is True

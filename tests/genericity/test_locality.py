@@ -1,0 +1,106 @@
+"""Tests for Hanf locality (the connectivity lower-bound instrument)."""
+
+import pytest
+
+from repro.genericity.ef_games import FiniteStructure, duplicator_wins
+from repro.genericity.locality import (
+    ball,
+    gaifman_adjacency,
+    hanf_indistinguishable,
+    hanf_radius,
+    neighborhood_census,
+)
+
+
+def cycle(n: int, offset: int = 0) -> FiniteStructure:
+    edges = set()
+    for i in range(n):
+        a, b = offset + i, offset + (i + 1) % n
+        edges.add((a, b))
+        edges.add((b, a))
+    return FiniteStructure.make(range(offset, offset + n), {"E": edges})
+
+
+def two_cycles(n: int) -> FiniteStructure:
+    first = cycle(n)
+    second = cycle(n, offset=n)
+    edges = set(first.relation("E")) | set(second.relation("E"))
+    return FiniteStructure.make(range(2 * n), {"E": edges})
+
+
+def path(n: int) -> FiniteStructure:
+    edges = set()
+    for i in range(n - 1):
+        edges.add((i, i + 1))
+        edges.add((i + 1, i))
+    return FiniteStructure.make(range(n), {"E": edges})
+
+
+class TestGaifman:
+    def test_adjacency_of_cycle(self):
+        adj = gaifman_adjacency(cycle(4))
+        assert adj[0] == {1, 3}
+
+    def test_ball_growth(self):
+        c = cycle(8)
+        elements, distance = ball(c, 0, 2)
+        assert elements == {0, 1, 2, 6, 7}
+        assert distance[2] == 2
+
+    def test_ball_saturates(self):
+        c = cycle(4)
+        elements, _ = ball(c, 0, 10)
+        assert elements == {0, 1, 2, 3}
+
+
+class TestCensus:
+    def test_cycle_is_homogeneous(self):
+        """Every vertex of a cycle has the same neighborhood type."""
+        census = neighborhood_census(cycle(8), radius=2)
+        assert len(census) == 1
+        assert census[0][1] == 8
+
+    def test_path_has_boundary_types(self):
+        """A path has distinct end/near-end/middle types."""
+        census = neighborhood_census(path(7), radius=1)
+        counts = sorted(count for _, count in census)
+        assert counts == [2, 5]  # two endpoints, five inner vertices
+
+    def test_radius_zero_sees_only_loops(self):
+        census = neighborhood_census(cycle(5), radius=0)
+        assert len(census) == 1
+
+
+class TestHanfCertificates:
+    def test_radius_formula(self):
+        assert hanf_radius(1) == 1
+        assert hanf_radius(2) == 4
+        assert hanf_radius(3) == 13
+
+    def test_connectivity_showcase(self):
+        """One 12-cycle vs two 6-cycles: locally identical at rank 1,
+        so no rank-1 sentence (hence no fixed local sentence) can
+        express connectivity."""
+        assert hanf_indistinguishable(cycle(12), two_cycles(6), rank=1)
+
+    def test_certificate_is_sound_against_ef(self):
+        """Whenever Hanf certifies, the EF solver must agree."""
+        pairs = [
+            (cycle(12), two_cycles(6), 1),
+            (cycle(8), two_cycles(4), 1),
+        ]
+        for a, b, rank in pairs:
+            if hanf_indistinguishable(a, b, rank):
+                assert duplicator_wins(a, b, rank)
+
+    def test_small_cycles_not_certified(self):
+        """At rank 2 the radius-4 balls wrap around a 6-cycle: the
+        single cycle and the split pair differ locally -- no
+        certificate (and indeed they are distinguishable)."""
+        assert not hanf_indistinguishable(cycle(6), two_cycles(3), rank=2)
+
+    def test_different_sizes_never_certified(self):
+        assert not hanf_indistinguishable(cycle(6), cycle(8), rank=1)
+
+    def test_isomorphic_always_certified(self):
+        assert hanf_indistinguishable(cycle(7), cycle(7), rank=2)

@@ -1,0 +1,72 @@
+"""Tests for the generic-vs-topological classification (§3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate_boolean
+from repro.core.formula import Not, constraint, exists, forall, rel
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.relation import Relation
+from repro.genericity.topological import classify
+from repro.linear.region import is_connected
+from repro.queries.library import bounded_query
+
+
+@pytest.fixture
+def half_open_db():
+    """S = [0, 1): has a minimum but no maximum."""
+    db = Database()
+    db["S"] = IntervalSet([Interval.make(0, 1, False, True)]).to_relation("x")
+    return db
+
+
+def has_minimum(db) -> bool:
+    f = exists(
+        "m",
+        rel("S", "m")
+        & forall("x", rel("S", "x").implies(constraint(le("m", "x")))),
+    )
+    return evaluate_boolean(f, db)
+
+
+class TestClassification:
+    def test_connectivity_is_topological(self, half_open_db):
+        report = classify(lambda d: is_connected(d["S"]), half_open_db)
+        assert report.generic
+        assert report.topological
+        assert report.kind == "topological query"
+
+    def test_boundedness_is_topological(self, half_open_db):
+        report = classify(
+            lambda d: evaluate_boolean(bounded_query("S"), d), half_open_db
+        )
+        assert report.topological
+
+    def test_has_minimum_is_generic_but_not_topological(self, half_open_db):
+        """[0, 1) has a min but no max: order reversal flips the answer."""
+        report = classify(has_minimum, half_open_db)
+        assert report.generic
+        assert not report.topological
+        assert report.reflection_witness is not None
+        assert report.kind == "generic (order-sensitive) query"
+
+    def test_constant_leak_is_not_even_generic(self, half_open_db):
+        def below_zero(db):
+            return evaluate_boolean(
+                exists("x", rel("S", "x") & constraint(lt("x", Fraction(1, 2)))), db
+            )
+
+        report = classify(below_zero, half_open_db, count=8, seed=3)
+        assert not report.generic
+        assert report.generic_witness is not None
+        assert report.kind == "not a query"
+
+    def test_hierarchy_is_consistent(self, half_open_db):
+        """topological implies generic by construction."""
+        for query in (has_minimum, lambda d: is_connected(d["S"])):
+            report = classify(query, half_open_db)
+            if report.topological:
+                assert report.generic

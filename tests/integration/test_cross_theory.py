@@ -1,0 +1,104 @@
+"""Cross-theory integration: FO (dense order) vs FO+ (linear).
+
+FO is a sublanguage of FO+: translating every dense-order atom to its
+linear form must preserve query answers exactly.  This exercises two
+entirely different decision procedures (order-graph reasoning vs
+Fourier-Motzkin) against each other.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import (
+    And,
+    Constraint,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    RelationAtom,
+    _Boolean,
+)
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.linear.latoms import from_dense_atom
+from repro.linear.theory import LINEAR
+from repro.linear.translate import (
+    dense_to_linear_formula as translate_formula,
+    dense_to_linear_relation as translate_relation,
+)
+from tests.strategies import formulas, fractions as fracs
+
+
+class TestAtomAgreement:
+    @settings(max_examples=150)
+    @given(formulas(depth=2), st.data())
+    def test_pointwise_agreement(self, f, data):
+        """Dense and linear engines agree at random points."""
+        dense_out = evaluate(f, None, DENSE_ORDER)
+        linear_out = evaluate(translate_formula(f), Database(theory=LINEAR), LINEAR)
+        names = sorted(v.name for v in f.free_variables())
+        point = [data.draw(fracs) for _ in names]
+        assert dense_out.contains_point(point) == linear_out.contains_point(point)
+
+    @settings(max_examples=80, deadline=None)
+    @given(formulas(depth=2))
+    def test_sentence_agreement(self, f):
+        from repro.core.terms import Var
+
+        names = sorted(v.name for v in f.free_variables())
+        sentence = Exists(tuple(Var(n) for n in names), f) if names else f
+        dense = evaluate_boolean(sentence, None, DENSE_ORDER)
+        linear = evaluate_boolean(
+            translate_formula(sentence), Database(theory=LINEAR), LINEAR
+        )
+        assert dense == linear
+
+
+class TestDatabaseQueries:
+    def test_triangle_query_agreement(self):
+        from repro.core.atoms import le, lt
+        from repro.core.formula import constraint, exists, rel
+
+        dense_db = Database()
+        dense_db["T"] = Relation.from_atoms(
+            ("x", "y"), [[le("x", "y"), le(0, "x"), le("y", 10)]], DENSE_ORDER
+        )
+        linear_db = Database(theory=LINEAR)
+        linear_db["T"] = translate_relation(dense_db["T"])
+
+        f = exists("y", rel("T", "x", "y") & constraint(lt("y", 5)))
+        g = translate_formula(f)
+        dense_out = evaluate(f, dense_db, DENSE_ORDER)
+        linear_out = evaluate(g, linear_db, LINEAR)
+        for v in (-1, 0, 3, Fraction(49, 10), 5, 11):
+            assert dense_out.contains_point([v]) == linear_out.contains_point([v])
+
+
+class TestSatisfiabilityAgreement:
+    @settings(max_examples=200)
+    @given(st.lists(st.tuples(fracs, fracs), max_size=4))
+    def test_interval_systems(self, bounds):
+        """Conjunctions of interval constraints: both theories agree."""
+        from repro.core.atoms import le
+
+        dense_atoms = []
+        linear_atoms = []
+        for i, (lo, hi) in enumerate(bounds):
+            var = f"v{i % 2}"
+            for made in (le(lo, var), le(var, hi)):
+                if isinstance(made, bool):
+                    continue
+                dense_atoms.append(made)
+                linear_atoms.append(from_dense_atom(made))
+        assert DENSE_ORDER.is_satisfiable(dense_atoms) == LINEAR.is_satisfiable(
+            linear_atoms
+        )

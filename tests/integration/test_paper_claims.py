@@ -1,0 +1,160 @@
+"""End-to-end validation of the paper's headline claims.
+
+One test class per theorem/claim, exercising the full stack the way
+the experiments do, at test-suite-friendly sizes.  These are the
+integration counterparts of the benchmark experiments E1-E11.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cobjects.calculus import evaluate_ccalc_boolean, set_height
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import constraint, exists, forall, rel
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.datalog.engine import evaluate_program
+from repro.encoding.ptime import (
+    capture_boolean,
+    cardinality_parity_program,
+    graph_connectivity_program,
+)
+from repro.encoding.standard import decode_database, encode_database
+from repro.genericity.checks import check_generic
+from repro.genericity.ef_games import duplicator_wins, linear_order
+from repro.linear.region import count_components, is_connected
+from repro.queries.library import (
+    graph_connectivity_procedural,
+    parity_ccalc,
+    parity_procedural,
+    transitive_closure_program,
+)
+from repro.workloads.generators import (
+    cycle_graph,
+    disjoint_cycles,
+    interval_chain,
+    path_graph,
+    point_set,
+    random_finite_graph,
+    random_interval_database,
+)
+
+
+class TestClosedFormEvaluation:
+    """Section 3 / [KKR90]: FO maps instances to instances."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_output_is_finitely_representable_and_reencodable(self, seed):
+        db = random_interval_database(seed, count=5)
+        f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+        out = evaluate(f, db)
+        # the output round-trips through the standard encoding: it IS an instance
+        out_db = Database({"Out": out})
+        assert decode_database(encode_database(out_db))["Out"].equivalent(out)
+
+
+class TestTheorem42:
+    """Parity/connectivity not FO: EF evidence + one-level-up computability."""
+
+    def test_parity_alternates_while_ef_types_stabilize(self):
+        # orders of size 3 and 4 are 2-round equivalent yet differ in parity
+        assert duplicator_wins(linear_order(3), linear_order(4), 2)
+        assert parity_procedural(point_set(3)) != parity_procedural(point_set(4))
+
+    @pytest.mark.parametrize("n", (2, 3, 4))
+    def test_parity_is_ptime_computable(self, n):
+        assert capture_boolean(
+            cardinality_parity_program("S"), point_set(n), "result_odd"
+        ) == (n % 2 == 1)
+
+    def test_connectivity_contrast_instances(self):
+        assert graph_connectivity_procedural(cycle_graph(6))
+        assert not graph_connectivity_procedural(disjoint_cycles(3))
+        assert capture_boolean(
+            graph_connectivity_program(), cycle_graph(6), "connected"
+        )
+        assert not capture_boolean(
+            graph_connectivity_program(), disjoint_cycles(3), "connected"
+        )
+
+
+class TestTheorem43:
+    """Region connectivity: decidable procedurally, coherent across forms."""
+
+    @pytest.mark.parametrize("n,overlap,expected", [(3, True, 1), (3, False, 3)])
+    def test_interval_regions(self, n, overlap, expected):
+        db = interval_chain(n, overlap=overlap)
+        assert count_components(db["S"]) == expected
+
+    def test_connectivity_is_a_query(self):
+        """Connectivity IS generic (closed under automorphisms) -- the
+        theorem says it is not *linear*, not that it is not a query."""
+        from repro.genericity.checks import check_boolean_generic
+
+        db = interval_chain(3, overlap=False)
+        report = check_boolean_generic(
+            lambda d: is_connected(d["S"]), db, count=5
+        )
+        assert report.generic
+
+
+class TestTheorem44:
+    """Datalog(not) = PTIME: both halves on the same instances."""
+
+    @pytest.mark.parametrize("n", (3, 5))
+    def test_easy_half_terminates_polynomially(self, n):
+        result = evaluate_program(transitive_closure_program(), path_graph(n))
+        assert result.reached_fixpoint
+        assert result.rounds <= n + 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hard_half_capture_agrees(self, seed):
+        db = random_finite_graph(seed, vertex_count=4, edge_probability=0.5)
+        assert capture_boolean(
+            graph_connectivity_program(), db, "connected"
+        ) == graph_connectivity_procedural(db)
+
+    def test_closure_of_the_two_halves(self):
+        """The constraint engine and the capture pipeline agree on a
+        reachability-flavored boolean."""
+        db = path_graph(4)
+        # constraint-engine side: tc(0, 3) derivable?
+        tc = evaluate_program(transitive_closure_program(), db)["tc"]
+        assert tc.contains_point([0, 3])
+        # capture side: connected (path is connected)
+        assert capture_boolean(graph_connectivity_program(), db, "connected")
+
+
+class TestTheorem52:
+    """PTIME <= C-CALC_1: parity in both frameworks."""
+
+    @pytest.mark.parametrize("n", (0, 1, 2, 3))
+    def test_ccalc1_matches_capture_pipeline(self, n):
+        db = point_set(n)
+        formula = parity_ccalc("S")
+        assert set_height(formula) == 1
+        via_ccalc = evaluate_ccalc_boolean(formula, db)
+        via_capture = capture_boolean(
+            cardinality_parity_program("S"), db, "result_odd"
+        )
+        assert via_ccalc == via_capture == (n % 2 == 1)
+
+
+class TestSection6Remark:
+    """Density matters: the QE law 'exists x (l < x < u) <=> l < u' is
+    *false* over discrete orders -- the repo's engine is specifically a
+    dense-order engine (cf. the paper's closing remark that Theorem 4.4
+    fails for discrete orders)."""
+
+    def test_density_law_fails_on_integers(self):
+        f = exists("m", constraint(lt(0, "m")) & constraint(lt("m", 1)))
+        # over Q: true (density); over Z it would be false
+        assert evaluate_boolean(f)
+        # the integer counterexample, decided by hand:
+        integer_points_between_0_and_1 = [
+            k for k in range(-5, 6) if 0 < k < 1
+        ]
+        assert integer_points_between_0_and_1 == []

@@ -1,0 +1,169 @@
+"""Robustness: adversarial shapes, extreme values, resource guards.
+
+A production engine must be exact on ugly inputs, not just pretty ones:
+huge rationals, deep quantifier nesting, wide schemas, degenerate
+relations, and clashing names.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import eq, le, lt
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Not, conj, constraint, exists, forall, rel
+from repro.core.intervals import IntervalSet
+from repro.core.qe import eliminate_quantifiers, is_valid
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.errors import ReproError, SchemaError
+
+
+class TestExtremeValues:
+    def test_huge_rationals(self):
+        big = Fraction(10**30 + 1, 10**30)
+        near = Fraction(10**30 - 1, 10**30)
+        r = Relation.from_atoms(("x",), [[lt(near, "x"), lt("x", big)]], DENSE_ORDER)
+        assert r.contains_point([Fraction(1)])
+        assert not r.contains_point([near])
+        s = IntervalSet.from_relation(r)
+        assert s.contains(Fraction(1))
+
+    def test_dense_cluster_of_constants(self):
+        """Constants packed 1/n apart: cell machinery stays exact."""
+        points = [(Fraction(1, k),) for k in range(1, 12)]
+        db = Database()
+        db["S"] = Relation.from_points(("x",), points)
+        between = exists(
+            ["a", "b"],
+            rel("S", "a") & rel("S", "b")
+            & constraint(lt("a", "x")) & constraint(lt("x", "b")),
+        )
+        out = evaluate(between, db)
+        assert out.contains_point([Fraction(7, 24)])  # between 1/4 and 1/3
+        assert not out.contains_point([Fraction(2)])
+
+    def test_negative_and_mixed_signs(self):
+        r = Relation.from_atoms(
+            ("x",), [[le(Fraction(-10**12), "x"), le("x", Fraction(-1, 10**12))]],
+            DENSE_ORDER,
+        )
+        assert r.contains_point([Fraction(-1)])
+        assert not r.contains_point([Fraction(0)])
+
+
+class TestDeepNesting:
+    def test_alternating_quantifier_tower(self):
+        """10 alternating quantifiers over a dense-order matrix."""
+        body = constraint(lt("v0", "v9"))
+        f = body
+        for i in reversed(range(10)):
+            wrapper = exists if i % 2 == 0 else forall
+            f = wrapper(f"v{i}", f)
+        assert isinstance(evaluate_boolean(f), bool)
+
+    def test_deep_negation_tower(self):
+        f = constraint(lt("x", 0))
+        for _ in range(30):
+            f = Not(f)
+        # even number of negations: equivalent to the original
+        out = evaluate(f)
+        assert out.contains_point([Fraction(-1)])
+        assert not out.contains_point([Fraction(1)])
+
+    def test_wide_conjunction(self):
+        parts = [constraint(lt(i, "x")) for i in range(25)]
+        out = evaluate(conj(*parts))
+        assert out.contains_point([Fraction(25)])
+        assert not out.contains_point([Fraction(10)])
+        # canonical form keeps only the strongest bound
+        [t] = out.tuples
+        assert len(t.atoms) == 1
+
+
+class TestWideSchemas:
+    def test_six_column_join_chain(self):
+        schema = tuple(f"c{i}" for i in range(6))
+        r = Relation.from_atoms(
+            schema, [[lt(f"c{i}", f"c{i+1}") for i in range(5)]], DENSE_ORDER
+        )
+        projected = r.project(("c0", "c5"))
+        assert projected.contains_point([0, 1])
+        assert not projected.contains_point([1, 0])
+
+    def test_projection_eliminates_many(self):
+        schema = tuple(f"c{i}" for i in range(6))
+        r = Relation.from_atoms(
+            schema, [[lt("c0", "c5")] + [le(0, f"c{i}") for i in range(6)]], DENSE_ORDER
+        )
+        out = r.project(())
+        assert not out.is_empty()
+
+
+class TestDegenerateInputs:
+    def test_empty_everything(self):
+        db = Database()
+        db["S"] = Relation.empty(("x",))
+        assert not evaluate_boolean(exists("x", rel("S", "x")), db)
+        assert evaluate_boolean(forall("x", Not(rel("S", "x"))), db)
+
+    def test_zero_arity_relation(self):
+        db = Database()
+        db["Flag"] = Relation.universe(())
+        assert evaluate_boolean(rel("Flag"), db)
+        db["Flag"] = Relation.empty(())
+        assert not evaluate_boolean(rel("Flag"), db)
+
+    def test_duplicate_heavy_representation(self):
+        """100 copies of the same tuple collapse to one."""
+        tuples = [[le(0, "x"), le("x", 1)]] * 100
+        r = Relation.from_atoms(("x",), tuples, DENSE_ORDER)
+        assert len(r) == 1
+
+    def test_redundant_constants_vanish_in_canonical_form(self):
+        atoms = [lt("x", k) for k in range(1, 20)]
+        r = Relation.from_atoms(("x",), [atoms], DENSE_ORDER)
+        [t] = r.tuples
+        assert t.atoms == frozenset({lt("x", 1)})
+
+
+class TestNameHygiene:
+    def test_query_variables_shadow_nothing(self):
+        """Internal fresh names (__argN, __setN) cannot collide with
+        user columns."""
+        db = Database()
+        db["R"] = Relation.from_atoms(
+            ("__arg0", "x"), [[lt("__arg0", "x")]], DENSE_ORDER
+        )
+        out = evaluate(exists("q", rel("R", "q", "z")), db)
+        assert out.contains_point([5])
+
+    def test_error_types_are_catchable(self):
+        with pytest.raises(ReproError):
+            Relation.universe(("x",)).project(("nope",))
+        with pytest.raises(SchemaError):
+            Database()["missing"]
+
+
+class TestValidityStress:
+    def test_chain_validity(self):
+        """(x0 < x1 and ... and x4 < x5) implies x0 < x5 -- valid."""
+        premises = conj(*(constraint(lt(f"x{i}", f"x{i+1}")) for i in range(5)))
+        claim = premises.implies(constraint(lt("x0", "x5")))
+        assert is_valid(claim)
+
+    def test_qe_idempotent_on_big_formula(self):
+        f = exists(
+            ["a", "b"],
+            conj(
+                constraint(lt("a", "b")),
+                constraint(lt("a", "x")),
+                constraint(lt("x", "b")),
+                constraint(le(0, "a")),
+                constraint(le("b", 100)),
+            ),
+        )
+        once = eliminate_quantifiers(f)
+        twice = eliminate_quantifiers(once)
+        assert once == twice

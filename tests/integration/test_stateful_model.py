@@ -1,0 +1,104 @@
+"""Stateful model-based testing of the relation algebra.
+
+A hypothesis state machine drives random sequences of algebra
+operations on a pair of unary relations while maintaining a *model*:
+the membership pattern on a fixed rational grid.  Any divergence
+between the engine and the model after any operation sequence is a
+bug; the machine also checks the canonical interval form stays in
+sync.
+"""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.atoms import eq, le, lt
+from repro.core.intervals import IntervalSet
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+
+GRID = [Fraction(n, 2) for n in range(-8, 9)]
+
+bounds = st.integers(min_value=-3, max_value=3)
+
+
+class RelationAlgebraMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.relation = Relation.empty(("x",), DENSE_ORDER)
+        self.model = frozenset()
+
+    def _sync(self, relation, model):
+        self.relation = relation
+        self.model = frozenset(model)
+
+    @rule(a=bounds, b=bounds, closed=st.booleans())
+    def add_interval(self, a, b, closed):
+        lo, hi = min(a, b), max(a, b)
+        make = le if closed else lt
+        atoms = [make(lo, "x"), make("x", hi)]
+        added = Relation.from_atoms(("x",), [atoms], DENSE_ORDER)
+        new_model = {
+            v
+            for v in GRID
+            if (lo <= v <= hi if closed else lo < v < hi)
+        }
+        self._sync(self.relation.union(added), set(self.model) | new_model)
+
+    @rule(a=bounds)
+    def add_point(self, a):
+        added = Relation.from_atoms(("x",), [[eq("x", a)]], DENSE_ORDER)
+        self._sync(
+            self.relation.union(added),
+            set(self.model) | ({Fraction(a)} if Fraction(a) in set(GRID) else set()),
+        )
+
+    @rule(a=bounds)
+    def intersect_with_ray(self, a):
+        ray = Relation.from_atoms(("x",), [[le(a, "x")]], DENSE_ORDER)
+        self._sync(
+            self.relation.intersection(ray),
+            {v for v in self.model if v >= a},
+        )
+
+    @rule(a=bounds, b=bounds)
+    def subtract_interval(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        cut = Relation.from_atoms(("x",), [[le(lo, "x"), le("x", hi)]], DENSE_ORDER)
+        self._sync(
+            self.relation.difference(cut),
+            {v for v in self.model if not lo <= v <= hi},
+        )
+
+    @rule()
+    def complement_twice(self):
+        self._sync(self.relation.complement().complement(), self.model)
+
+    @rule()
+    def simplify(self):
+        self._sync(self.relation.simplify(), self.model)
+
+    @rule()
+    def round_trip_intervals(self):
+        as_intervals = IntervalSet.from_relation(self.relation)
+        self._sync(as_intervals.to_relation("x"), self.model)
+
+    @invariant()
+    def engine_matches_model_on_grid(self):
+        for v in GRID:
+            assert self.relation.contains_point([v]) == (v in self.model), (
+                f"divergence at {v}"
+            )
+
+    @invariant()
+    def interval_form_agrees(self):
+        as_intervals = IntervalSet.from_relation(self.relation)
+        for v in GRID:
+            assert as_intervals.contains(v) == self.relation.contains_point([v])
+
+
+TestRelationAlgebraMachine = RelationAlgebraMachine.TestCase
+TestRelationAlgebraMachine.settings = __import__("hypothesis").settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)

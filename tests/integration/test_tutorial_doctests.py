@@ -1,0 +1,66 @@
+"""Execute every pycon block of docs/TUTORIAL.md as a doctest.
+
+Documentation that the test suite runs cannot rot.
+"""
+
+import doctest
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).resolve().parents[2] / "docs" / "TUTORIAL.md"
+
+
+def extract_blocks(text: str):
+    """The ```pycon fenced blocks, with their section heading as a name."""
+    blocks = []
+    heading = "intro"
+    fence = None
+    lines = []
+    for line in text.splitlines():
+        if line.startswith("#"):
+            if fence is None:
+                heading = line.lstrip("# ").strip()
+        if line.strip() == "```pycon":
+            fence = []
+            continue
+        if line.strip() == "```" and fence is not None:
+            blocks.append((heading, "\n".join(fence)))
+            fence = None
+            continue
+        if fence is not None:
+            fence.append(line)
+    return blocks
+
+
+BLOCKS = extract_blocks(TUTORIAL.read_text(encoding="utf-8"))
+
+
+def test_tutorial_has_blocks():
+    assert len(BLOCKS) >= 10
+
+
+@pytest.mark.parametrize(
+    "heading,source", BLOCKS, ids=[f"block{i}" for i in range(len(BLOCKS))]
+)
+def test_tutorial_block(heading, source):
+    """Each block runs in a fresh namespace seeded by all earlier blocks
+    of the same document (the tutorial builds up state)."""
+    index = BLOCKS.index((heading, source))
+    namespace: dict = {}
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    for i in range(index + 1):
+        _, chunk = BLOCKS[i]
+        test = doctest.DocTest(
+            parser.get_examples(chunk + "\n"),
+            namespace,
+            f"tutorial-{i}",
+            str(TUTORIAL),
+            None,
+            chunk,
+        )
+        result = runner.run(test, clear_globs=False)
+        namespace.update(test.globs)  # DocTest copies globs; carry state on
+        assert result.failed == 0, f"doctest failures in block {i} ({heading})"

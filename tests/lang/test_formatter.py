@@ -1,0 +1,94 @@
+"""Round-trip tests: format -> parse -> same formula."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.qe import equivalent
+from repro.lang import format_formula, format_program, parse_formula, parse_program
+from repro.queries.library import transitive_closure_program
+from tests.strategies import formulas
+
+
+class TestFormulaRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x < y",
+            "x <= 1/2",
+            "x != -3",
+            "not x < 1",
+            "R(x, 3) and S(y)",
+            "a < 1 or b < 1 and c < 1",
+            "exists x, y (x < y)",
+            "forall a (exists b (b < a))",
+            "exists x R(x) and S(y)",
+            "not (R(x) or S(x))",
+            "true",
+            "false",
+        ],
+    )
+    def test_parse_format_parse_fixpoint(self, text):
+        once = parse_formula(text)
+        printed = format_formula(once)
+        again = parse_formula(printed)
+        assert once == again, f"{text!r} -> {printed!r}"
+
+    @settings(max_examples=150, deadline=None)
+    @given(formulas(depth=2))
+    def test_random_formulas_round_trip_semantically(self, f):
+        """Formatted-and-reparsed formulas denote the same pointsets."""
+        printed = format_formula(f)
+        reparsed = parse_formula(printed)
+        assert equivalent(f, reparsed)
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas(depth=2))
+    def test_second_round_trip_is_structural_fixpoint(self, f):
+        """After one normalization pass, formatting is stable."""
+        once = parse_formula(format_formula(f))
+        twice = parse_formula(format_formula(once))
+        assert once == twice
+
+
+class TestProgramRoundTrip:
+    def test_transitive_closure(self):
+        program = transitive_closure_program()
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert format_program(reparsed) == printed
+        assert reparsed.idb == program.idb
+
+    def test_negation_and_constraints(self):
+        text = (
+            "stage1().\n"
+            "stage2() :- stage1().\n"
+            "small(x) :- s(x), not big(x), stage2().\n"
+            "big(x) :- s(x), 10 < x.\n"
+        )
+        program = parse_program(text)
+        assert format_program(program) == text
+
+    def test_empty_program(self):
+        assert format_program(parse_program("")) == ""
+
+
+class TestLinearRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x + y <= 1",
+            "2*x - y = 1/2",
+            "exists y (2*x - y + 1/2 <= 0 and y < 3)",
+            "forall x (x + x < 10 implies x < 6)",
+        ],
+    )
+    def test_linear_formula_round_trips(self, text):
+        from repro.lang import parse_linear_formula
+        from repro.linear.theory import LINEAR
+
+        once = parse_linear_formula(text)
+        printed = format_formula(once)
+        again = parse_linear_formula(printed)
+        from repro.core.qe import equivalent as semantically_equal
+
+        assert semantically_equal(once, again, LINEAR)

@@ -1,0 +1,90 @@
+"""FO+ end-to-end: the generic engine over the linear theory."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.formula import Not, constraint, exists, forall, rel
+from repro.core.relation import Relation
+from repro.linear.latoms import lin_eq, lin_le, lin_lt
+from repro.linear.theory import LINEAR
+
+
+def C(a):
+    return constraint(a)
+
+
+@pytest.fixture
+def db():
+    database = Database(theory=LINEAR)
+    # the triangle x + y <= 1, x >= 0, y >= 0
+    database["T"] = Relation.from_atoms(
+        ("x", "y"),
+        [[lin_le({"x": 1, "y": 1}, 1), lin_le(0, "x"), lin_le(0, "y")]],
+        LINEAR,
+    )
+    database["S"] = Relation.from_points(("x",), [(0,), (4,)], LINEAR)
+    return database
+
+
+class TestEvaluation:
+    def test_projection_of_triangle(self, db):
+        out = evaluate(exists("y", rel("T", "x", "y")), db, theory=LINEAR)
+        assert out.contains_point([Fraction(1, 2)])
+        assert out.contains_point([0])
+        assert out.contains_point([1])
+        assert not out.contains_point([Fraction(3, 2)])
+
+    def test_diagonal_slice(self, db):
+        # points of T on the line x = y: 0 <= x <= 1/2
+        out = evaluate(rel("T", "x", "x"), db, theory=LINEAR)
+        assert out.contains_point([Fraction(1, 2)])
+        assert not out.contains_point([Fraction(3, 4)])
+
+    def test_midpoint_query(self, db):
+        """The FO+ midpoint query: z with x + y = 2z for S-members x, y."""
+        f = exists(
+            ["mx", "my"],
+            rel("S", "mx") & rel("S", "my") & C(lin_eq({"mx": 1, "my": 1}, {"z": 2})),
+        )
+        out = evaluate(f, db, theory=LINEAR)
+        assert out.contains_point([0])  # (0+0)/2
+        assert out.contains_point([2])  # (0+4)/2
+        assert out.contains_point([4])
+        assert not out.contains_point([1])
+
+    def test_complement(self, db):
+        out = evaluate(Not(rel("T", "x", "y")), db, theory=LINEAR)
+        assert out.contains_point([2, 2])
+        assert not out.contains_point([Fraction(1, 4), Fraction(1, 4)])
+
+    def test_sentences(self, db):
+        assert evaluate_boolean(
+            exists(["x", "y"], rel("T", "x", "y")), db, theory=LINEAR
+        )
+        # all triangle points satisfy x <= 1
+        f = forall(
+            ["x", "y"], rel("T", "x", "y").implies(C(lin_le("x", 1)))
+        )
+        assert evaluate_boolean(f, db, theory=LINEAR)
+
+    def test_addition_is_really_needed(self, db):
+        """Scaling: FO+ can define {x | 2x in S}, unreachable in FO."""
+        f = exists("s", rel("S", "s") & C(lin_eq({"s": 1}, {"x": 2})))
+        out = evaluate(f, db, theory=LINEAR)
+        assert out.contains_point([2])  # 2*2 = 4 in S
+        assert out.contains_point([0])
+        assert not out.contains_point([4])
+
+
+class TestClosedForm:
+    def test_fo_plus_is_closed(self, db):
+        """Output of an FO+ query is again a linear relation (Tarski's
+        additive fragment; [Tar51] via Fourier-Motzkin)."""
+        f = exists("y", rel("T", "x", "y") & C(lin_lt("y", Fraction(1, 2))))
+        out = evaluate(f, db, theory=LINEAR)
+        assert out.theory is LINEAR
+        assert out.contains_point([1])
+        assert not out.contains_point([Fraction(3, 2)])

@@ -1,0 +1,162 @@
+"""Unit tests for linear expressions and atoms."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import eq, le, lt, ne
+from repro.core.terms import Var
+from repro.errors import TheoryError
+from repro.linear.latoms import (
+    LinAtom,
+    LinExpr,
+    LinOp,
+    from_dense_atom,
+    lin_eq,
+    lin_ge,
+    lin_gt,
+    lin_le,
+    lin_lt,
+    lin_ne,
+    linatom,
+    linexpr,
+)
+from tests.strategies import fractions as fracs
+
+
+class TestLinExpr:
+    def test_make_drops_zero_coefficients(self):
+        e = LinExpr.make({"x": 0, "y": 2}, 1)
+        assert e.coeffs == (("y", Fraction(2)),)
+        assert e.const == 1
+
+    def test_add_sub(self):
+        a = LinExpr.make({"x": 1, "y": 2}, 3)
+        b = LinExpr.make({"x": -1, "z": 1}, 1)
+        s = a + b
+        assert s.coefficient("x") == 0
+        assert s.coefficient("y") == 2
+        assert s.coefficient("z") == 1
+        assert s.const == 4
+        assert (a - a).is_constant
+
+    def test_scale(self):
+        e = LinExpr.make({"x": 2}, 4).scale(Fraction(1, 2))
+        assert e.coefficient("x") == 1
+        assert e.const == 2
+
+    def test_substitute(self):
+        e = LinExpr.make({"x": 2, "y": 1})
+        s = e.substitute({"x": LinExpr.make({"z": 1}, 5)})
+        assert s.coefficient("z") == 2
+        assert s.coefficient("y") == 1
+        assert s.const == 10
+
+    def test_evaluate(self):
+        e = LinExpr.make({"x": 2, "y": -1}, 1)
+        value = e.evaluate({Var("x"): Fraction(3), Var("y"): Fraction(2)})
+        assert value == 5
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(TheoryError):
+            LinExpr.of_var("x").evaluate({})
+
+    def test_str_forms(self):
+        assert str(LinExpr.make({"x": 1, "y": -1})) == "x - y"
+        assert str(LinExpr.make({}, 3)) == "3"
+
+    @given(fracs, fracs)
+    def test_linearity(self, a, b):
+        e = LinExpr.make({"x": 2}, 1)
+        env = {Var("x"): a + b}
+        assert e.evaluate(env) == 2 * (a + b) + 1
+
+
+class TestLinAtomNormalization:
+    def test_folds_ground(self):
+        assert lin_lt(1, 2) is True
+        assert lin_lt(2, 1) is False
+        assert lin_eq(3, 3) is True
+
+    def test_scaling_canonical(self):
+        assert lin_le({"x": 2, "y": 2}, 2) == lin_le({"x": 1, "y": 1}, 1)
+
+    def test_eq_sign_canonical(self):
+        assert lin_eq({"x": -1}, 1) == lin_eq({"x": 1}, -1)
+
+    def test_ge_gt_flip(self):
+        a = lin_ge("x", "y")  # x >= y  <=>  y - x <= 0
+        b = lin_le("y", "x")
+        assert a == b
+        assert lin_gt("x", 0) == lin_lt(0, "x")
+
+    def test_ne_splits(self):
+        parts = lin_ne("x", "y")
+        assert len(parts) == 2
+        assert all(p.op is LinOp.LT for p in parts)
+
+
+class TestLinAtomProtocol:
+    def test_variables_constants(self):
+        a = lin_le({"x": 1, "y": 2}, 3)
+        assert a.variables == {Var("x"), Var("y")}
+
+    def test_negate_partition(self):
+        a = lin_lt({"x": 1}, 1)  # x < 1
+        [n] = a.negate()  # x >= 1
+        assert n.evaluate({Var("x"): Fraction(1)})
+        assert not n.evaluate({Var("x"): Fraction(0)})
+
+    def test_negate_eq(self):
+        a = lin_eq({"x": 1}, 0)
+        parts = a.negate()
+        assert len(parts) == 2
+        for value in (Fraction(-1), Fraction(1)):
+            assert any(p.evaluate({Var("x"): value}) for p in parts)
+        assert not any(p.evaluate({Var("x"): Fraction(0)}) for p in parts)
+
+    def test_substitute_folds(self):
+        a = lin_lt({"x": 1}, 1)
+        from repro.core.terms import Const
+
+        assert a.substitute({Var("x"): Const(Fraction(0))}) is True
+        assert a.substitute({Var("x"): Const(Fraction(2))}) is False
+
+    def test_evaluate(self):
+        a = lin_le({"x": 1, "y": 1}, 1)  # x + y <= 1
+        assert a.evaluate({Var("x"): Fraction(1, 2), Var("y"): Fraction(1, 2)})
+        assert not a.evaluate({Var("x"): Fraction(1), Var("y"): Fraction(1)})
+
+    @given(fracs, fracs)
+    def test_negation_complement(self, x, y):
+        a = lin_lt({"x": 2, "y": -3}, 1)
+        env = {Var("x"): x, Var("y"): y}
+        assert a.evaluate(env) != any(n.evaluate(env) for n in a.negate())
+
+
+class TestFromDenseAtom:
+    @given(fracs, fracs)
+    def test_agrees_with_dense(self, x, y):
+        env = {Var("x"): x, Var("y"): y}
+        for dense in (lt("x", "y"), le("x", 1), eq("x", "y")):
+            if isinstance(dense, bool):
+                continue
+            linear = from_dense_atom(dense)
+            assert linear.evaluate(env) == dense.evaluate(env)
+
+    def test_ne_gives_disjunction(self):
+        parts = from_dense_atom(ne("x", "y"))
+        assert isinstance(parts, list)
+        assert len(parts) == 2
+
+
+class TestLinexprCoercions:
+    def test_accepts_everything(self):
+        assert linexpr("x") == LinExpr.of_var("x")
+        assert linexpr(3) == LinExpr.of_const(3)
+        assert linexpr({"x": 2}) == LinExpr.make({"x": 2})
+        assert linexpr(Var("y")) == LinExpr.of_var("y")
+        e = LinExpr.make({"z": 1})
+        assert linexpr(e) is e

@@ -1,0 +1,122 @@
+"""Unit tests for topological (region) connectivity -- Theorem 4.3's query."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.linear.latoms import lin_le, lin_lt
+from repro.linear.region import (
+    closure,
+    closure_tuple,
+    connected_components,
+    count_components,
+    gluing_graph,
+    is_connected,
+    tuples_glued,
+)
+from repro.linear.theory import LINEAR
+from repro.workloads.generators import checkerboard_region, interval_chain, staircase_region
+
+
+def square(a, closed=True, theory=LINEAR):
+    op = lin_le if closed else lin_lt
+    return [op(a, "x"), op("x", a + 1), op(a, "y"), op("y", a + 1)]
+
+
+def rel2(*tuples, theory=LINEAR):
+    return Relation.from_atoms(("x", "y"), tuples, theory)
+
+
+class TestClosure:
+    def test_weakens_strict(self):
+        r = Relation.from_atoms(("x",), [[lt(0, "x"), lt("x", 1)]], DENSE_ORDER)
+        c = closure(r)
+        assert c.contains_point([0])
+        assert c.contains_point([1])
+        assert not c.contains_point([2])
+
+    def test_closed_set_fixed(self):
+        r = Relation.from_atoms(("x",), [[le(0, "x"), le("x", 1)]], DENSE_ORDER)
+        assert closure(r).equivalent(r)
+
+
+class TestGluing:
+    def test_overlapping_squares(self):
+        r = rel2([lin_le(0, "x"), lin_le("x", 2)], [lin_le(1, "x"), lin_le("x", 3)])
+        [a, b] = r.tuples
+        assert tuples_glued(a, b)
+
+    def test_touching_closed_squares(self):
+        r = rel2(square(0), square(1))
+        [a, b] = r.tuples
+        assert tuples_glued(a, b)  # share the corner (1, 1)
+
+    def test_open_corner_squares_not_glued(self):
+        r = rel2(square(0, closed=False), square(1, closed=False))
+        [a, b] = r.tuples
+        assert not tuples_glued(a, b)
+
+    def test_half_open_boundary(self):
+        # [0,1) and [1,2] on the line: glued ([1,2] contains the limit 1)
+        left = Relation.from_atoms(
+            ("x",), [[le(0, "x"), lt("x", 1)], [le(1, "x"), le("x", 2)]], DENSE_ORDER
+        )
+        [a, b] = left.tuples
+        assert tuples_glued(a, b)
+
+    def test_open_gap_not_glued(self):
+        r = Relation.from_atoms(
+            ("x",), [[lt(0, "x"), lt("x", 1)], [lt(1, "x"), lt("x", 2)]], DENSE_ORDER
+        )
+        [a, b] = r.tuples
+        assert not tuples_glued(a, b)
+
+
+class TestConnectivity:
+    def test_empty_is_connected(self):
+        assert is_connected(Relation.empty(("x",), DENSE_ORDER))
+        assert count_components(Relation.empty(("x",), DENSE_ORDER)) == 0
+
+    def test_interval_chain_connected(self):
+        db = interval_chain(6, overlap=True)
+        assert is_connected(db["S"])
+        assert count_components(db["S"]) == 1
+
+    def test_interval_chain_separated(self):
+        db = interval_chain(6, overlap=False)
+        assert not is_connected(db["S"])
+        assert count_components(db["S"]) == 6
+
+    def test_checkerboard_connected(self):
+        db = checkerboard_region(3)
+        assert is_connected(db["R"])
+
+    def test_staircase_gap(self):
+        assert is_connected(staircase_region(5)["R"])
+        assert count_components(staircase_region(5, gap=True)["R"]) == 2
+
+    def test_components_partition(self):
+        db = interval_chain(4, overlap=False)
+        parts = connected_components(db["S"])
+        assert len(parts) == 4
+        total = parts[0]
+        for p in parts[1:]:
+            total = total.union(p)
+        assert total.equivalent(db["S"])
+
+    def test_gluing_graph_shape(self):
+        db = interval_chain(3, overlap=True)
+        graph = gluing_graph(db["S"])
+        # chain: 0-1, 1-2 at least; all within one component
+        assert len(graph) == len(db["S"].tuples)
+
+    def test_linear_wedge(self):
+        """Two triangles meeting at one point: connected."""
+        lower = [lin_le(0, "x"), lin_le("y", "x"), lin_le({"x": 1, "y": 1}, 2), lin_le(0, "y")]
+        upper = [lin_le("x", 0), lin_le("y", {"x": -1}), lin_le(-2, {"x": 1, "y": 1}), lin_le("y", 0)]
+        r = rel2(lower, upper)
+        if len(r.tuples) == 2:
+            assert is_connected(r)

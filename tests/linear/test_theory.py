@@ -1,0 +1,138 @@
+"""Unit and property tests for Fourier-Motzkin and the linear theory."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.terms import Var
+from repro.linear.latoms import LinExpr, lin_eq, lin_le, lin_lt
+from repro.linear.theory import LINEAR
+
+import hypothesis.strategies as hst
+from tests.strategies import fractions as fracs
+
+
+@hst.composite
+def linear_conjunctions(draw, max_atoms=4, variables=("x", "y")):
+    atoms = []
+    for _ in range(draw(hst.integers(min_value=0, max_value=max_atoms))):
+        coeffs = {v: draw(hst.integers(min_value=-2, max_value=2)) for v in variables}
+        rhs = draw(fracs)
+        op = draw(hst.sampled_from([lin_lt, lin_le, lin_eq]))
+        made = op(coeffs, rhs)
+        if not isinstance(made, bool):
+            atoms.append(made)
+    return atoms
+
+
+class TestSatisfiability:
+    def test_empty_satisfiable(self):
+        assert LINEAR.is_satisfiable([])
+
+    def test_triangle(self):
+        atoms = [lin_le({"x": 1, "y": 1}, 1), lin_le(0, "x"), lin_le(0, "y")]
+        assert LINEAR.is_satisfiable(atoms)
+
+    def test_contradiction(self):
+        atoms = [lin_lt({"x": 1, "y": 1}, 0), lin_le(1, "x"), lin_le(1, "y")]
+        assert not LINEAR.is_satisfiable(atoms)
+
+    def test_tight_equality(self):
+        atoms = [lin_eq({"x": 1, "y": 1}, 2), lin_eq({"x": 1, "y": -1}, 0), lin_le("x", 1)]
+        assert LINEAR.is_satisfiable(atoms)  # x = y = 1
+
+    def test_strict_against_equality(self):
+        atoms = [lin_eq({"x": 1}, 1), lin_lt("x", 1)]
+        assert not LINEAR.is_satisfiable(atoms)
+
+
+class TestProjection:
+    def test_strict_composition(self):
+        # exists y: x < y and y < z  =>  x < z
+        [result] = LINEAR.project_out([lin_lt("x", "y"), lin_lt("y", "z")], Var("y"))
+        assert result == [lin_lt("x", "z")]
+
+    def test_scaled_bounds(self):
+        # exists y: 2y <= x and z <= 3y  =>  z/3 <= x/2  <=> 2z <= 3x
+        [result] = LINEAR.project_out(
+            [lin_le({"y": 2}, {"x": 1}), lin_le({"z": 1}, {"y": 3})], Var("y")
+        )
+        assert result == [lin_le({"z": 2}, {"x": 3})]
+
+    def test_equality_substitution(self):
+        # exists y: y = x + 1 and y <= 4  =>  x + 1 <= 4
+        [result] = LINEAR.project_out(
+            [lin_eq({"y": 1, "x": -1}, 1), lin_le("y", 4)], Var("y")
+        )
+        assert result == [lin_le("x", 3)]
+
+    def test_one_sided_vanishes(self):
+        [result] = LINEAR.project_out([lin_le("x", "y")], Var("y"))
+        assert result == []
+
+    @settings(max_examples=150, deadline=None)
+    @given(linear_conjunctions(), st.data())
+    def test_projection_sound_and_complete(self, atoms, data):
+        """FM elimination: a point satisfies the projection iff it
+        extends to a point of the original system."""
+        cases = LINEAR.project_out(atoms, Var("y"))
+        x_value = data.draw(fracs)
+        if not cases:
+            # projection collapsed to false: original must be unsat at any x
+            assert not LINEAR.is_satisfiable(atoms + [lin_eq("x", x_value)])
+            return
+        [projected] = cases
+        projected_holds = LINEAR.is_satisfiable(projected + [lin_eq("x", x_value)])
+        original_extends = LINEAR.is_satisfiable(atoms + [lin_eq("x", x_value)])
+        assert projected_holds == original_extends
+
+
+class TestSolve:
+    @settings(max_examples=150, deadline=None)
+    @given(linear_conjunctions())
+    def test_witness_iff_satisfiable(self, atoms):
+        witness = LINEAR.solve(atoms)
+        if LINEAR.is_satisfiable(atoms):
+            assert witness is not None
+            for a in atoms:
+                assert a.evaluate(witness), f"{a} fails under {witness}"
+        else:
+            assert witness is None
+
+    def test_pinned_system(self):
+        atoms = [lin_eq({"x": 1, "y": 1}, 2), lin_eq({"x": 1, "y": -1}, 0)]
+        witness = LINEAR.solve(atoms)
+        assert witness == {Var("x"): Fraction(1), Var("y"): Fraction(1)}
+
+
+class TestEntailment:
+    def test_scaled_entailment(self):
+        assert LINEAR.entails([lin_le({"x": 2}, 2)], lin_le({"x": 1}, 1))
+
+    def test_sum_entailment(self):
+        premises = [lin_le("x", 1), lin_le("y", 1)]
+        assert LINEAR.entails(premises, lin_le({"x": 1, "y": 1}, 2))
+        assert not LINEAR.entails(premises, lin_le({"x": 1, "y": 1}, 1))
+
+
+class TestCanonicalize:
+    def test_drops_entailed(self):
+        atoms = [lin_le("x", 1), lin_le("x", 2)]
+        canon = LINEAR.canonicalize(atoms)
+        assert canon == frozenset({lin_le("x", 1)})
+
+    def test_keeps_independent(self):
+        atoms = [lin_le("x", 1), lin_le("y", 1)]
+        assert LINEAR.canonicalize(atoms) == frozenset(atoms)
+
+
+class TestWeaken:
+    def test_weaken_strict(self):
+        from repro.linear.latoms import LinOp
+
+        a = lin_lt("x", 1)
+        w = LINEAR.weaken_atom(a)
+        assert w.op is LinOp.LE
+        assert LINEAR.weaken_atom(w) == w

@@ -1,0 +1,105 @@
+"""Tests for Allen's interval relations as FO queries."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.database import Database
+from repro.core.evaluator import evaluate_boolean
+from repro.core.formula import Exists, exists, rel
+from repro.core.relation import Relation
+from repro.core.sampling import eval_at
+from repro.core.terms import Var
+from repro.queries.allen import ALLEN_RELATIONS, before, during, meets, overlaps
+from tests.strategies import fractions as fracs
+
+
+def truth(builder, a, b):
+    """Ground truth of one Allen relation on two concrete intervals."""
+    env = {
+        Var("a_lo"): a[0],
+        Var("a_hi"): a[1],
+        Var("b_lo"): b[0],
+        Var("b_hi"): b[1],
+    }
+    return eval_at(builder(), None, env)
+
+
+@st.composite
+def proper_interval(draw):
+    a, b = draw(fracs), draw(fracs)
+    if a == b:
+        b = a + 1
+    return (min(a, b), max(a, b))
+
+
+class TestIndividualRelations:
+    def test_before(self):
+        assert truth(before, (0, 1), (2, 3))
+        assert not truth(before, (0, 2), (1, 3))
+
+    def test_meets(self):
+        assert truth(meets, (0, 1), (1, 2))
+        assert not truth(meets, (0, 1), (2, 3))
+
+    def test_overlaps(self):
+        assert truth(overlaps, (0, 2), (1, 3))
+        assert not truth(overlaps, (0, 1), (1, 2))  # that's meets
+
+    def test_during(self):
+        assert truth(during, (1, 2), (0, 3))
+        assert not truth(during, (0, 2), (0, 3))  # that's starts
+
+
+class TestPartitionProperty:
+    @settings(max_examples=200)
+    @given(proper_interval(), proper_interval())
+    def test_exactly_one_relation_holds(self, a, b):
+        """Allen's 13 relations partition all configurations."""
+        holding = [
+            name for name, builder in ALLEN_RELATIONS.items() if truth(builder, a, b)
+        ]
+        assert len(holding) == 1, f"{a} vs {b}: {holding}"
+
+    @settings(max_examples=100)
+    @given(proper_interval(), proper_interval())
+    def test_converse_pairs(self, a, b):
+        converses = {
+            "before": "after",
+            "meets": "met_by",
+            "overlaps": "overlapped_by",
+            "starts": "started_by",
+            "during": "contains",
+            "finishes": "finished_by",
+            "equals": "equals",
+        }
+        for name, conv in converses.items():
+            assert truth(ALLEN_RELATIONS[name], a, b) == truth(
+                ALLEN_RELATIONS[conv], b, a
+            )
+
+
+class TestOverDatabases:
+    def test_exists_overlapping_pair(self):
+        db = Database()
+        db["I"] = Relation.from_points(
+            ("lo", "hi"), [(0, 2), (1, 3), (10, 11)]
+        )
+        pairs = exists(
+            ["a_lo", "a_hi", "b_lo", "b_hi"],
+            rel("I", "a_lo", "a_hi")
+            & rel("I", "b_lo", "b_hi")
+            & overlaps(),
+        )
+        assert evaluate_boolean(pairs, db)
+
+    def test_no_meeting_pair(self):
+        db = Database()
+        db["I"] = Relation.from_points(("lo", "hi"), [(0, 2), (3, 5)])
+        pairs = exists(
+            ["a_lo", "a_hi", "b_lo", "b_hi"],
+            rel("I", "a_lo", "a_hi") & rel("I", "b_lo", "b_hi") & meets(),
+        )
+        assert not evaluate_boolean(pairs, db)

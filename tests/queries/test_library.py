@@ -1,0 +1,113 @@
+"""Tests for the query catalogue."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le
+from repro.core.database import Database
+from repro.core.evaluator import evaluate, evaluate_boolean
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.datalog.engine import evaluate_program
+from repro.linear.theory import LINEAR
+from repro.queries.library import (
+    between_query,
+    bounded_query,
+    contains_open_interval_query,
+    graph_connectivity_procedural,
+    is_dense_in_itself_query,
+    midpoint_formula,
+    nonempty_query,
+    parity_procedural,
+    reachability_program,
+    transitive_closure_program,
+)
+from repro.workloads.generators import (
+    cycle_graph,
+    disjoint_cycles,
+    interval_chain,
+    path_graph,
+    point_set,
+)
+
+
+def unary(*conjs):
+    return Relation.from_atoms(("x",), conjs, DENSE_ORDER)
+
+
+class TestFOQueries:
+    def test_nonempty(self):
+        db = Database()
+        db["R"] = unary([le(0, "x")])
+        assert evaluate_boolean(nonempty_query("R", 1), db)
+        db["R"] = Relation.empty(("x",))
+        assert not evaluate_boolean(nonempty_query("R", 1), db)
+
+    def test_bounded(self):
+        db = Database()
+        db["R"] = unary([le(0, "x"), le("x", 5)])
+        assert evaluate_boolean(bounded_query("R"), db)
+        db["R"] = unary([le(0, "x")])  # unbounded above
+        assert not evaluate_boolean(bounded_query("R"), db)
+
+    def test_contains_open_interval(self):
+        db = Database()
+        db["R"] = unary([le(0, "x"), le("x", 1)])
+        assert evaluate_boolean(contains_open_interval_query("R"), db)
+        db["R"] = point_set(5)["S"]
+        assert not evaluate_boolean(contains_open_interval_query("R"), db)
+
+    def test_dense_in_itself(self):
+        db = Database()
+        db["R"] = unary([le(0, "x"), le("x", 1)])
+        assert evaluate_boolean(is_dense_in_itself_query("R"), db)
+        db["R"] = point_set(3)["S"]
+        assert not evaluate_boolean(is_dense_in_itself_query("R"), db)
+
+    def test_between(self):
+        db = point_set(2, step=10)  # {0, 10}
+        out = evaluate(between_query("S"), db)
+        assert out.contains_point([5])
+        assert not out.contains_point([0])
+        assert not out.contains_point([11])
+
+
+class TestFOPlus:
+    def test_midpoint(self):
+        db = Database(theory=LINEAR)
+        db["S"] = Relation.from_points(("x",), [(0,), (4,)], LINEAR)
+        out = evaluate(midpoint_formula("S"), db, theory=LINEAR)
+        assert out.contains_point([2])
+        assert out.contains_point([0])
+        assert not out.contains_point([1])
+
+
+class TestDatalogPrograms:
+    def test_reachability(self):
+        db = path_graph(5)
+        db["Src"] = Relation.from_points(("x",), [(0,)])
+        result = evaluate_program(reachability_program(), db)
+        assert result["reach"].contains_point([4])
+        db2 = disjoint_cycles(3)
+        db2["Src"] = Relation.from_points(("x",), [(0,)])
+        result2 = evaluate_program(reachability_program(), db2)
+        assert not result2["reach"].contains_point([5])
+
+    def test_tc_on_cycle(self):
+        db = cycle_graph(4)
+        result = evaluate_program(transitive_closure_program(), db)
+        assert result["tc"].contains_point([0, 0])  # cycles close on themselves
+
+
+class TestProceduralReferences:
+    def test_parity(self):
+        for n in range(5):
+            assert parity_procedural(point_set(n)) == (n % 2 == 1)
+
+    def test_connectivity(self):
+        assert graph_connectivity_procedural(path_graph(4))
+        assert graph_connectivity_procedural(cycle_graph(5))
+        assert not graph_connectivity_procedural(disjoint_cycles(3))
+        assert graph_connectivity_procedural(path_graph(1))
+        assert graph_connectivity_procedural(path_graph(0))

@@ -1,0 +1,107 @@
+"""Tests for the FO topological operators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.atoms import le, lt
+from repro.core.database import Database
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.relation import Relation
+from repro.core.theory import DENSE_ORDER
+from repro.linear.region import closure as procedural_closure
+from repro.queries.topology import (
+    boundary,
+    closure,
+    interior,
+    isolated_points,
+    limit_points,
+)
+from repro.workloads.generators import point_set
+
+
+def db_with(relation):
+    database = Database()
+    database["R"] = relation
+    return database
+
+
+def iset(relation):
+    return IntervalSet.from_relation(relation)
+
+
+@pytest.fixture
+def half_open():
+    # [0, 1) u {2}
+    return db_with(
+        IntervalSet([Interval.make(0, 1, False, True), Interval.point(2)]).to_relation(
+            "x"
+        )
+    )
+
+
+class TestUnaryOperators:
+    def test_interior(self, half_open):
+        out = interior(half_open, "R")
+        assert iset(out) == IntervalSet([Interval.open(0, 1)])
+
+    def test_closure(self, half_open):
+        out = closure(half_open, "R")
+        assert iset(out) == IntervalSet(
+            [Interval.closed(0, 1), Interval.point(2)]
+        )
+
+    def test_boundary(self, half_open):
+        out = boundary(half_open, "R")
+        assert iset(out) == IntervalSet.of_points([0, 1, 2])
+
+    def test_isolated_points(self, half_open):
+        out = isolated_points(half_open, "R")
+        assert iset(out) == IntervalSet.of_points([2])
+
+    def test_limit_points(self, half_open):
+        out = limit_points(half_open, "R")
+        assert iset(out) == IntervalSet([Interval.closed(0, 1)])
+
+    def test_finite_set_is_its_own_boundary(self):
+        db = point_set(3, name="R")
+        assert iset(boundary(db, "R")) == IntervalSet.of_points([0, 1, 2])
+        assert interior(db, "R").is_empty()
+
+    def test_closure_matches_procedural(self, half_open):
+        fo = closure(half_open, "R").rename({"x0": "x"})
+        weakened = procedural_closure(half_open["R"])
+        assert fo.equivalent(weakened)
+
+
+class TestLaws:
+    def test_interior_idempotent(self, half_open):
+        once = interior(half_open, "R")
+        twice = interior(db_with(once.rename({"x0": "x0"})), "R")
+        assert twice.equivalent(once)
+
+    def test_interior_subset_closure(self, half_open):
+        inner = interior(half_open, "R")
+        outer = closure(half_open, "R")
+        assert outer.contains(inner)
+
+    def test_boundary_disjoint_from_interior(self, half_open):
+        inner = interior(half_open, "R")
+        edge = boundary(half_open, "R")
+        assert inner.intersection(edge).is_empty()
+
+
+class TestTwoDimensional:
+    def test_square_interior(self):
+        square = Relation.from_atoms(
+            ("x", "y"),
+            [[le(0, "x"), le("x", 1), le(0, "y"), le("y", 1)]],
+            DENSE_ORDER,
+        )
+        db = db_with(square)
+        inner = interior(db, "R")
+        assert inner.contains_point([Fraction(1, 2), Fraction(1, 2)])
+        assert not inner.contains_point([0, Fraction(1, 2)])
+        edge = boundary(db, "R")
+        assert edge.contains_point([0, Fraction(1, 2)])
+        assert not edge.contains_point([Fraction(1, 2), Fraction(1, 2)])

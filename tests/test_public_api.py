@@ -1,0 +1,70 @@
+"""The public API surface stays importable and coherent."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.linear",
+    "repro.datalog",
+    "repro.encoding",
+    "repro.genericity",
+    "repro.cobjects",
+    "repro.queries",
+    "repro.workloads",
+    "repro.lang",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_sorted_sets(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert len(set(exported)) == len(exported), f"duplicates in {name}.__all__"
+
+
+def test_every_module_has_a_docstring():
+    import repro as root
+
+    for info in pkgutil.walk_packages(root.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    for name in (
+        "SchemaError",
+        "TheoryError",
+        "EvaluationError",
+        "ParseError",
+        "DatalogError",
+        "TypeCheckError",
+        "EncodingError",
+    ):
+        kind = getattr(errors, name)
+        assert issubclass(kind, errors.ReproError)
+
+
+def test_cli_module_runs_help():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["--help"])

@@ -1,0 +1,101 @@
+"""Tests for the seeded workload generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.linear.region import count_components, is_connected
+from repro.queries.library import graph_connectivity_procedural
+from repro.workloads.generators import (
+    checkerboard_region,
+    cycle_graph,
+    disjoint_cycles,
+    interval_chain,
+    interval_pairs_relation,
+    path_graph,
+    point_set,
+    random_box_database,
+    random_finite_graph,
+    random_interval_database,
+    random_interval_set,
+    rng_of,
+    staircase_region,
+)
+
+
+class TestSeeding:
+    def test_same_seed_same_output(self):
+        a = random_interval_set(42, count=5)
+        b = random_interval_set(42, count=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_interval_set(1, count=5) != random_interval_set(2, count=5)
+
+    def test_rng_passthrough(self):
+        import random
+
+        r = random.Random(0)
+        assert rng_of(r) is r
+        assert rng_of(3).random() == rng_of(3).random()
+
+
+class TestGraphs:
+    def test_path_connected(self):
+        assert graph_connectivity_procedural(path_graph(6))
+
+    def test_cycle_edges(self):
+        db = cycle_graph(4)
+        assert db["E"].contains_point([3, 0])
+
+    def test_disjoint_cycles_disconnected(self):
+        assert not graph_connectivity_procedural(disjoint_cycles(4))
+
+    def test_random_graph_shape(self):
+        db = random_finite_graph(0, vertex_count=6, edge_probability=1.0)
+        assert db["E"].contains_point([0, 5])
+        db2 = random_finite_graph(0, vertex_count=6, edge_probability=0.0)
+        assert db2["E"].is_empty()
+
+    def test_empty_graph(self):
+        db = path_graph(0)
+        assert db["V"].is_empty()
+        assert db["E"].is_empty()
+
+
+class TestPointsAndIntervals:
+    def test_point_set_contents(self):
+        db = point_set(3, start=5, step=2)
+        for v in (5, 7, 9):
+            assert db["S"].contains_point([v])
+        assert not db["S"].contains_point([6])
+
+    def test_interval_chain_components(self):
+        assert count_components(interval_chain(5, overlap=True)["S"]) == 1
+        assert count_components(interval_chain(5, overlap=False)["S"]) == 5
+
+    def test_interval_pairs_are_ordered(self):
+        db = interval_pairs_relation(9, count=8)
+        for t in db["I"].tuples:
+            p = t.sample_point()
+            assert p["lo"] < p["hi"]
+
+    def test_random_interval_database_unary(self):
+        db = random_interval_database(5, count=6)
+        assert db["S"].arity == 1
+        assert not db["S"].is_empty()
+
+
+class TestRegions:
+    def test_random_boxes(self):
+        db = random_box_database(2, count=3, dimension=2)
+        assert db["R"].arity == 2
+        assert len(db["R"]) <= 3
+
+    def test_checkerboard_connected(self):
+        assert is_connected(checkerboard_region(2)["R"])
+
+    def test_staircase(self):
+        assert count_components(staircase_region(4)["R"]) == 1
+        assert count_components(staircase_region(5, gap=True)["R"]) == 2
