@@ -1,6 +1,6 @@
 # Convenience targets (mirror the commands in README / CONTRIBUTING)
 
-.PHONY: install test test-quick bench results examples clean
+.PHONY: install test test-quick bench results examples ci clean
 
 install:
 	python setup.py develop
@@ -16,6 +16,17 @@ bench:
 
 results:
 	python benchmarks/collect_results.py
+
+# what .github/workflows/ci.yml runs; the per-test timeout needs the
+# pytest-timeout plugin, which local environments may not have
+ci:
+	@if python -c "import pytest_timeout" 2>/dev/null; then \
+		pytest tests/ --timeout=300 --timeout-method=thread; \
+	else \
+		echo "pytest-timeout not installed; running without per-test timeouts"; \
+		pytest tests/; \
+	fi
+	pytest benchmarks/bench_e13_budget_overhead.py -s
 
 examples:
 	@for script in examples/*.py; do \

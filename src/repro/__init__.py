@@ -17,6 +17,7 @@ Subpackages
 ``repro.cobjects``    complex constraint objects and C-CALC
 ``repro.queries``     canned queries (parity, connectivity, topology, ...)
 ``repro.workloads``   seeded workload generators for tests and benchmarks
+``repro.runtime``     resource budgets, guards, degradation, fault injection
 """
 
 __version__ = "1.0.0"
@@ -41,8 +42,16 @@ from repro.core import (  # noqa: F401  (re-exported convenience surface)
     ne,
     rel,
 )
+from repro.runtime import (  # noqa: F401
+    Budget,
+    BudgetExceeded,
+    EvaluationGuard,
+)
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "EvaluationGuard",
     "Database",
     "GTuple",
     "Interval",

@@ -9,6 +9,13 @@
 ``DB.cdb`` files use the standard encoding of Section 3
 (:mod:`repro.encoding.standard`); programs use the Datalog surface
 syntax of :mod:`repro.lang`.
+
+Evaluation is resource-governed: ``--timeout``, ``--max-tuples``,
+``--max-depth`` and (for Datalog) ``--max-rounds`` bound the run.  A
+tripped budget exits with code ``3`` (distinct from ``1`` for ordinary
+errors) and prints the structured diagnostics; ``--on-budget=partial``
+makes ``datalog`` print the sound partial result instead, tagged with
+what was cut.
 """
 
 from __future__ import annotations
@@ -24,13 +31,46 @@ from repro.datalog.engine import evaluate_program
 from repro.encoding.standard import decode_database, encode_database, encoding_size
 from repro.errors import ReproError
 from repro.lang import parse_formula, parse_program
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.guard import EvaluationGuard
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_ERROR", "EXIT_BUDGET"]
+
+#: ordinary failure (parse error, schema error, missing file, ...)
+EXIT_ERROR = 1
+#: a resource budget tripped (deadline, tuples, rounds, depth)
+EXIT_BUDGET = 3
 
 
 def _load(path: str) -> Database:
     with open(path, encoding="utf-8") as handle:
         return decode_database(handle.read())
+
+
+def _budget_of(args: argparse.Namespace) -> Optional[Budget]:
+    """A Budget from the shared resource flags; None when all are off."""
+    budget = Budget(
+        deadline_seconds=getattr(args, "timeout", None),
+        max_tuples=getattr(args, "max_tuples", None),
+        max_rounds=getattr(args, "budget_rounds", None),
+        max_depth=getattr(args, "max_depth", None),
+    )
+    return None if budget.is_unlimited() else budget
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for evaluation",
+    )
+    parser.add_argument(
+        "--max-tuples", type=int, default=None, metavar="N",
+        help="cap on generalized tuples materialized",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None, metavar="N",
+        help="cap on formula recursion depth",
+    )
 
 
 def _print_relation(relation, as_intervals: bool) -> None:
@@ -58,7 +98,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         plan = optimize(compile_formula(formula), db)
         print(explain(plan))
         return 0
-    result = evaluate(formula, db)
+    budget = _budget_of(args)
+    guard = EvaluationGuard(budget) if budget is not None else None
+    result = evaluate(formula, db, guard=guard)
     if not result.schema:
         print("true" if not result.is_empty() else "false")
     else:
@@ -70,9 +112,17 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     db = _load(args.database)
     with open(args.program, encoding="utf-8") as handle:
         program = parse_program(handle.read())
-    result = evaluate_program(program, db, max_rounds=args.max_rounds)
-    status = "fixpoint" if result.reached_fixpoint else "cut off"
-    print(f"{status} after {result.rounds} round(s)")
+    result = evaluate_program(
+        program,
+        db,
+        max_rounds=args.max_rounds,
+        budget=_budget_of(args),
+        on_budget=args.on_budget,
+    )
+    if result.reached_fixpoint:
+        print(f"fixpoint after {result.rounds} round(s)")
+    else:
+        print(f"cut off after {result.rounds} round(s): {result.cut}")
     names = [args.show] if args.show else sorted(program.idb)
     for name in names:
         print(f"-- {name}")
@@ -103,14 +153,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument(
         "--explain", action="store_true", help="print the optimized query plan"
     )
+    _add_budget_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
     datalog.add_argument("database")
     datalog.add_argument("program")
     datalog.add_argument("--show", help="print only this IDB predicate")
-    datalog.add_argument("--max-rounds", type=int, default=None)
+    datalog.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="cap on fixpoint rounds",
+    )
+    datalog.add_argument(
+        "--on-budget", choices=("raise", "partial"), default="raise",
+        help="on budget exhaustion: fail (exit 3) or print the tagged "
+        "partial result",
+    )
     datalog.add_argument("--raw", action="store_true")
+    _add_budget_flags(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")
@@ -120,12 +180,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except BudgetExceeded as error:
+        print(f"budget exceeded: {error}", file=sys.stderr)
+        diag = error.diagnostics()
+        detail = ", ".join(f"{key}={diag[key]}" for key in sorted(diag))
+        print(f"diagnostics: {detail}", file=sys.stderr)
+        return EXIT_BUDGET
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ from repro.cobjects.calculus import (
     evaluate_ccalc_boolean,
     set_height,
 )
-from repro.cobjects.fixpoint import FixpointQuery, evaluate_fixpoint
+from repro.cobjects.fixpoint import FixpointQuery, PartialRelation, evaluate_fixpoint
 from repro.cobjects.range_restriction import (
     RangeRestrictionError,
     check_range_restricted,
@@ -91,6 +91,7 @@ __all__ = [
     "evaluate_ccalc_boolean",
     "set_height",
     "FixpointQuery",
+    "PartialRelation",
     "evaluate_fixpoint",
     "RangeRestrictionError",
     "check_range_restricted",

@@ -20,6 +20,7 @@ experiment E10 demonstrates the theorem's flavor by measuring it.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence, Tuple
@@ -30,8 +31,31 @@ from repro.core.database import Database
 from repro.core.relation import Relation
 from repro.core.theory import DENSE_ORDER
 from repro.errors import DatalogError, EvaluationError
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, round_limit_error
 
-__all__ = ["FixpointQuery", "evaluate_fixpoint"]
+__all__ = ["FixpointQuery", "PartialRelation", "evaluate_fixpoint"]
+
+
+class PartialRelation(Relation):
+    """A truncated iteration result: the relation computed so far,
+    tagged with what the budget cut.
+
+    Behaves as an ordinary :class:`Relation` everywhere (same schema,
+    same algebra); ``reached_fixpoint`` is always ``False``, ``rounds``
+    counts the completed rounds, and ``cut`` names the budget that
+    tripped — the same tagging the Datalog engines put on a partial
+    :class:`~repro.datalog.engine.FixpointResult`.
+    """
+
+    __slots__ = ("reached_fixpoint", "rounds", "cut")
+
+    def __init__(self, relation: Relation, rounds: int, cut: str) -> None:
+        super().__init__(relation.theory, relation.schema, relation.tuples)
+        self.reached_fixpoint = False
+        self.rounds = rounds
+        self.cut = cut
 
 
 @dataclass
@@ -57,6 +81,10 @@ def evaluate_fixpoint(
     database: Database,
     extra_constants: Iterable[Fraction] = (),
     max_rounds: Optional[int] = None,
+    *,
+    budget: Optional[Budget] = None,
+    guard: Optional[EvaluationGuard] = None,
+    on_budget: str = "raise",
 ) -> Relation:
     """Run the inflationary fixpoint to convergence.
 
@@ -64,7 +92,18 @@ def evaluate_fixpoint(
     domain is fixed once, from the input database plus
     ``extra_constants`` (iterations add no new constants, mirroring the
     closed-form property of the dense-order engine).
+
+    Non-convergence within ``max_rounds`` (or the budget) is reported
+    like every other fixpoint engine: raise
+    :class:`~repro.runtime.budget.RoundLimitExceeded` (an
+    :class:`EvaluationError`) by default, or return the sound partial
+    state as a tagged :class:`PartialRelation` under
+    ``on_budget="partial"``.
     """
+    from repro.datalog.engine import check_on_budget, resolve_guard
+
+    check_on_budget(on_budget)
+    guard = resolve_guard(guard, budget)
     if query.name in database:
         raise DatalogError(
             f"relation variable {query.name!r} clashes with a stored relation"
@@ -73,25 +112,37 @@ def evaluate_fixpoint(
     current = Relation.empty(schema, DENSE_ORDER)
     adom = ActiveDomain(database, extra_constants)
     rounds = 0
-    while True:
-        rounds += 1
-        working = database.copy()
-        working[query.name] = current
-        derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
-        missing = [v for v in schema if v not in derived.schema]
-        if missing:
-            derived = derived.extend(tuple(derived.schema) + tuple(missing))
-        projected = derived.project(tuple(sorted(schema)))
-        ordered = Relation(
-            DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
-        )
-        grown = current.union(ordered).simplify()
-        # syntactic stagnation of canonical tuples is a sound fixpoint
-        # test for inflationary iteration (see repro.datalog.engine)
-        if frozenset(grown.tuples) == frozenset(current.tuples):
-            return current
-        current = grown
-        if max_rounds is not None and rounds >= max_rounds:
-            raise EvaluationError(
-                f"fixpoint did not converge within {max_rounds} rounds"
-            )
+    with guard if guard is not None else contextlib.nullcontext():
+        while True:
+            try:
+                if guard is not None:
+                    guard.on_round("ccalc.fixpoint.round")
+                fault_point("ccalc.fixpoint.round")
+                working = database.copy()
+                working[query.name] = current
+                derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
+                missing = [v for v in schema if v not in derived.schema]
+                if missing:
+                    derived = derived.extend(tuple(derived.schema) + tuple(missing))
+                projected = derived.project(tuple(sorted(schema)))
+                ordered = Relation(
+                    DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
+                )
+                grown = current.union(ordered).simplify()
+            except BudgetExceeded as error:
+                if on_budget == "partial":
+                    return PartialRelation(current, rounds, str(error))
+                raise
+            rounds += 1
+            # syntactic stagnation of canonical tuples is a sound fixpoint
+            # test for inflationary iteration (see repro.datalog.engine)
+            if frozenset(grown.tuples) == frozenset(current.tuples):
+                return current
+            current = grown
+            if max_rounds is not None and rounds >= max_rounds:
+                error = round_limit_error(
+                    "ccalc.fixpoint.round", max_rounds, rounds, guard
+                )
+                if on_budget == "partial":
+                    return PartialRelation(current, rounds, str(error))
+                raise error

@@ -22,16 +22,21 @@ over the fixed input constants, a finite space.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.cobjects.active_domain import ActiveDomain
 from repro.cobjects.calculus import CFormula, evaluate_ccalc
+from repro.cobjects.fixpoint import PartialRelation
 from repro.core.database import Database
 from repro.core.relation import Relation
 from repro.core.theory import DENSE_ORDER
 from repro.errors import DatalogError, EvaluationError
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, round_limit_error
 
 __all__ = ["WhileQuery", "WhileDivergence", "evaluate_while"]
 
@@ -115,9 +120,27 @@ def evaluate_while(
     database: Database,
     extra_constants: Iterable[Fraction] = (),
     max_rounds: Optional[int] = None,
+    *,
+    budget: Optional[Budget] = None,
+    guard: Optional[EvaluationGuard] = None,
+    on_budget: str = "raise",
 ) -> Relation:
     """Iterate until stabilization; raise :class:`WhileDivergence` on a
-    provable cycle (exact, via canonical cell signatures)."""
+    provable cycle (exact, via canonical cell signatures).
+
+    Non-convergence within ``max_rounds`` (or the budget) is reported
+    like every other fixpoint engine: raise
+    :class:`~repro.runtime.budget.RoundLimitExceeded` by default, or
+    return the state of the last completed round as a tagged
+    :class:`~repro.cobjects.fixpoint.PartialRelation` under
+    ``on_budget="partial"`` (best effort only — replacement semantics
+    is non-monotone, so unlike the inflationary engines a truncated
+    while-state is not a sound under-approximation of the limit).
+    """
+    from repro.datalog.engine import check_on_budget, resolve_guard
+
+    check_on_budget(on_budget)
+    guard = resolve_guard(guard, budget)
     if query.name in database:
         raise DatalogError(
             f"relation variable {query.name!r} clashes with a stored relation"
@@ -135,30 +158,41 @@ def evaluate_while(
     current = Relation.empty(schema, DENSE_ORDER)
     seen: Dict[FrozenSet, int] = {_state_key(current, decomposition): 0}
     rounds = 0
-    while True:
-        rounds += 1
-        working = database.copy()
-        working[query.name] = current
-        derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
-        missing = [v for v in schema if v not in derived.schema]
-        if missing:
-            derived = derived.extend(tuple(derived.schema) + tuple(missing))
-        projected = derived.project(tuple(sorted(schema)))
-        new = Relation(
-            DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
-        )
-        key = _state_key(new, decomposition)
-        previous_round = seen.get(key)
-        if previous_round == rounds - 1:
-            return new  # stabilized: S = {x | phi(S, x)}
-        if previous_round is not None:
-            raise WhileDivergence(
-                f"state of round {rounds} repeats round {previous_round}: "
-                f"cycle of length {rounds - previous_round}, the loop diverges"
-            )
-        seen[key] = rounds
-        current = new
-        if max_rounds is not None and rounds >= max_rounds:
-            raise EvaluationError(
-                f"while-loop did not stabilize within {max_rounds} rounds"
-            )
+    with guard if guard is not None else contextlib.nullcontext():
+        while True:
+            try:
+                if guard is not None:
+                    guard.on_round("ccalc.while.round")
+                fault_point("ccalc.while.round")
+                working = database.copy()
+                working[query.name] = current
+                derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
+                missing = [v for v in schema if v not in derived.schema]
+                if missing:
+                    derived = derived.extend(tuple(derived.schema) + tuple(missing))
+                projected = derived.project(tuple(sorted(schema)))
+                new = Relation(
+                    DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
+                )
+            except BudgetExceeded as error:
+                if on_budget == "partial":
+                    return PartialRelation(current, rounds, str(error))
+                raise
+            this_round = rounds + 1
+            key = _state_key(new, decomposition)
+            previous_round = seen.get(key)
+            if previous_round == this_round - 1:
+                return new  # stabilized: S = {x | phi(S, x)}
+            if previous_round is not None:
+                raise WhileDivergence(
+                    f"state of round {this_round} repeats round {previous_round}: "
+                    f"cycle of length {this_round - previous_round}, the loop diverges"
+                )
+            seen[key] = this_round
+            current = new
+            rounds = this_round
+            if max_rounds is not None and rounds >= max_rounds:
+                error = round_limit_error("ccalc.while.round", max_rounds, rounds, guard)
+                if on_budget == "partial":
+                    return PartialRelation(current, rounds, str(error))
+                raise error

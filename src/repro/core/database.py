@@ -37,7 +37,7 @@ class Database:
     def __setitem__(self, name: str, relation: Relation) -> None:
         if not isinstance(name, str) or not name:
             raise SchemaError(f"invalid relation name {name!r}")
-        if relation.theory is not self.theory:
+        if relation.theory is not self.theory and relation.theory != self.theory:
             raise SchemaError(
                 f"relation {name!r} uses theory {relation.theory.name!r}, "
                 f"database uses {self.theory.name!r}"

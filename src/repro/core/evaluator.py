@@ -17,6 +17,13 @@ by :func:`evaluate_boolean`.
 
 Because every step stays inside the finitely-representable class, this
 is also a quantifier-elimination procedure: see :mod:`repro.core.qe`.
+
+Evaluation is *resource-governed*: pass ``guard=`` an
+:class:`~repro.runtime.guard.EvaluationGuard` (or evaluate inside an
+active one) and every recursion step checks the wall-clock deadline,
+the formula-depth budget, and cooperative cancellation, while the
+relation algebra underneath charges materialized tuples against the
+tuple budget.  Without a guard the checkpoints are near-free.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ from repro.core.relation import Relation
 from repro.core.terms import Const, Var
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.errors import EvaluationError, SchemaError
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, active_guard
 
 __all__ = ["evaluate", "evaluate_boolean"]
 
@@ -59,21 +68,35 @@ def evaluate(
     formula: Formula,
     database: Optional[Database] = None,
     theory: ConstraintTheory = DENSE_ORDER,
+    *,
+    guard: Optional[EvaluationGuard] = None,
 ) -> Relation:
     """Evaluate ``formula`` against ``database`` in closed form.
 
     Returns a :class:`Relation` whose schema is the sorted free-variable
     names of the formula.  ``database`` may be omitted for pure
-    constraint formulas.
+    constraint formulas.  ``guard`` bounds the evaluation (deadline,
+    tuple/depth budgets, cancellation); when omitted, the guard active
+    on the calling context (if any) governs the run.
     """
     if database is None:
         database = Database(theory=theory)
     if database.theory is not theory:
-        raise EvaluationError(
-            f"theory mismatch: evaluating with {theory.name!r} over a "
-            f"{database.theory.name!r} database"
-        )
-    result = _eval(formula, database, theory)
+        # theories are value objects: separately constructed instances of
+        # the same theory are interchangeable.  Normalize onto the
+        # database's instance so downstream identity fast paths hold.
+        if database.theory != theory:
+            raise EvaluationError(
+                f"theory mismatch: evaluating with {theory.name!r} over a "
+                f"{database.theory.name!r} database"
+            )
+        theory = database.theory
+    if guard is None:
+        guard = active_guard()
+        result = _eval(formula, database, theory, guard)
+    else:
+        with guard:
+            result = _eval(formula, database, theory, guard)
     target = _result_schema(formula)
     if result.schema != target:  # pragma: no cover - _eval keeps schemas sorted
         result = result.extend(_common_schema(result.schema, target)).project(target)
@@ -84,19 +107,43 @@ def evaluate_boolean(
     formula: Formula,
     database: Optional[Database] = None,
     theory: ConstraintTheory = DENSE_ORDER,
+    *,
+    guard: Optional[EvaluationGuard] = None,
 ) -> bool:
     """Evaluate a sentence (closed formula) to a boolean."""
     free = formula.free_variables()
     if free:
         names = ", ".join(sorted(v.name for v in free))
         raise EvaluationError(f"formula is not a sentence; free variables: {names}")
-    return not evaluate(formula, database, theory).is_empty()
+    return not evaluate(formula, database, theory, guard=guard).is_empty()
 
 
 # --------------------------------------------------------------------- core
 
 
-def _eval(formula: Formula, db: Database, theory: ConstraintTheory) -> Relation:
+def _eval(
+    formula: Formula,
+    db: Database,
+    theory: ConstraintTheory,
+    guard: Optional[EvaluationGuard],
+) -> Relation:
+    fault_point("evaluator.eval")
+    if guard is None:
+        return _eval_node(formula, db, theory, guard)
+    guard.tick("evaluator.eval")
+    guard.enter_depth("evaluator.eval")
+    try:
+        return _eval_node(formula, db, theory, guard)
+    finally:
+        guard.exit_depth()
+
+
+def _eval_node(
+    formula: Formula,
+    db: Database,
+    theory: ConstraintTheory,
+    guard: Optional[EvaluationGuard],
+) -> Relation:
     if isinstance(formula, _Boolean):
         schema: Tuple[str, ...] = ()
         if formula.value:
@@ -112,12 +159,12 @@ def _eval(formula: Formula, db: Database, theory: ConstraintTheory) -> Relation:
     if isinstance(formula, And):
         if not formula.subs:
             return Relation.universe((), theory)
-        result = _eval(formula.subs[0], db, theory)
+        result = _eval(formula.subs[0], db, theory, guard)
         for sub in formula.subs[1:]:
             if result.is_empty():
                 # short-circuit, but keep the full schema for downstream ops
                 break
-            result = result.join(_eval(sub, db, theory))
+            result = result.join(_eval(sub, db, theory, guard))
         schema = _result_schema(formula)
         return result.extend(_common_schema(result.schema, schema)).project(schema)
 
@@ -125,24 +172,27 @@ def _eval(formula: Formula, db: Database, theory: ConstraintTheory) -> Relation:
         schema = _result_schema(formula)
         result = Relation.empty(schema, theory)
         for sub in formula.subs:
-            piece = _eval(sub, db, theory)
+            piece = _eval(sub, db, theory, guard)
             padded = piece.extend(_common_schema(piece.schema, schema))
             result = result.union(padded.project(schema) if padded.schema != schema else padded)
         return result
 
     if isinstance(formula, Not):
-        inner = _eval(formula.sub, db, theory)
+        fault_point("evaluator.not")
+        if guard is not None:
+            guard.note("evaluator.not")
+        inner = _eval(formula.sub, db, theory, guard)
         return inner.complement()
 
     if isinstance(formula, Exists):
-        inner = _eval(formula.sub, db, theory)
+        inner = _eval(formula.sub, db, theory, guard)
         victims = {v.name for v in formula.variables}
         target = tuple(c for c in inner.schema if c not in victims)
         return inner.project(target)
 
     if isinstance(formula, ForAll):
         rewritten = Not(Exists(formula.variables, Not(formula.sub)))
-        return _eval(rewritten, db, theory)
+        return _eval(rewritten, db, theory, guard)
 
     raise EvaluationError(f"cannot evaluate formula node {type(formula).__name__}")
 

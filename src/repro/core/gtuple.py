@@ -151,7 +151,7 @@ class GTuple:
 
     def merge(self, other: "GTuple", schema: Sequence[str]) -> Optional["GTuple"]:
         """Conjunction of two tuples over a common target schema."""
-        if self.theory is not other.theory:
+        if self.theory is not other.theory and self.theory != other.theory:
             raise TheoryError("cannot merge tuples from different theories")
         return GTuple.make(self.theory, schema, list(self.atoms) + list(other.atoms))
 

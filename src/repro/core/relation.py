@@ -26,6 +26,8 @@ from repro.core.gtuple import GTuple, Schema, check_schema
 from repro.core.terms import Term, Var
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.errors import SchemaError, TheoryError
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import active_guard
 
 __all__ = ["Relation"]
 
@@ -47,7 +49,7 @@ class Relation:
         for t in tuples:
             if t.schema != self.schema:
                 raise SchemaError(f"tuple schema {t.schema} != relation schema {self.schema}")
-            if t.theory is not theory:
+            if t.theory is not theory and t.theory != theory:
                 raise TheoryError("tuple theory differs from relation theory")
             seen.setdefault(t, None)
         self.tuples: Tuple[GTuple, ...] = tuple(seen)
@@ -131,7 +133,8 @@ class Relation:
     # -------------------------------------------------------------- set algebra
 
     def _require_compatible(self, other: "Relation") -> None:
-        if self.theory is not other.theory:
+        # identity fast path; theories are value objects (see ConstraintTheory)
+        if self.theory is not other.theory and self.theory != other.theory:
             raise TheoryError("relations from different theories")
         if self.schema != other.schema:
             raise SchemaError(f"schema mismatch: {self.schema} vs {other.schema}")
@@ -155,8 +158,15 @@ class Relation:
 
         Negation of a DNF: conjunction over tuples of the disjunction of
         the negated atoms.  Worst case exponential in ``len(self)``;
-        unsatisfiable branches are pruned as they are built.
+        unsatisfiable branches are pruned as they are built.  An active
+        :class:`~repro.runtime.guard.EvaluationGuard` is consulted per
+        distribution stage, so blowups trip the deadline or tuple
+        budget mid-operation instead of after it.
         """
+        fault_point("relation.complement")
+        guard = active_guard()
+        if guard is not None:
+            guard.note("relation.complement")
         partial: List[Optional[GTuple]] = [GTuple.universe(self.theory, self.schema)]
         for t in self.tuples:
             if not t.atoms:  # a universe tuple: complement is empty
@@ -166,14 +176,23 @@ class Relation:
                 negated.extend(self.theory.negate_atom(a))
             grown: List[GTuple] = []
             for p in partial:
+                if guard is not None:
+                    guard.tick("relation.complement")
                 for neg in negated:
                     ext = p.conjoin([neg])
                     if ext is not None:
                         grown.append(ext)
+            if guard is not None:
+                # charge before absorption: the quadratic subsumption
+                # pass is itself expensive on a blown-up stage
+                guard.on_tuples(len(grown), "relation.complement")
             partial = _absorb(grown)
             if not partial:
                 return Relation(self.theory, self.schema, ())
-        return Relation(self.theory, self.schema, partial)
+        result = Relation(self.theory, self.schema, partial)
+        if guard is not None:
+            guard.check_atoms(result, "relation.complement")
+        return result
 
     def difference(self, other: "Relation") -> "Relation":
         self._require_compatible(other)
@@ -201,11 +220,20 @@ class Relation:
             raise SchemaError(f"cannot project onto unknown columns {sorted(extra)}")
         victims = [c for c in self.schema if c not in target]
         current = list(self.tuples)
+        if victims:
+            fault_point("relation.project")
+        guard = active_guard() if victims else None
+        if guard is not None:
+            guard.note("relation.project")
         for column in victims:
             survivors: List[GTuple] = []
             for t in current:
                 survivors.extend(t.project_out_all(column))
             current = survivors
+            if guard is not None:
+                guard.note("qe", len(survivors))
+                guard.on_tuples(len(survivors), "relation.project")
+                guard.tick("relation.project")
         return Relation(self.theory, target, [t.reorder(target) for t in current])
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
@@ -219,17 +247,26 @@ class Relation:
 
     def join(self, other: "Relation") -> "Relation":
         """Natural join on shared column names."""
-        if self.theory is not other.theory:
+        if self.theory is not other.theory and self.theory != other.theory:
             raise TheoryError("relations from different theories")
+        fault_point("relation.join")
+        guard = active_guard()
+        if guard is not None:
+            guard.note("relation.join")
         combined = self.schema + tuple(c for c in other.schema if c not in self.schema)
         out: List[GTuple] = []
         for a in self.tuples:
+            if guard is not None:
+                guard.tick("relation.join")
             wide_a = a.extend(combined)
             for b in other.tuples:
                 merged = wide_a.merge(b.extend(combined).reorder(combined), combined)
                 if merged is not None:
                     out.append(merged)
-        return Relation(self.theory, combined, out)
+        result = Relation(self.theory, combined, out)
+        if guard is not None:
+            guard.charge_relation(result, "relation.join")
+        return result
 
     # ------------------------------------------------------------- comparisons
 

@@ -41,6 +41,17 @@ class ConstraintTheory(ABC):
     #: short name used in reprs and error messages
     name: str = "abstract"
 
+    def __eq__(self, other: object) -> bool:
+        """Theories are value objects: two separately constructed
+        instances of the same (stateless) theory class are the same
+        theory.  Identity checks remain valid — equal instances are
+        interchangeable — but callers comparing theories should use
+        ``==``."""
+        return type(self) is type(other) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.name))
+
     @abstractmethod
     def atom_variables(self, a) -> FrozenSet[Var]:
         """The variables occurring in atom ``a``."""

@@ -19,6 +19,7 @@ added at once.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -29,8 +30,35 @@ from repro.core.relation import Relation
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
 from repro.errors import DatalogError
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, round_limit_error
 
-__all__ = ["FixpointResult", "evaluate_program", "body_formula", "head_schema"]
+__all__ = [
+    "FixpointResult",
+    "evaluate_program",
+    "body_formula",
+    "head_schema",
+    "resolve_guard",
+    "check_on_budget",
+]
+
+
+def resolve_guard(
+    guard: Optional[EvaluationGuard], budget: Optional[Budget]
+) -> Optional[EvaluationGuard]:
+    """One guard for an engine run: an explicit guard wins, a bare
+    budget gets a fresh guard, neither means unguarded."""
+    if guard is not None:
+        return guard
+    if budget is not None:
+        return EvaluationGuard(budget)
+    return None
+
+
+def check_on_budget(on_budget: str) -> None:
+    if on_budget not in ("raise", "partial"):
+        raise ValueError(f"on_budget must be 'raise' or 'partial', got {on_budget!r}")
 
 
 def head_schema(arity: int) -> Tuple[str, ...]:
@@ -54,11 +82,18 @@ def body_formula(r: Rule) -> Formula:
 
 @dataclass
 class FixpointResult:
-    """Outcome of an inflationary evaluation."""
+    """Outcome of an inflationary evaluation.
+
+    Under inflationary semantics every derived fact is final, so a
+    truncated result is *sound but possibly incomplete*: all tuples
+    present belong to the fixpoint.  ``cut`` says what the budget cut
+    (``None`` for a complete run).
+    """
 
     database: Database  #: EDB plus final IDB relations
     rounds: int  #: number of rounds until the fixpoint (>= 1)
-    reached_fixpoint: bool  #: False only when max_rounds cut evaluation short
+    reached_fixpoint: bool  #: False only when a budget cut evaluation short
+    cut: Optional[str] = None  #: what was cut, when reached_fixpoint is False
 
     def __getitem__(self, name: str) -> Relation:
         return self.database[name]
@@ -89,15 +124,28 @@ def evaluate_program(
     database: Database,
     max_rounds: Optional[int] = None,
     simplify_each_round: bool = True,
+    *,
+    budget: Optional[Budget] = None,
+    guard: Optional[EvaluationGuard] = None,
+    on_budget: str = "raise",
 ) -> FixpointResult:
     """Run ``program`` to its inflationary fixpoint over ``database``.
 
     The returned database contains the EDB relations unchanged plus one
     relation per IDB predicate (canonical schema ``a0, a1, ...``).
 
-    ``max_rounds`` bounds the iteration for experiments; termination is
-    otherwise guaranteed over dense-order constraints.
+    ``max_rounds`` bounds the iteration; ``budget``/``guard`` bound it
+    further (deadline, tuple, round budgets — termination is otherwise
+    guaranteed over dense-order constraints, but may take long).  When
+    a bound trips, ``on_budget="raise"`` (the default) raises the
+    :class:`~repro.runtime.budget.BudgetExceeded` subclass with
+    diagnostics; ``on_budget="partial"`` returns the state of the last
+    completed round as a partial :class:`FixpointResult` with
+    ``reached_fixpoint=False`` and ``cut`` naming what was cut —
+    sound under inflationary semantics (facts are only ever added).
     """
+    check_on_budget(on_budget)
+    guard = resolve_guard(guard, budget)
     theory = database.theory
     for name, arity in program.edb.items():
         if name not in database:
@@ -114,26 +162,38 @@ def evaluate_program(
         state[name] = Relation.empty(head_schema(arity), theory)
 
     rounds = 0
-    while True:
-        rounds += 1
-        new_values: Dict[str, Relation] = {}
-        for r in program.rules:
-            derived = _derive(r, state, theory)
-            current = new_values.get(r.head_name, state[r.head_name])
-            new_values[r.head_name] = current.union(derived)
-        changed = False
-        for name, value in new_values.items():
-            if simplify_each_round:
-                value = value.simplify()
-            # Inflationary rounds only add tuples, and tuples are stored
-            # in canonical form over a constant set that never grows, so
-            # the *syntactic* tuple sets live in a finite space: comparing
-            # them is a sound and terminating fixpoint test (and avoids
-            # the exponential complement of a semantic equivalence check).
-            if frozenset(value.tuples) != frozenset(state[name].tuples):
-                changed = True
-            state[name] = value
-        if not changed:
-            return FixpointResult(state, rounds, True)
-        if max_rounds is not None and rounds >= max_rounds:
-            return FixpointResult(state, rounds, False)
+    with guard if guard is not None else contextlib.nullcontext():
+        while True:
+            try:
+                if guard is not None:
+                    guard.on_round("datalog.round")
+                fault_point("datalog.round")
+                new_values: Dict[str, Relation] = {}
+                for r in program.rules:
+                    derived = _derive(r, state, theory)
+                    current = new_values.get(r.head_name, state[r.head_name])
+                    new_values[r.head_name] = current.union(derived)
+                changed = False
+                for name, value in new_values.items():
+                    if simplify_each_round:
+                        value = value.simplify()
+                    # Inflationary rounds only add tuples, and tuples are stored
+                    # in canonical form over a constant set that never grows, so
+                    # the *syntactic* tuple sets live in a finite space: comparing
+                    # them is a sound and terminating fixpoint test (and avoids
+                    # the exponential complement of a semantic equivalence check).
+                    if frozenset(value.tuples) != frozenset(state[name].tuples):
+                        changed = True
+                    state[name] = value
+            except BudgetExceeded as error:
+                if on_budget == "partial":
+                    return FixpointResult(state, rounds, False, cut=str(error))
+                raise
+            rounds += 1
+            if not changed:
+                return FixpointResult(state, rounds, True)
+            if max_rounds is not None and rounds >= max_rounds:
+                error = round_limit_error("datalog.round", max_rounds, rounds, guard)
+                if on_budget == "partial":
+                    return FixpointResult(state, rounds, False, cut=str(error))
+                raise error

@@ -185,8 +185,21 @@ def evaluate_finite(
     program: Program,
     instance: FiniteInstance,
     max_rounds: Optional[int] = None,
+    *,
+    on_budget: str = "raise",
 ) -> FiniteFixpointResult:
-    """Inflationary fixpoint of ``program`` over a finite instance."""
+    """Inflationary fixpoint of ``program`` over a finite instance.
+
+    Non-convergence within ``max_rounds`` is reported like every other
+    fixpoint engine: raise
+    :class:`~repro.runtime.budget.RoundLimitExceeded` by default, or
+    return a truncated (sound, possibly incomplete) result under
+    ``on_budget="partial"``.
+    """
+    from repro.datalog.engine import check_on_budget
+    from repro.runtime.guard import round_limit_error
+
+    check_on_budget(on_budget)
     _check_safety(program)
     for name, arity in program.edb.items():
         if name not in instance:
@@ -218,4 +231,6 @@ def evaluate_finite(
         if not changed:
             return FiniteFixpointResult(state, rounds, True)
         if max_rounds is not None and rounds >= max_rounds:
-            return FiniteFixpointResult(state, rounds, False)
+            if on_budget == "partial":
+                return FiniteFixpointResult(state, rounds, False)
+            raise round_limit_error("finite.round", max_rounds, rounds)

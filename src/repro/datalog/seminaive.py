@@ -24,6 +24,7 @@ against it on random programs.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.database import Database
@@ -31,8 +32,18 @@ from repro.core.evaluator import evaluate
 from repro.core.relation import Relation
 from repro.core.theory import ConstraintTheory
 from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
-from repro.datalog.engine import FixpointResult, _derive, body_formula, head_schema
+from repro.datalog.engine import (
+    FixpointResult,
+    _derive,
+    body_formula,
+    check_on_budget,
+    head_schema,
+    resolve_guard,
+)
 from repro.errors import DatalogError
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, round_limit_error
 
 __all__ = ["evaluate_seminaive"]
 
@@ -85,13 +96,21 @@ def evaluate_seminaive(
     program: Program,
     database: Database,
     max_rounds: Optional[int] = None,
+    *,
+    budget: Optional[Budget] = None,
+    guard: Optional[EvaluationGuard] = None,
+    on_budget: str = "raise",
 ) -> FixpointResult:
     """Inflationary fixpoint via semi-naive evaluation.
 
     Same result as :func:`~repro.datalog.engine.evaluate_program`
     (the fixpoint is unique); round counts may differ by the usual
-    off-by-one of delta initialization.
+    off-by-one of delta initialization.  Budgets behave identically:
+    ``on_budget="raise"`` raises on exhaustion, ``"partial"`` returns
+    the truncated state tagged with what was cut.
     """
+    check_on_budget(on_budget)
+    guard = resolve_guard(guard, budget)
     theory = database.theory
     for name, arity in program.edb.items():
         if name not in database:
@@ -122,37 +141,49 @@ def evaluate_seminaive(
     }
     first_round = True
     rounds = 0
-    while True:
-        rounds += 1
-        additions: Dict[str, List[Relation]] = {name: [] for name in program.idb}
-        for r in full_rules:
-            additions[r.head_name].append(_derive(r, state, theory))
-        for r, positions in delta_rules.items():
-            if first_round:
-                # no deltas yet: seed with a full evaluation
-                additions[r.head_name].append(_derive(r, state, theory))
-            else:
-                for position in positions:
-                    additions[r.head_name].append(
-                        _derive_with_delta(r, position, state, deltas, theory)
-                    )
-        changed = False
-        new_deltas: Dict[str, Relation] = {}
-        for name in program.idb:
-            current = state[name]
-            merged = current
-            for piece in additions[name]:
-                merged = merged.union(piece)
-            merged = merged.simplify()
-            old_tuples = frozenset(current.tuples)
-            fresh = [t for t in merged.tuples if t not in old_tuples]
-            new_deltas[name] = Relation(theory, merged.schema, fresh)
-            if frozenset(merged.tuples) != old_tuples:
-                changed = True
-            state[name] = merged
-        deltas = new_deltas
-        first_round = False
-        if not changed:
-            return FixpointResult(state, rounds, True)
-        if max_rounds is not None and rounds >= max_rounds:
-            return FixpointResult(state, rounds, False)
+    with guard if guard is not None else contextlib.nullcontext():
+        while True:
+            try:
+                if guard is not None:
+                    guard.on_round("seminaive.round")
+                fault_point("seminaive.round")
+                additions: Dict[str, List[Relation]] = {name: [] for name in program.idb}
+                for r in full_rules:
+                    additions[r.head_name].append(_derive(r, state, theory))
+                for r, positions in delta_rules.items():
+                    if first_round:
+                        # no deltas yet: seed with a full evaluation
+                        additions[r.head_name].append(_derive(r, state, theory))
+                    else:
+                        for position in positions:
+                            additions[r.head_name].append(
+                                _derive_with_delta(r, position, state, deltas, theory)
+                            )
+                changed = False
+                new_deltas: Dict[str, Relation] = {}
+                for name in program.idb:
+                    current = state[name]
+                    merged = current
+                    for piece in additions[name]:
+                        merged = merged.union(piece)
+                    merged = merged.simplify()
+                    old_tuples = frozenset(current.tuples)
+                    fresh = [t for t in merged.tuples if t not in old_tuples]
+                    new_deltas[name] = Relation(theory, merged.schema, fresh)
+                    if frozenset(merged.tuples) != old_tuples:
+                        changed = True
+                    state[name] = merged
+            except BudgetExceeded as error:
+                if on_budget == "partial":
+                    return FixpointResult(state, rounds, False, cut=str(error))
+                raise
+            deltas = new_deltas
+            first_round = False
+            rounds += 1
+            if not changed:
+                return FixpointResult(state, rounds, True)
+            if max_rounds is not None and rounds >= max_rounds:
+                error = round_limit_error("seminaive.round", max_rounds, rounds, guard)
+                if on_budget == "partial":
+                    return FixpointResult(state, rounds, False, cut=str(error))
+                raise error

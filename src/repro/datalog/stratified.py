@@ -20,14 +20,24 @@ over dense-order constraint relations for comparison:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.database import Database
 from repro.core.relation import Relation
 from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
-from repro.datalog.engine import FixpointResult, _derive, head_schema
+from repro.datalog.engine import (
+    FixpointResult,
+    _derive,
+    check_on_budget,
+    head_schema,
+    resolve_guard,
+)
 from repro.errors import DatalogError
+from repro.runtime.budget import Budget, BudgetExceeded
+from repro.runtime.faults import fault_point
+from repro.runtime.guard import EvaluationGuard, round_limit_error
 
 __all__ = ["stratify", "is_stratifiable", "evaluate_stratified"]
 
@@ -87,6 +97,10 @@ def evaluate_stratified(
     program: Program,
     database: Database,
     max_rounds: Optional[int] = None,
+    *,
+    budget: Optional[Budget] = None,
+    guard: Optional[EvaluationGuard] = None,
+    on_budget: str = "raise",
 ) -> FixpointResult:
     """Evaluate under the stratified semantics (perfect model).
 
@@ -94,7 +108,14 @@ def evaluate_stratified(
     naive least fixpoint, with predicates of earlier strata (and the
     EDB) fixed.  Negated literals only ever refer to *completed*
     relations, so no inflationary staging is required.
+
+    Budgets behave as in :func:`~repro.datalog.engine.evaluate_program`;
+    a partial result stops at the stratum the budget cut (later strata
+    would negate incomplete relations, which is unsound, so they are
+    not evaluated at all).
     """
+    check_on_budget(on_budget)
+    guard = resolve_guard(guard, budget)
     theory = database.theory
     strata = stratify(program)
     for name, arity in program.edb.items():
@@ -127,19 +148,33 @@ def evaluate_stratified(
                 )
 
     total_rounds = 0
-    for layer in strata:
-        rules = [r for r in program.rules if r.head_name in layer]
-        while True:
-            total_rounds += 1
-            changed = False
-            for r in rules:
-                derived = _derive(r, state, theory)
-                grown = state[r.head_name].union(derived).simplify()
-                if frozenset(grown.tuples) != frozenset(state[r.head_name].tuples):
-                    changed = True
-                    state[r.head_name] = grown
-            if not changed:
-                break
-            if max_rounds is not None and total_rounds >= max_rounds:
-                return FixpointResult(state, total_rounds, False)
+    with guard if guard is not None else contextlib.nullcontext():
+        for layer in strata:
+            rules = [r for r in program.rules if r.head_name in layer]
+            while True:
+                try:
+                    if guard is not None:
+                        guard.on_round("stratified.round")
+                    fault_point("stratified.round")
+                    changed = False
+                    for r in rules:
+                        derived = _derive(r, state, theory)
+                        grown = state[r.head_name].union(derived).simplify()
+                        if frozenset(grown.tuples) != frozenset(state[r.head_name].tuples):
+                            changed = True
+                            state[r.head_name] = grown
+                except BudgetExceeded as error:
+                    if on_budget == "partial":
+                        return FixpointResult(state, total_rounds, False, cut=str(error))
+                    raise
+                total_rounds += 1
+                if not changed:
+                    break
+                if max_rounds is not None and total_rounds >= max_rounds:
+                    error = round_limit_error(
+                        "stratified.round", max_rounds, total_rounds, guard
+                    )
+                    if on_budget == "partial":
+                        return FixpointResult(state, total_rounds, False, cut=str(error))
+                    raise error
     return FixpointResult(state, total_rounds, True)

@@ -1,0 +1,59 @@
+"""Resource-governed evaluation runtime.
+
+The engine's hot paths are intrinsically expensive in the worst case:
+complement distributes negation over the DNF representation
+(exponential), and the fixpoint engines iterate until convergence.
+This package makes every evaluation *bounded, cancellable, and
+observable*:
+
+* :mod:`repro.runtime.budget` — the :class:`Budget` value object and
+  the :class:`BudgetExceeded` error hierarchy with structured
+  diagnostics;
+* :mod:`repro.runtime.guard` — :class:`EvaluationGuard`, the cheap
+  checkpoints the evaluator, relation algebra, and fixpoint engines
+  consult, plus cooperative cancellation;
+* :mod:`repro.runtime.degrade` — :func:`run_with_policy`, turning
+  budget exhaustion into retries and tagged partial results;
+* :mod:`repro.runtime.faults` — deterministic, seedable fault
+  injection at named engine sites, for the robustness test suite.
+"""
+
+from repro.runtime.budget import (
+    UNLIMITED,
+    AtomLimitExceeded,
+    Budget,
+    BudgetExceeded,
+    DeadlineExceeded,
+    DepthLimitExceeded,
+    EvaluationCancelled,
+    RoundLimitExceeded,
+    TupleLimitExceeded,
+)
+from repro.runtime.degrade import DegradePolicy, run_with_policy
+from repro.runtime.faults import (
+    KNOWN_SITES,
+    FaultRegistry,
+    TransientEvaluationError,
+    fault_point,
+)
+from repro.runtime.guard import EvaluationGuard, active_guard
+
+__all__ = [
+    "Budget",
+    "UNLIMITED",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "TupleLimitExceeded",
+    "AtomLimitExceeded",
+    "RoundLimitExceeded",
+    "DepthLimitExceeded",
+    "EvaluationCancelled",
+    "EvaluationGuard",
+    "active_guard",
+    "DegradePolicy",
+    "run_with_policy",
+    "FaultRegistry",
+    "TransientEvaluationError",
+    "fault_point",
+    "KNOWN_SITES",
+]

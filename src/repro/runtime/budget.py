@@ -1,0 +1,145 @@
+"""Resource budgets for evaluation, and the errors raised on exhaustion.
+
+Quantifier elimination over dense order is intrinsically nonpolynomial
+in the worst case (complement distributes negation over the DNF
+representation), and the fixpoint engines iterate until convergence.
+A production deployment therefore needs every evaluation to carry an
+explicit :class:`Budget`: a wall-clock deadline plus caps on the
+generalized tuples materialized, the constraint atoms per relation,
+the fixpoint rounds, and the formula recursion depth.
+
+Budgets are *declarative*; enforcement lives in
+:class:`repro.runtime.guard.EvaluationGuard`, which the evaluator, the
+relation algebra, and the fixpoint engines consult at cheap
+checkpoints.  Exhaustion raises a :class:`BudgetExceeded` subclass
+carrying structured diagnostics (the site that tripped, rounds
+completed, tuples materialized so far, elapsed seconds), so callers —
+and the CLI — can report exactly what was cut and decide whether to
+degrade to a partial result instead (:mod:`repro.runtime.degrade`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Budget",
+    "UNLIMITED",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "TupleLimitExceeded",
+    "AtomLimitExceeded",
+    "RoundLimitExceeded",
+    "DepthLimitExceeded",
+    "EvaluationCancelled",
+]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one evaluation.  ``None`` means unlimited.
+
+    ``deadline_seconds``
+        wall-clock limit for the whole evaluation;
+    ``max_tuples``
+        cumulative cap on generalized tuples materialized by the
+        guarded relation operations (join, complement, projection, ...);
+    ``max_atoms_per_relation``
+        cap on the constraint atoms of any single materialized relation
+        (catches representation bloat that tuple counts miss);
+    ``max_rounds``
+        cap on fixpoint rounds (Datalog¬, C-CALC fixpoint and while);
+    ``max_depth``
+        cap on formula recursion depth in the closed-form evaluator.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_tuples: Optional[int] = None
+    max_atoms_per_relation: Optional[int] = None
+    max_rounds: Optional[int] = None
+    max_depth: Optional[int] = None
+
+    def is_unlimited(self) -> bool:
+        return all(
+            limit is None
+            for limit in (
+                self.deadline_seconds,
+                self.max_tuples,
+                self.max_atoms_per_relation,
+                self.max_rounds,
+                self.max_depth,
+            )
+        )
+
+
+#: the do-nothing budget (every limit off)
+UNLIMITED = Budget()
+
+
+class BudgetExceeded(EvaluationError):
+    """An evaluation ran out of a budgeted resource.
+
+    Structured diagnostics ride on attributes so that services (and the
+    CLI) can log and route them without parsing the message:
+
+    ``site``    the checkpoint that tripped (e.g. ``relation.complement``);
+    ``limit``   the budgeted quantity that was exhausted;
+    ``rounds``  fixpoint rounds completed when the budget tripped;
+    ``tuples``  generalized tuples materialized so far;
+    ``elapsed`` wall-clock seconds since the guard started.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        limit: Optional[float] = None,
+        rounds: int = 0,
+        tuples: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.limit = limit
+        self.rounds = rounds
+        self.tuples = tuples
+        self.elapsed = elapsed
+
+    def diagnostics(self) -> dict:
+        """The structured payload as a plain dict (stable keys)."""
+        return {
+            "error": type(self).__name__,
+            "site": self.site,
+            "limit": self.limit,
+            "rounds": self.rounds,
+            "tuples": self.tuples,
+            "elapsed": self.elapsed,
+        }
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed before evaluation finished."""
+
+
+class TupleLimitExceeded(BudgetExceeded):
+    """More generalized tuples were materialized than the budget allows."""
+
+
+class AtomLimitExceeded(TupleLimitExceeded):
+    """A single materialized relation exceeded the atom cap."""
+
+
+class RoundLimitExceeded(BudgetExceeded):
+    """A fixpoint iteration did not converge within the round budget."""
+
+
+class DepthLimitExceeded(BudgetExceeded):
+    """Formula recursion nested deeper than the budget allows."""
+
+
+class EvaluationCancelled(BudgetExceeded):
+    """The evaluation was cancelled cooperatively via the guard."""

@@ -1,0 +1,114 @@
+"""Graceful degradation policies for budgeted fixpoint evaluation.
+
+:func:`run_with_policy` wraps a Datalog¬ engine call and turns budget
+exhaustion into the best answer the budget allows, instead of an
+exception, according to a :class:`DegradePolicy`:
+
+1. **transient retry** — injected/infrastructural
+   :class:`~repro.runtime.faults.TransientEvaluationError` failures are
+   retried up to ``retry_transient`` times;
+2. **simplification retry** — when the *representation* blew the
+   budget (tuple or atom limits) and the first attempt ran with
+   per-round simplification off, retry once with simplification on
+   (smaller representations, same denotation);
+3. **partial fallback** — when the budget still cuts evaluation short,
+   rerun truncated (``on_budget="partial"``) and return the partial
+   :class:`~repro.datalog.engine.FixpointResult` with
+   ``reached_fixpoint=False`` and ``cut`` describing what was cut —
+   sound under inflationary semantics, where every derived fact is
+   final.
+
+The wrapper is engine-agnostic: pass ``engine=`` any callable with the
+``evaluate_program`` signature (naive, semi-naive, stratified).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.budget import Budget, BudgetExceeded, TupleLimitExceeded
+from repro.runtime.faults import TransientEvaluationError
+
+__all__ = ["DegradePolicy", "run_with_policy"]
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """What to do when a budgeted evaluation fails.
+
+    ``retry_transient``           retries for transient failures;
+    ``retry_with_simplification`` retry representation blowups with
+                                  per-round simplification forced on;
+    ``partial_on_budget``         degrade to a truncated partial result
+                                  instead of re-raising;
+    ``fallback_max_rounds``       round cap for the partial rerun
+                                  (default: the rounds the failed
+                                  attempt completed, when > 0).
+    """
+
+    retry_transient: int = 1
+    retry_with_simplification: bool = True
+    partial_on_budget: bool = True
+    fallback_max_rounds: Optional[int] = None
+
+
+def run_with_policy(
+    program,
+    database,
+    *,
+    budget: Optional[Budget] = None,
+    policy: DegradePolicy = DegradePolicy(),
+    engine=None,
+    max_rounds: Optional[int] = None,
+    simplify_each_round: bool = True,
+):
+    """Evaluate ``program`` under ``budget``, degrading per ``policy``.
+
+    Returns the engine's :class:`FixpointResult`; when degradation
+    kicked in, ``reached_fixpoint`` is ``False`` and ``cut`` names what
+    the budget cut.  Raises the original :class:`BudgetExceeded` when
+    the policy forbids (or cannot produce) a partial answer.
+    """
+    if engine is None:
+        from repro.datalog.engine import evaluate_program as engine
+
+    # engines differ in knobs (semi-naive always simplifies); pass only
+    # what the engine's signature accepts
+    supports_simplify = "simplify_each_round" in inspect.signature(engine).parameters
+
+    def attempt(simplify: bool, on_budget: str, rounds_cap: Optional[int]):
+        kwargs = dict(max_rounds=rounds_cap, budget=budget, on_budget=on_budget)
+        if supports_simplify:
+            kwargs["simplify_each_round"] = simplify
+        return engine(program, database, **kwargs)
+
+    transient_left = policy.retry_transient
+    simplify = simplify_each_round
+    # nothing to turn on if already on (or the engine has no such knob)
+    retried_simplified = simplify_each_round or not supports_simplify
+    while True:
+        try:
+            return attempt(simplify, "raise", max_rounds)
+        except TransientEvaluationError:
+            if transient_left <= 0:
+                raise
+            transient_left -= 1
+        except BudgetExceeded as error:
+            # representation blowup: simplification shrinks representations
+            # without changing the denoted pointset — retry once with it on
+            if (
+                isinstance(error, TupleLimitExceeded)
+                and policy.retry_with_simplification
+                and not retried_simplified
+            ):
+                retried_simplified = True
+                simplify = True
+                continue
+            fallback = policy.fallback_max_rounds
+            if fallback is None and error.rounds > 0:
+                fallback = error.rounds
+            if not policy.partial_on_budget or not fallback:
+                raise
+            return attempt(simplify, "partial", fallback)

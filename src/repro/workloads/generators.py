@@ -32,6 +32,10 @@ __all__ = [
     "interval_pairs_relation",
     "checkerboard_region",
     "staircase_region",
+    "fragmented_interval_database",
+    "deep_negation_formula",
+    "alternating_quantifier_formula",
+    "slow_tc_workload",
 ]
 
 
@@ -244,3 +248,82 @@ def staircase_region(steps: int, gap: bool = False, name: str = "R") -> Database
     db = Database()
     db[name] = BoxSet(boxes, 2).to_relation(("x0", "x1"))
     return db
+
+
+# -------------------------------------------------- adversarial workloads
+#
+# Inputs built to exhaust resources rather than to model anything: the
+# dense-order complement distributes negation over a DNF (worst-case
+# exponential, Section 3), and naive fixpoints take as many rounds as
+# the data is deep.  These are the test loads for the budget runtime
+# (experiment E13): small enough to start, hopeless enough to trip any
+# finite budget when scaled up.
+
+
+def fragmented_interval_database(count: int, name: str = "S") -> Database:
+    """``count`` pairwise-disjoint open unit intervals ``(3i, 3i + 1)``.
+
+    The complement-blowup adversary: negating the union distributes
+    over ``count`` disjuncts before absorption prunes the cross
+    products, so each :class:`~repro.core.formula.Not` over this
+    relation does work exponential in ``count`` before simplification.
+    """
+    intervals = [Interval.open(3 * i, 3 * i + 1) for i in range(count)]
+    db = Database()
+    db[name] = IntervalSet(intervals).to_relation("x")
+    return db
+
+
+def deep_negation_formula(depth: int, name: str = "S"):
+    """``not not ... not S(x)`` -- ``depth`` stacked complements.
+
+    Logically trivial (the identity or one complement), but the
+    evaluator cannot know that: every level materializes a full
+    complement of the level below.  Pair with
+    :func:`fragmented_interval_database` to make each level expensive.
+    """
+    from repro.core.formula import Not, rel
+
+    f = rel(name, "x")
+    for _ in range(depth):
+        f = Not(f)
+    return f
+
+
+def alternating_quantifier_formula(depth: int, name: str = "E"):
+    """A ``depth``-step path formula with alternating exists/forall.
+
+    ``forall`` evaluates as ``not exists not``, so each universal level
+    costs two complements on top of one quantifier elimination -- the
+    deep-negation adversary in quantifier clothing.  The formula has
+    one free variable ``v0`` and talks about a binary relation
+    ``name``.
+    """
+    from repro.core.formula import Formula, exists, forall, rel
+
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    f: Formula = rel(name, f"v{depth - 1}", f"v{depth}")
+    for i in range(depth, 0, -1):
+        f = exists(f"v{i}", f) if (depth - i) % 2 == 0 else forall(f"v{i}", f)
+        if i > 1:
+            f = rel(name, f"v{i - 2}", f"v{i - 1}") & f
+    return f
+
+
+def slow_tc_workload(length: int) -> Tuple["object", Database]:
+    """A (program, database) pair that converges only after ~``length``
+    rounds: single-step transitive closure over a path of ``length``
+    vertices.  The round-budget adversary -- any ``max_rounds`` below
+    the path length cuts it off mid-closure.
+    """
+    from repro.datalog.ast import Program, pred, rule
+
+    program = Program(
+        [
+            rule("tc", ["x", "y"], pred("E", "x", "y")),
+            rule("tc", ["x", "z"], pred("tc", "x", "y"), pred("E", "y", "z")),
+        ],
+        edb={"E": 2},
+    )
+    return program, path_graph(length)

@@ -39,9 +39,17 @@ class TestMapping:
         assert db.names() == ("S", "T")
 
     def test_theory_mismatch(self, db):
-        other = DenseOrderTheory()
+        class OtherTheory(DenseOrderTheory):
+            name = "other"
+
         with pytest.raises(SchemaError):
-            db["U"] = Relation.empty(("x",), other)
+            db["U"] = Relation.empty(("x",), OtherTheory())
+
+    def test_equal_theory_instances_accepted(self, db):
+        # theories are value objects: a separately constructed instance
+        # of the same theory class must interoperate (regression)
+        db["U"] = Relation.empty(("x",), DenseOrderTheory())
+        assert "U" in db
 
 
 class TestInspection:

@@ -150,9 +150,19 @@ class TestFiniteRelations:
     def test_theory_mismatch_detected(self, db):
         from repro.core.theory import DenseOrderTheory
 
-        other = DenseOrderTheory()
+        class OtherTheory(DenseOrderTheory):
+            name = "other"
+
         with pytest.raises(EvaluationError):
-            evaluate(rel("E", "x", "y"), db, theory=other)
+            evaluate(rel("E", "x", "y"), db, theory=OtherTheory())
+
+    def test_equal_theory_instance_accepted(self, db):
+        # regression: a separately constructed DenseOrderTheory is the
+        # same theory by value and must not be rejected
+        from repro.core.theory import DenseOrderTheory
+
+        out = evaluate(rel("E", "x", "y"), db, theory=DenseOrderTheory())
+        assert out.contains_point([1, 2])
 
 
 class TestClosedForm:

@@ -29,11 +29,23 @@ class TestTransitiveClosure:
         wide = evaluate_program(transitive_closure_program(), path_graph(7))
         assert wide.rounds > slim.rounds
 
-    def test_max_rounds_cutoff(self):
+    def test_max_rounds_raises_by_default(self):
+        from repro.runtime.budget import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            evaluate_program(
+                transitive_closure_program(), path_graph(6), max_rounds=1
+            )
+
+    def test_max_rounds_partial(self):
         result = evaluate_program(
-            transitive_closure_program(), path_graph(6), max_rounds=1
+            transitive_closure_program(),
+            path_graph(6),
+            max_rounds=1,
+            on_budget="partial",
         )
         assert not result.reached_fixpoint
+        assert result.cut is not None
         assert result["tc"].contains_point([0, 1])
         assert not result["tc"].contains_point([0, 3])
 

@@ -97,7 +97,11 @@ class TestEvaluation:
             ],
             edb={"E": 2},
         )
-        result = evaluate_finite(program, chain, max_rounds=1)
+        from repro.runtime.budget import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            evaluate_finite(program, chain, max_rounds=1)
+        result = evaluate_finite(program, chain, max_rounds=1, on_budget="partial")
         assert not result.reached_fixpoint
 
 

@@ -121,8 +121,13 @@ class TestGuards:
             evaluate_seminaive(program, Database())
 
     def test_max_rounds(self):
+        from repro.runtime.budget import RoundLimitExceeded
+
         db = path_graph(6)
+        with pytest.raises(RoundLimitExceeded):
+            evaluate_seminaive(transitive_closure_program(), db, max_rounds=1)
         result = evaluate_seminaive(
-            transitive_closure_program(), db, max_rounds=1
+            transitive_closure_program(), db, max_rounds=1, on_budget="partial"
         )
         assert not result.reached_fixpoint
+        assert result.cut is not None

@@ -95,9 +95,16 @@ class TestEvaluation:
         assert result["c"].contains_point([0])
 
     def test_max_rounds(self):
+        from repro.runtime.budget import RoundLimitExceeded
+
         db = path_graph(6)
-        result = evaluate_stratified(tc_program(), db, max_rounds=1)
+        with pytest.raises(RoundLimitExceeded):
+            evaluate_stratified(tc_program(), db, max_rounds=1)
+        result = evaluate_stratified(
+            tc_program(), db, max_rounds=1, on_budget="partial"
+        )
         assert not result.reached_fixpoint
+        assert result.cut is not None
 
     def test_validation_errors(self):
         db = Database()

@@ -1,0 +1,81 @@
+"""Unit tests for the Budget value object and the error hierarchy."""
+
+import pytest
+
+from repro.errors import EvaluationError, ReproError
+from repro.runtime.budget import (
+    UNLIMITED,
+    AtomLimitExceeded,
+    Budget,
+    BudgetExceeded,
+    DeadlineExceeded,
+    DepthLimitExceeded,
+    EvaluationCancelled,
+    RoundLimitExceeded,
+    TupleLimitExceeded,
+)
+
+
+class TestBudget:
+    def test_default_is_unlimited(self):
+        assert Budget().is_unlimited()
+        assert UNLIMITED.is_unlimited()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_seconds": 1.0},
+            {"max_tuples": 10},
+            {"max_atoms_per_relation": 100},
+            {"max_rounds": 5},
+            {"max_depth": 3},
+        ],
+    )
+    def test_any_limit_is_not_unlimited(self, kwargs):
+        assert not Budget(**kwargs).is_unlimited()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Budget().max_tuples = 1
+
+    def test_value_semantics(self):
+        assert Budget(max_rounds=3) == Budget(max_rounds=3)
+        assert Budget(max_rounds=3) != Budget(max_rounds=4)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            DeadlineExceeded,
+            TupleLimitExceeded,
+            AtomLimitExceeded,
+            RoundLimitExceeded,
+            DepthLimitExceeded,
+            EvaluationCancelled,
+        ],
+    )
+    def test_under_budget_and_evaluation_and_repro(self, kind):
+        assert issubclass(kind, BudgetExceeded)
+        assert issubclass(kind, EvaluationError)
+        assert issubclass(kind, ReproError)
+
+    def test_atom_limit_is_a_tuple_limit(self):
+        # representation blowup is one degradation family
+        assert issubclass(AtomLimitExceeded, TupleLimitExceeded)
+
+    def test_diagnostics_payload(self):
+        error = TupleLimitExceeded(
+            "too many", site="relation.join", limit=10, rounds=2, tuples=11,
+            elapsed=0.5,
+        )
+        diag = error.diagnostics()
+        assert diag == {
+            "error": "TupleLimitExceeded",
+            "site": "relation.join",
+            "limit": 10,
+            "rounds": 2,
+            "tuples": 11,
+            "elapsed": 0.5,
+        }
+        assert "too many" in str(error)

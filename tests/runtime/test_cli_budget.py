@@ -1,0 +1,76 @@
+"""CLI resource flags: exit codes and partial-result output."""
+
+import pytest
+
+from repro.cli import EXIT_BUDGET, main
+from repro.encoding.standard import encode_database
+from repro.workloads.generators import path_graph
+
+TC_PROGRAM = """\
+tc(x, y) :- E(x, y).
+tc(x, z) :- tc(x, y), E(y, z).
+"""
+
+
+@pytest.fixture
+def paths(tmp_path):
+    db_path = tmp_path / "g.cdb"
+    db_path.write_text(encode_database(path_graph(6)))
+    program_path = tmp_path / "tc.dl"
+    program_path.write_text(TC_PROGRAM)
+    return str(db_path), str(program_path)
+
+
+class TestDatalogFlags:
+    def test_unbudgeted_run_succeeds(self, paths, capsys):
+        db, program = paths
+        assert main(["datalog", db, program, "--show", "tc"]) == 0
+        assert "fixpoint after" in capsys.readouterr().out
+
+    def test_max_rounds_exits_with_budget_code(self, paths, capsys):
+        db, program = paths
+        code = main(["datalog", db, program, "--max-rounds", "2"])
+        assert code == EXIT_BUDGET
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "RoundLimitExceeded" in err
+
+    def test_partial_prints_cut_and_exits_zero(self, paths, capsys):
+        db, program = paths
+        code = main(
+            ["datalog", db, program, "--max-rounds", "2", "--on-budget", "partial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cut off after 2 round(s)" in out
+
+    def test_timeout_flag_wires_a_deadline(self, paths, capsys):
+        db, program = paths
+        # generous deadline: must still converge normally
+        assert main(["datalog", db, program, "--timeout", "60"]) == 0
+
+
+class TestQueryFlags:
+    def test_max_depth_exits_with_budget_code(self, paths, capsys):
+        db, _ = paths
+        code = main(
+            ["query", db, "not not not (exists y (E(x, y)))", "--max-depth", "2"]
+        )
+        assert code == EXIT_BUDGET
+        assert "DepthLimitExceeded" in capsys.readouterr().err
+
+    def test_max_tuples_exits_with_budget_code(self, paths, capsys):
+        db, _ = paths
+        code = main(["query", db, "not E(x, y)", "--max-tuples", "1"])
+        assert code == EXIT_BUDGET
+        assert "TupleLimitExceeded" in capsys.readouterr().err
+
+    def test_unbudgeted_query_succeeds(self, paths, capsys):
+        db, _ = paths
+        assert main(["query", db, "exists y (E(x, y))"]) == 0
+
+    def test_budget_errors_are_distinct_from_generic_errors(self, paths):
+        db, _ = paths
+        generic = main(["query", db, "exists y (NoSuchRel(x, y))"])
+        assert generic == 1
+        assert generic != EXIT_BUDGET

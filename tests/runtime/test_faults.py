@@ -1,0 +1,138 @@
+"""Deterministic fault injection: schedules, seeds, guard interplay."""
+
+import pytest
+
+from repro.core.evaluator import evaluate
+from repro.core.formula import Not, rel
+from repro.datalog.engine import evaluate_program
+from repro.runtime.budget import Budget, EvaluationCancelled, TupleLimitExceeded
+from repro.runtime.faults import (
+    KNOWN_SITES,
+    FaultRegistry,
+    TransientEvaluationError,
+    fault_point,
+)
+from repro.runtime.guard import EvaluationGuard
+from repro.workloads.generators import (
+    fragmented_interval_database,
+    slow_tc_workload,
+)
+
+
+class TestFaultPoint:
+    def test_noop_without_registry(self):
+        fault_point("evaluator.eval")  # must not raise
+
+    def test_unknown_site_hits_are_counted_but_harmless(self):
+        with FaultRegistry() as reg:
+            fault_point("no.such.site")
+        assert reg.hits["no.such.site"] == 1
+
+
+class TestSchedules:
+    def test_default_fault_is_transient(self):
+        with FaultRegistry() as reg:
+            reg.inject("s")
+            with pytest.raises(TransientEvaluationError):
+                fault_point("s")
+
+    def test_after_skips_first_hits(self):
+        with FaultRegistry() as reg:
+            reg.inject("s", after=2)
+            fault_point("s")
+            fault_point("s")
+            with pytest.raises(TransientEvaluationError):
+                fault_point("s")
+
+    def test_times_bounds_firings(self):
+        with FaultRegistry() as reg:
+            reg.inject("s", times=2)
+            for _ in range(2):
+                with pytest.raises(TransientEvaluationError):
+                    fault_point("s")
+            fault_point("s")  # exhausted: no raise
+
+    def test_custom_error_class_and_instance(self):
+        class Boom(RuntimeError):
+            pass
+
+        with FaultRegistry() as reg:
+            reg.inject("a", error=Boom).inject("b", error=Boom("kaboom"))
+            with pytest.raises(Boom):
+                fault_point("a")
+            with pytest.raises(Boom, match="kaboom"):
+                fault_point("b")
+
+    def test_seeded_probability_is_reproducible(self):
+        def schedule(seed):
+            fired = []
+            with FaultRegistry(seed=seed) as reg:
+                reg.inject("s", probability=0.5, times=100)
+                for i in range(20):
+                    try:
+                        fault_point("s")
+                        fired.append(False)
+                    except TransientEvaluationError:
+                        fired.append(True)
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert True in schedule(7) and False in schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_log_records_firing_order(self):
+        with FaultRegistry() as reg:
+            reg.inject("s", after=1)
+            fault_point("s")
+            with pytest.raises(TransientEvaluationError):
+                fault_point("s")
+        assert reg.log == [("s", 2, "raise:TransientEvaluationError")]
+
+
+class TestGuardInterplay:
+    def test_charge_tuples_pressures_the_budget(self):
+        guard = EvaluationGuard(Budget(max_tuples=5))
+        with guard, FaultRegistry() as reg:
+            reg.inject("s", charge_tuples=10)
+            with pytest.raises(TupleLimitExceeded):
+                fault_point("s")
+
+    def test_on_fire_hook_can_cancel(self):
+        guard = EvaluationGuard()
+        with guard, FaultRegistry() as reg:
+            reg.inject("s", on_fire=guard.cancel)
+            fault_point("s")
+            with pytest.raises(EvaluationCancelled):
+                guard.tick()
+
+
+class TestEngineSites:
+    def test_known_sites_cover_the_engines(self):
+        for site in (
+            "evaluator.eval",
+            "relation.complement",
+            "datalog.round",
+            "ccalc.fixpoint.round",
+        ):
+            assert site in KNOWN_SITES
+
+    def test_evaluator_hits_eval_site(self):
+        db = fragmented_interval_database(2)
+        with FaultRegistry() as reg:
+            evaluate(rel("S", "x"), db)
+        assert reg.hits["evaluator.eval"] >= 1
+
+    def test_complement_site_fires_on_negation(self):
+        db = fragmented_interval_database(2)
+        with FaultRegistry() as reg:
+            reg.inject("relation.complement")
+            with pytest.raises(TransientEvaluationError):
+                evaluate(Not(rel("S", "x")), db)
+
+    def test_datalog_round_site_fires_mid_fixpoint(self):
+        program, db = slow_tc_workload(5)
+        with FaultRegistry() as reg:
+            reg.inject("datalog.round", after=2)
+            with pytest.raises(TransientEvaluationError):
+                evaluate_program(program, db)
+        assert reg.hits["datalog.round"] == 3

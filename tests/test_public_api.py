@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.queries",
     "repro.workloads",
     "repro.lang",
+    "repro.runtime",
 ]
 
 

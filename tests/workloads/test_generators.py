@@ -99,3 +99,49 @@ class TestRegions:
     def test_staircase(self):
         assert count_components(staircase_region(4)["R"]) == 1
         assert count_components(staircase_region(5, gap=True)["R"]) == 2
+
+
+class TestAdversarial:
+    """The E13 resource-exhaustion workloads."""
+
+    def test_fragmented_intervals_are_disjoint(self):
+        from repro.workloads.generators import fragmented_interval_database
+
+        db = fragmented_interval_database(5)
+        assert count_components(db["S"]) == 5
+        assert db["S"].contains_point([Fraction(1, 2)])
+        assert not db["S"].contains_point([1])  # open endpoints
+
+    def test_deep_negation_semantics(self):
+        from repro.core.evaluator import evaluate
+        from repro.workloads.generators import (
+            deep_negation_formula,
+            fragmented_interval_database,
+        )
+
+        db = fragmented_interval_database(3)
+        even = evaluate(deep_negation_formula(2), db)
+        odd = evaluate(deep_negation_formula(3), db)
+        # double negation is the identity, triple is one complement
+        assert even.contains_point([Fraction(1, 2)])
+        assert not odd.contains_point([Fraction(1, 2)])
+        assert odd.contains_point([2])
+
+    def test_alternating_quantifier_formula_shape(self):
+        from repro.core.evaluator import evaluate
+        from repro.workloads.generators import alternating_quantifier_formula
+
+        out = evaluate(alternating_quantifier_formula(3), path_graph(5))
+        assert out.schema == ("v0",)
+        with pytest.raises(ValueError):
+            alternating_quantifier_formula(0)
+
+    def test_slow_tc_workload_round_count(self):
+        from repro.datalog.engine import evaluate_program
+        from repro.workloads.generators import slow_tc_workload
+
+        program, db = slow_tc_workload(6)
+        result = evaluate_program(program, db)
+        assert result.reached_fixpoint
+        assert result.rounds >= 5  # converges only after ~length rounds
+        assert result["tc"].contains_point([0, 5])
