@@ -1,6 +1,6 @@
 # Convenience targets (mirror the commands in README / CONTRIBUTING)
 
-.PHONY: install test test-quick bench results examples ci clean
+.PHONY: install test test-quick bench results examples explain-demo ci clean
 
 install:
 	python setup.py develop
@@ -27,6 +27,12 @@ ci:
 		pytest tests/; \
 	fi
 	pytest benchmarks/bench_e13_budget_overhead.py -s
+	pytest benchmarks/bench_e14_trace_overhead.py -s
+
+# the observability walkthrough: profile a transitive-closure run and
+# export the JSON trace (TRACE_OUT overrides the export path)
+explain-demo:
+	python examples/observability_profile.py
 
 examples:
 	@for script in examples/*.py; do \

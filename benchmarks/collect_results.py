@@ -10,7 +10,9 @@ paper-vs-measured content of EXPERIMENTS.md.  Run:
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import time
 from fractions import Fraction
 
@@ -273,6 +275,52 @@ def e11_genericity() -> None:
         print(f"| {name} | {got} | {paper} |")
 
 
+def e14_profiles() -> None:
+    """Run representative workloads under a tracer and fold the
+    per-phase breakdowns into ``BENCH_PROFILES.json`` next to this
+    script, so benchmark entries carry phase costs, not just
+    wall-clock."""
+    header("E14 -- per-phase evaluation profiles (repro.obs)")
+    from repro.datalog.seminaive import evaluate_seminaive
+    from repro.obs import Tracer, phase_breakdown
+
+    f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+    workloads = {
+        "fo-self-join": lambda: evaluate(f, random_interval_database(23, count=16)),
+        "datalog-naive-tc": lambda: evaluate_program(
+            transitive_closure_program(), path_graph(8)
+        ),
+        "datalog-seminaive-tc": lambda: evaluate_seminaive(
+            transitive_closure_program(), path_graph(8)
+        ),
+    }
+    entries = {}
+    print("| workload | total (s) | joins | projects | complements | qe vars | rounds |")
+    print("|---|---|---|---|---|---|---|")
+    for name, thunk in workloads.items():
+        tracer = Tracer()
+        with tracer:
+            thunk()
+        breakdown = phase_breakdown(tracer)
+        entries[name] = breakdown
+        ops = {row["operator"]: row["calls"] for row in breakdown["operators"]}
+        rounds = sum(breakdown["fixpoint"]["rounds"].values())
+        print(
+            f"| {name} | {breakdown['total_seconds']:.4f} "
+            f"| {ops.get('join', 0)} | {ops.get('project', 0)} "
+            f"| {ops.get('complement', 0)} "
+            f"| {breakdown['qe']['eliminated_vars']} | {rounds} |"
+        )
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_PROFILES.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "repro.bench-profiles/1", "profiles": entries},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(f"(machine-readable breakdowns written to {out_path})")
+
+
 def main() -> None:
     print("# Collected experimental results (regenerated)")
     e2_fo_scaling()
@@ -286,6 +334,7 @@ def main() -> None:
     e10_fixpoint()
     e11_genericity()
     e12_ablations()
+    e14_profiles()
     print()
 
 

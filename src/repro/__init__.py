@@ -18,6 +18,7 @@ Subpackages
 ``repro.queries``     canned queries (parity, connectivity, topology, ...)
 ``repro.workloads``   seeded workload generators for tests and benchmarks
 ``repro.runtime``     resource budgets, guards, degradation, fault injection
+``repro.obs``         evaluation tracing, metrics, EXPLAIN profiling
 """
 
 __version__ = "1.0.0"
@@ -42,6 +43,11 @@ from repro.core import (  # noqa: F401  (re-exported convenience surface)
     ne,
     rel,
 )
+from repro.obs import (  # noqa: F401
+    Tracer,
+    render_profile,
+    span,
+)
 from repro.runtime import (  # noqa: F401
     Budget,
     BudgetExceeded,
@@ -52,6 +58,9 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "EvaluationGuard",
+    "Tracer",
+    "render_profile",
+    "span",
     "Database",
     "GTuple",
     "Interval",

@@ -2,9 +2,10 @@
 
 ::
 
-    python -m repro.cli query  DB.cdb  "exists y (T(x, y) and y < 5)"
+    python -m repro.cli query   DB.cdb  "exists y (T(x, y) and y < 5)"
     python -m repro.cli datalog DB.cdb PROGRAM.dl --show tc
-    python -m repro.cli info   DB.cdb
+    python -m repro.cli explain DB.cdb PROGRAM.dl
+    python -m repro.cli info    DB.cdb
 
 ``DB.cdb`` files use the standard encoding of Section 3
 (:mod:`repro.encoding.standard`); programs use the Datalog surface
@@ -16,21 +17,38 @@ tripped budget exits with code ``3`` (distinct from ``1`` for ordinary
 errors) and prints the structured diagnostics; ``--on-budget=partial``
 makes ``datalog`` print the sound partial result instead, tagged with
 what was cut.
+
+Evaluation is also *observable*: ``--trace FILE`` writes a structured
+JSON trace (schema ``repro.trace/1``), ``--profile`` prints the
+per-phase cost tree after the result, ``--stats`` prints the guard's
+per-site counters, ``-v``/``-vv`` print metric summaries on stderr,
+and the ``explain`` subcommand runs a query or program purely for its
+cost tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
 from repro.core.database import Database
 from repro.core.evaluator import evaluate
 from repro.core.intervals import IntervalSet
+from repro.core.relation import Relation
 from repro.datalog.engine import evaluate_program
 from repro.encoding.standard import decode_database, encode_database, encoding_size
 from repro.errors import ReproError
 from repro.lang import parse_formula, parse_program
+from repro.obs import (
+    Tracer,
+    guard_stats_table,
+    render_metrics_summary,
+    render_profile,
+    write_trace,
+)
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.guard import EvaluationGuard
 
@@ -73,6 +91,65 @@ def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a structured JSON trace of the evaluation (repro.trace/1)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase cost tree after the result",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the guard's per-site counter summary (stderr)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: metrics summary on stderr; -vv: also list every span",
+    )
+
+
+def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
+    """A Tracer when any observation surface was requested."""
+    if getattr(args, "trace", None) or getattr(args, "profile", False) \
+            or getattr(args, "verbose", 0):
+        return Tracer()
+    return None
+
+
+def _guard_of(args: argparse.Namespace,
+              budget: Optional[Budget]) -> Optional[EvaluationGuard]:
+    """A guard when there is a budget to enforce or stats to report."""
+    if budget is not None or getattr(args, "stats", False):
+        return EvaluationGuard(budget)
+    return None
+
+
+def _report_observation(args: argparse.Namespace,
+                        tracer: Optional[Tracer],
+                        guard: Optional[EvaluationGuard]) -> None:
+    """Emit the requested observation surfaces (also on a failed run, so
+    a tripped budget still leaves a trace of where the work went)."""
+    if guard is not None and args.stats:
+        print(guard_stats_table(guard.stats()), file=sys.stderr)
+    if tracer is None:
+        return
+    if args.verbose:
+        print(render_metrics_summary(tracer.metrics), file=sys.stderr)
+    if args.verbose >= 2:
+        for record in tracer.spans:
+            print(
+                f"  span {record.name} {record.duration * 1000:.3f}ms "
+                f"attrs={record.attrs}",
+                file=sys.stderr,
+            )
+    if args.profile:
+        print(render_profile(tracer, guard if args.stats else None))
+    if args.trace:
+        write_trace(args.trace, tracer, guard)
+
+
 def _print_relation(relation, as_intervals: bool) -> None:
     if as_intervals and relation.arity == 1:
         print(IntervalSet.from_relation(relation))
@@ -83,9 +160,18 @@ def _print_relation(relation, as_intervals: bool) -> None:
 def _cmd_info(args: argparse.Namespace) -> int:
     db = _load(args.database)
     print(f"{args.database}: {len(db)} relation(s), {encoding_size(db)} bytes encoded")
+    rows = []
     for name in db.names():
         relation = db[name]
-        print(f"  {name}/{relation.arity}: {len(relation)} generalized tuple(s)")
+        atoms = sum(len(t.atoms) for t in relation.tuples)
+        encoded = encoding_size(Database({name: relation}, theory=db.theory))
+        rows.append((f"{name}/{relation.arity}", len(relation), atoms, encoded))
+    if rows:
+        width = max(len(r[0]) for r in rows)
+        width = max(width, len("relation"))
+        print(f"  {'relation'.ljust(width)} {'gtuples':>8} {'atoms':>7} {'bytes':>8}")
+        for label, tuples, atoms, encoded in rows:
+            print(f"  {label.ljust(width)} {tuples:>8} {atoms:>7} {encoded:>8}")
     return 0
 
 
@@ -99,12 +185,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(explain(plan))
         return 0
     budget = _budget_of(args)
-    guard = EvaluationGuard(budget) if budget is not None else None
-    result = evaluate(formula, db, guard=guard)
-    if not result.schema:
-        print("true" if not result.is_empty() else "false")
-    else:
-        _print_relation(result, as_intervals=not args.raw)
+    tracer = _tracer_of(args)
+    guard = _guard_of(args, budget)
+    try:
+        with tracer if tracer is not None else contextlib.nullcontext():
+            result = evaluate(formula, db, guard=guard)
+        if not result.schema:
+            print("true" if not result.is_empty() else "false")
+        else:
+            _print_relation(result, as_intervals=not args.raw)
+    finally:
+        _report_observation(args, tracer, guard)
     return 0
 
 
@@ -112,21 +203,78 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     db = _load(args.database)
     with open(args.program, encoding="utf-8") as handle:
         program = parse_program(handle.read())
-    result = evaluate_program(
-        program,
-        db,
-        max_rounds=args.max_rounds,
-        budget=_budget_of(args),
-        on_budget=args.on_budget,
-    )
-    if result.reached_fixpoint:
-        print(f"fixpoint after {result.rounds} round(s)")
-    else:
-        print(f"cut off after {result.rounds} round(s): {result.cut}")
-    names = [args.show] if args.show else sorted(program.idb)
-    for name in names:
-        print(f"-- {name}")
-        _print_relation(result[name], as_intervals=not args.raw)
+    budget = _budget_of(args)
+    tracer = _tracer_of(args)
+    guard = _guard_of(args, budget)
+    try:
+        with tracer if tracer is not None else contextlib.nullcontext():
+            result = evaluate_program(
+                program,
+                db,
+                max_rounds=args.max_rounds,
+                guard=guard,
+                on_budget=args.on_budget,
+            )
+        if result.reached_fixpoint:
+            print(f"fixpoint after {result.rounds} round(s)")
+        else:
+            print(f"cut off after {result.rounds} round(s): {result.cut}")
+        names = [args.show] if args.show else sorted(program.idb)
+        for name in names:
+            print(f"-- {name}")
+            _print_relation(result[name], as_intervals=not args.raw)
+    finally:
+        _report_observation(args, tracer, guard)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Run a query or program purely for its per-phase cost tree."""
+    db = _load(args.database)
+    budget = _budget_of(args)
+    guard = EvaluationGuard(budget)  # guard stats are part of the tree
+    tracer = Tracer()
+    is_program = args.query.endswith(".dl") or os.path.exists(args.query)
+    summary: str
+    with tracer:
+        if is_program:
+            with open(args.query, encoding="utf-8") as handle:
+                program = parse_program(handle.read())
+            if args.engine == "seminaive":
+                from repro.datalog.seminaive import evaluate_seminaive as engine
+            elif args.engine == "stratified":
+                from repro.datalog.stratified import evaluate_stratified as engine
+            else:
+                engine = evaluate_program
+            result = engine(
+                program, db, max_rounds=args.max_rounds, guard=guard,
+                on_budget=args.on_budget,
+            )
+            idb_tuples = sum(len(result[name]) for name in program.idb)
+            if result.reached_fixpoint:
+                summary = (
+                    f"result: fixpoint after {result.rounds} round(s), "
+                    f"{idb_tuples} IDB generalized tuple(s)"
+                )
+            else:
+                summary = (
+                    f"result: cut off after {result.rounds} round(s): {result.cut}"
+                )
+        else:
+            formula = parse_formula(args.query)
+            relation = evaluate(formula, db, guard=guard)
+            if not relation.schema:
+                summary = f"result: {'true' if not relation.is_empty() else 'false'}"
+            else:
+                summary = (
+                    f"result: {len(relation)} generalized tuple(s) over "
+                    f"({', '.join(relation.schema)})"
+                )
+    print(summary)
+    print()
+    print(render_profile(tracer, guard))
+    if args.trace:
+        write_trace(args.trace, tracer, guard)
     return 0
 
 
@@ -154,6 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--explain", action="store_true", help="print the optimized query plan"
     )
     _add_budget_flags(query)
+    _add_obs_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
@@ -171,7 +320,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     datalog.add_argument("--raw", action="store_true")
     _add_budget_flags(datalog)
+    _add_obs_flags(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="run a query or .dl program and print the per-phase cost tree",
+    )
+    explain_cmd.add_argument("database")
+    explain_cmd.add_argument(
+        "query",
+        help="an FO formula, or a path to a Datalog(not) program file",
+    )
+    explain_cmd.add_argument(
+        "--engine", choices=("naive", "seminaive", "stratified"), default="naive",
+        help="Datalog engine to profile (program inputs only)",
+    )
+    explain_cmd.add_argument(
+        "--max-rounds", type=int, default=None, help="cap on fixpoint rounds",
+    )
+    explain_cmd.add_argument(
+        "--on-budget", choices=("raise", "partial"), default="raise",
+    )
+    explain_cmd.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also write the structured JSON trace",
+    )
+    _add_budget_flags(explain_cmd)
+    explain_cmd.set_defaults(fn=_cmd_explain)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")
     roundtrip.add_argument("database")

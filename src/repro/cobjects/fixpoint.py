@@ -31,6 +31,7 @@ from repro.core.database import Database
 from repro.core.relation import Relation
 from repro.core.theory import DENSE_ORDER
 from repro.errors import DatalogError, EvaluationError
+from repro.obs.trace import active_tracer, span
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, round_limit_error
@@ -112,27 +113,38 @@ def evaluate_fixpoint(
     current = Relation.empty(schema, DENSE_ORDER)
     adom = ActiveDomain(database, extra_constants)
     rounds = 0
-    with guard if guard is not None else contextlib.nullcontext():
+    with guard if guard is not None else contextlib.nullcontext(), span(
+        "ccalc.fixpoint", relvar=query.name, arity=query.arity
+    ):
         while True:
-            try:
-                if guard is not None:
-                    guard.on_round("ccalc.fixpoint.round")
-                fault_point("ccalc.fixpoint.round")
-                working = database.copy()
-                working[query.name] = current
-                derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
-                missing = [v for v in schema if v not in derived.schema]
-                if missing:
-                    derived = derived.extend(tuple(derived.schema) + tuple(missing))
-                projected = derived.project(tuple(sorted(schema)))
-                ordered = Relation(
-                    DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
-                )
-                grown = current.union(ordered).simplify()
-            except BudgetExceeded as error:
-                if on_budget == "partial":
-                    return PartialRelation(current, rounds, str(error))
-                raise
+            with span("ccalc.fixpoint.round", round=rounds + 1) as sp:
+                try:
+                    if guard is not None:
+                        guard.on_round("ccalc.fixpoint.round")
+                    fault_point("ccalc.fixpoint.round")
+                    working = database.copy()
+                    working[query.name] = current
+                    derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
+                    missing = [v for v in schema if v not in derived.schema]
+                    if missing:
+                        derived = derived.extend(tuple(derived.schema) + tuple(missing))
+                    projected = derived.project(tuple(sorted(schema)))
+                    ordered = Relation(
+                        DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
+                    )
+                    grown = current.union(ordered).simplify()
+                    if sp is not None:
+                        delta = len(
+                            frozenset(grown.tuples) - frozenset(current.tuples)
+                        )
+                        sp.attrs["delta_tuples"] = delta
+                        tracer = active_tracer()
+                        tracer.metrics.count("ccalc.fixpoint.rounds")
+                        tracer.metrics.observe("ccalc.fixpoint.delta_tuples", delta)
+                except BudgetExceeded as error:
+                    if on_budget == "partial":
+                        return PartialRelation(current, rounds, str(error))
+                    raise
             rounds += 1
             # syntactic stagnation of canonical tuples is a sound fixpoint
             # test for inflationary iteration (see repro.datalog.engine)

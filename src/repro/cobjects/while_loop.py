@@ -34,6 +34,7 @@ from repro.core.database import Database
 from repro.core.relation import Relation
 from repro.core.theory import DENSE_ORDER
 from repro.errors import DatalogError, EvaluationError
+from repro.obs.trace import active_tracer, span
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, round_limit_error
@@ -158,26 +159,40 @@ def evaluate_while(
     current = Relation.empty(schema, DENSE_ORDER)
     seen: Dict[FrozenSet, int] = {_state_key(current, decomposition): 0}
     rounds = 0
-    with guard if guard is not None else contextlib.nullcontext():
+    with guard if guard is not None else contextlib.nullcontext(), span(
+        "ccalc.while", relvar=query.name, arity=query.arity
+    ):
         while True:
-            try:
-                if guard is not None:
-                    guard.on_round("ccalc.while.round")
-                fault_point("ccalc.while.round")
-                working = database.copy()
-                working[query.name] = current
-                derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
-                missing = [v for v in schema if v not in derived.schema]
-                if missing:
-                    derived = derived.extend(tuple(derived.schema) + tuple(missing))
-                projected = derived.project(tuple(sorted(schema)))
-                new = Relation(
-                    DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
-                )
-            except BudgetExceeded as error:
-                if on_budget == "partial":
-                    return PartialRelation(current, rounds, str(error))
-                raise
+            with span("ccalc.while.round", round=rounds + 1) as sp:
+                try:
+                    if guard is not None:
+                        guard.on_round("ccalc.while.round")
+                    fault_point("ccalc.while.round")
+                    working = database.copy()
+                    working[query.name] = current
+                    derived = evaluate_ccalc(query.formula, working, extra_constants, adom)
+                    missing = [v for v in schema if v not in derived.schema]
+                    if missing:
+                        derived = derived.extend(tuple(derived.schema) + tuple(missing))
+                    projected = derived.project(tuple(sorted(schema)))
+                    new = Relation(
+                        DENSE_ORDER, schema, [t.reorder(schema) for t in projected.tuples]
+                    )
+                    if sp is not None:
+                        # replacement semantics: the delta is the symmetric
+                        # difference between consecutive states
+                        delta = len(
+                            frozenset(new.tuples) ^ frozenset(current.tuples)
+                        )
+                        sp.attrs["delta_tuples"] = delta
+                        sp.attrs["state_tuples"] = len(new.tuples)
+                        tracer = active_tracer()
+                        tracer.metrics.count("ccalc.while.rounds")
+                        tracer.metrics.observe("ccalc.while.delta_tuples", delta)
+                except BudgetExceeded as error:
+                    if on_budget == "partial":
+                        return PartialRelation(current, rounds, str(error))
+                    raise
             this_round = rounds + 1
             key = _state_key(new, decomposition)
             previous_round = seen.get(key)

@@ -47,10 +47,16 @@ from repro.core.relation import Relation
 from repro.core.terms import Const, Var
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.errors import EvaluationError, SchemaError
+from repro.obs.trace import active_tracer
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, active_guard
 
 __all__ = ["evaluate", "evaluate_boolean"]
+
+
+def _formula_label(formula: Formula, limit: int = 60) -> str:
+    text = str(formula)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 def _result_schema(formula: Formula) -> Tuple[str, ...]:
@@ -91,12 +97,23 @@ def evaluate(
                 f"{database.theory.name!r} database"
             )
         theory = database.theory
-    if guard is None:
-        guard = active_guard()
-        result = _eval(formula, database, theory, guard)
-    else:
-        with guard:
+    tracer = active_tracer()
+    if tracer is None:
+        if guard is None:
+            guard = active_guard()
             result = _eval(formula, database, theory, guard)
+        else:
+            with guard:
+                result = _eval(formula, database, theory, guard)
+    else:
+        with tracer.span("fo.evaluate", formula=_formula_label(formula)) as sp:
+            if guard is None:
+                guard = active_guard()
+                result = _eval(formula, database, theory, guard)
+            else:
+                with guard:
+                    result = _eval(formula, database, theory, guard)
+            sp.attrs["out_tuples"] = len(result.tuples)
     target = _result_schema(formula)
     if result.schema != target:  # pragma: no cover - _eval keeps schemas sorted
         result = result.extend(_common_schema(result.schema, target)).project(target)
@@ -181,10 +198,16 @@ def _eval_node(
         fault_point("evaluator.not")
         if guard is not None:
             guard.note("evaluator.not")
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.metrics.count("fo.negations")
         inner = _eval(formula.sub, db, theory, guard)
         return inner.complement()
 
     if isinstance(formula, Exists):
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.metrics.count("fo.projections")
         inner = _eval(formula.sub, db, theory, guard)
         victims = {v.name for v in formula.variables}
         target = tuple(c for c in inner.schema if c not in victims)

@@ -23,6 +23,7 @@ from repro.core.formula import Constraint, Formula, FALSE, TRUE, conj, disj
 from repro.core.relation import Relation
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.errors import EvaluationError
+from repro.obs.trace import active_tracer
 
 __all__ = [
     "eliminate_quantifiers",
@@ -42,7 +43,13 @@ def formula_to_relation(
         raise EvaluationError(
             "formula mentions database relations; use repro.core.evaluator.evaluate"
         )
-    return evaluate(formula, Database(theory=theory), theory)
+    tracer = active_tracer()
+    if tracer is None:
+        return evaluate(formula, Database(theory=theory), theory)
+    free = len(formula.free_variables())
+    with tracer.span("qe.eliminate", free_vars=free):
+        tracer.metrics.count("qe.calls")
+        return evaluate(formula, Database(theory=theory), theory)
 
 
 def relation_to_formula(relation: Relation) -> Formula:

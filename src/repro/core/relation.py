@@ -26,6 +26,7 @@ from repro.core.gtuple import GTuple, Schema, check_schema
 from repro.core.terms import Term, Var
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.errors import SchemaError, TheoryError
+from repro.obs.trace import active_tracer
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import active_guard
 
@@ -161,8 +162,23 @@ class Relation:
         unsatisfiable branches are pruned as they are built.  An active
         :class:`~repro.runtime.guard.EvaluationGuard` is consulted per
         distribution stage, so blowups trip the deadline or tuple
-        budget mid-operation instead of after it.
+        budget mid-operation instead of after it; an active
+        :class:`~repro.obs.trace.Tracer` records in/out sizes and wall
+        time (one context-variable read per call when disabled).
         """
+        tracer = active_tracer()
+        if tracer is None:
+            return self._complement()
+        t0 = tracer.clock()
+        metrics = tracer.metrics
+        metrics.count("relation.complement.calls")
+        metrics.observe("relation.complement.in_tuples", len(self.tuples))
+        result = self._complement()
+        metrics.observe("relation.complement.out_tuples", len(result.tuples))
+        metrics.observe("relation.complement.seconds", tracer.clock() - t0)
+        return result
+
+    def _complement(self) -> "Relation":
         fault_point("relation.complement")
         guard = active_guard()
         if guard is not None:
@@ -223,8 +239,15 @@ class Relation:
         if victims:
             fault_point("relation.project")
         guard = active_guard() if victims else None
+        tracer = active_tracer() if victims else None
         if guard is not None:
             guard.note("relation.project")
+        t0 = 0.0
+        if tracer is not None:
+            t0 = tracer.clock()
+            metrics = tracer.metrics
+            metrics.count("relation.project.calls")
+            metrics.observe("relation.project.in_tuples", len(current))
         for column in victims:
             survivors: List[GTuple] = []
             for t in current:
@@ -234,6 +257,12 @@ class Relation:
                 guard.note("qe", len(survivors))
                 guard.on_tuples(len(survivors), "relation.project")
                 guard.tick("relation.project")
+            if tracer is not None:
+                metrics.count("qe.eliminated_vars")
+                metrics.observe("qe.survivors", len(survivors))
+        if tracer is not None:
+            metrics.observe("relation.project.out_tuples", len(current))
+            metrics.observe("relation.project.seconds", tracer.clock() - t0)
         return Relation(self.theory, target, [t.reorder(target) for t in current])
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
@@ -251,6 +280,13 @@ class Relation:
             raise TheoryError("relations from different theories")
         fault_point("relation.join")
         guard = active_guard()
+        tracer = active_tracer()
+        t0 = 0.0
+        if tracer is not None:
+            t0 = tracer.clock()
+            metrics = tracer.metrics
+            metrics.count("relation.join.calls")
+            metrics.observe("relation.join.in_tuples", len(self.tuples) + len(other.tuples))
         if guard is not None:
             guard.note("relation.join")
         combined = self.schema + tuple(c for c in other.schema if c not in self.schema)
@@ -266,6 +302,9 @@ class Relation:
         result = Relation(self.theory, combined, out)
         if guard is not None:
             guard.charge_relation(result, "relation.join")
+        if tracer is not None:
+            metrics.observe("relation.join.out_tuples", len(result.tuples))
+            metrics.observe("relation.join.seconds", tracer.clock() - t0)
         return result
 
     # ------------------------------------------------------------- comparisons
@@ -288,7 +327,19 @@ class Relation:
 
     def simplify(self) -> "Relation":
         """Drop tuples subsumed by other tuples (containment absorption)."""
-        return Relation(self.theory, self.schema, _absorb(list(self.tuples)))
+        kept = _absorb(list(self.tuples))
+        tracer = active_tracer()
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.count("relation.simplify.calls")
+            absorbed = len(self.tuples) - len(kept)
+            if absorbed:
+                metrics.count("relation.simplify.tuples_absorbed", absorbed)
+                removed = sum(len(t.atoms) for t in self.tuples) - sum(
+                    len(t.atoms) for t in kept
+                )
+                metrics.count("relation.simplify.atoms_removed", removed)
+        return Relation(self.theory, self.schema, kept)
 
     def sample_points(self) -> List[Dict[str, Fraction]]:
         """One explicit rational point per generalized tuple."""

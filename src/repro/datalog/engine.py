@@ -30,6 +30,7 @@ from repro.core.relation import Relation
 from repro.core.theory import ConstraintTheory, DENSE_ORDER
 from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
 from repro.errors import DatalogError
+from repro.obs.trace import active_tracer, span
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, round_limit_error
@@ -163,37 +164,49 @@ def evaluate_program(
 
     rounds = 0
     with guard if guard is not None else contextlib.nullcontext():
-        while True:
-            try:
-                if guard is not None:
-                    guard.on_round("datalog.round")
-                fault_point("datalog.round")
-                new_values: Dict[str, Relation] = {}
-                for r in program.rules:
-                    derived = _derive(r, state, theory)
-                    current = new_values.get(r.head_name, state[r.head_name])
-                    new_values[r.head_name] = current.union(derived)
-                changed = False
-                for name, value in new_values.items():
-                    if simplify_each_round:
-                        value = value.simplify()
-                    # Inflationary rounds only add tuples, and tuples are stored
-                    # in canonical form over a constant set that never grows, so
-                    # the *syntactic* tuple sets live in a finite space: comparing
-                    # them is a sound and terminating fixpoint test (and avoids
-                    # the exponential complement of a semantic equivalence check).
-                    if frozenset(value.tuples) != frozenset(state[name].tuples):
-                        changed = True
-                    state[name] = value
-            except BudgetExceeded as error:
-                if on_budget == "partial":
-                    return FixpointResult(state, rounds, False, cut=str(error))
-                raise
-            rounds += 1
-            if not changed:
-                return FixpointResult(state, rounds, True)
-            if max_rounds is not None and rounds >= max_rounds:
-                error = round_limit_error("datalog.round", max_rounds, rounds, guard)
-                if on_budget == "partial":
-                    return FixpointResult(state, rounds, False, cut=str(error))
-                raise error
+        with span("datalog.naive", rules=len(program.rules), idb=len(program.idb)):
+            while True:
+                with span("datalog.naive.round", round=rounds + 1) as sp:
+                    try:
+                        if guard is not None:
+                            guard.on_round("datalog.round")
+                        fault_point("datalog.round")
+                        new_values: Dict[str, Relation] = {}
+                        for r in program.rules:
+                            derived = _derive(r, state, theory)
+                            current = new_values.get(r.head_name, state[r.head_name])
+                            new_values[r.head_name] = current.union(derived)
+                        changed = False
+                        delta = 0
+                        for name, value in new_values.items():
+                            if simplify_each_round:
+                                value = value.simplify()
+                            # Inflationary rounds only add tuples, and tuples are stored
+                            # in canonical form over a constant set that never grows, so
+                            # the *syntactic* tuple sets live in a finite space: comparing
+                            # them is a sound and terminating fixpoint test (and avoids
+                            # the exponential complement of a semantic equivalence check).
+                            new_set = frozenset(value.tuples)
+                            old_set = frozenset(state[name].tuples)
+                            if new_set != old_set:
+                                changed = True
+                                if sp is not None:
+                                    delta += len(new_set - old_set)
+                            state[name] = value
+                        if sp is not None:
+                            sp.attrs["delta_tuples"] = delta
+                            tracer = active_tracer()
+                            tracer.metrics.count("datalog.naive.rounds")
+                            tracer.metrics.observe("datalog.naive.delta_tuples", delta)
+                    except BudgetExceeded as error:
+                        if on_budget == "partial":
+                            return FixpointResult(state, rounds, False, cut=str(error))
+                        raise
+                rounds += 1
+                if not changed:
+                    return FixpointResult(state, rounds, True)
+                if max_rounds is not None and rounds >= max_rounds:
+                    error = round_limit_error("datalog.round", max_rounds, rounds, guard)
+                    if on_budget == "partial":
+                        return FixpointResult(state, rounds, False, cut=str(error))
+                    raise error

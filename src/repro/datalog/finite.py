@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tupl
 from repro.core.terms import Const, Term, Var, as_fraction
 from repro.datalog.ast import ConstraintLiteral, PredicateLiteral, Program, Rule
 from repro.errors import DatalogError
+from repro.obs.trace import active_tracer, span
 
 __all__ = ["FiniteInstance", "FiniteFixpointResult", "evaluate_finite"]
 
@@ -216,21 +217,31 @@ def evaluate_finite(
         state.add_relation(name, [], arity=arity)
 
     rounds = 0
-    while True:
-        rounds += 1
-        additions: Dict[str, Set[Row]] = {}
-        for r in program.rules:
-            new_rows = _derive_rule(r, state)
-            additions.setdefault(r.head_name, set()).update(new_rows)
-        changed = False
-        for name, rows in additions.items():
-            before = state[name]
-            if not rows <= before:
-                changed = True
-                before |= rows
-        if not changed:
-            return FiniteFixpointResult(state, rounds, True)
-        if max_rounds is not None and rounds >= max_rounds:
-            if on_budget == "partial":
-                return FiniteFixpointResult(state, rounds, False)
-            raise round_limit_error("finite.round", max_rounds, rounds)
+    with span("datalog.finite", rules=len(program.rules), idb=len(program.idb)):
+        while True:
+            rounds += 1
+            with span("datalog.finite.round", round=rounds) as sp:
+                additions: Dict[str, Set[Row]] = {}
+                for r in program.rules:
+                    new_rows = _derive_rule(r, state)
+                    additions.setdefault(r.head_name, set()).update(new_rows)
+                changed = False
+                delta = 0
+                for name, rows in additions.items():
+                    before = state[name]
+                    if not rows <= before:
+                        changed = True
+                        if sp is not None:
+                            delta += len(rows - before)
+                        before |= rows
+                if sp is not None:
+                    sp.attrs["delta_tuples"] = delta
+                    tracer = active_tracer()
+                    tracer.metrics.count("datalog.finite.rounds")
+                    tracer.metrics.observe("datalog.finite.delta_tuples", delta)
+            if not changed:
+                return FiniteFixpointResult(state, rounds, True)
+            if max_rounds is not None and rounds >= max_rounds:
+                if on_budget == "partial":
+                    return FiniteFixpointResult(state, rounds, False)
+                raise round_limit_error("finite.round", max_rounds, rounds)

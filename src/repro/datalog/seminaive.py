@@ -41,6 +41,7 @@ from repro.datalog.engine import (
     resolve_guard,
 )
 from repro.errors import DatalogError
+from repro.obs.trace import active_tracer, span
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, round_limit_error
@@ -142,48 +143,68 @@ def evaluate_seminaive(
     first_round = True
     rounds = 0
     with guard if guard is not None else contextlib.nullcontext():
-        while True:
-            try:
-                if guard is not None:
-                    guard.on_round("seminaive.round")
-                fault_point("seminaive.round")
-                additions: Dict[str, List[Relation]] = {name: [] for name in program.idb}
-                for r in full_rules:
-                    additions[r.head_name].append(_derive(r, state, theory))
-                for r, positions in delta_rules.items():
-                    if first_round:
-                        # no deltas yet: seed with a full evaluation
-                        additions[r.head_name].append(_derive(r, state, theory))
-                    else:
-                        for position in positions:
-                            additions[r.head_name].append(
-                                _derive_with_delta(r, position, state, deltas, theory)
+        with span(
+            "datalog.seminaive",
+            rules=len(program.rules),
+            delta_rules=len(delta_rules),
+        ):
+            while True:
+                with span("datalog.seminaive.round", round=rounds + 1) as sp:
+                    try:
+                        if guard is not None:
+                            guard.on_round("seminaive.round")
+                        fault_point("seminaive.round")
+                        additions: Dict[str, List[Relation]] = {
+                            name: [] for name in program.idb
+                        }
+                        for r in full_rules:
+                            additions[r.head_name].append(_derive(r, state, theory))
+                        for r, positions in delta_rules.items():
+                            if first_round:
+                                # no deltas yet: seed with a full evaluation
+                                additions[r.head_name].append(_derive(r, state, theory))
+                            else:
+                                for position in positions:
+                                    additions[r.head_name].append(
+                                        _derive_with_delta(
+                                            r, position, state, deltas, theory
+                                        )
+                                    )
+                        changed = False
+                        new_deltas: Dict[str, Relation] = {}
+                        for name in program.idb:
+                            current = state[name]
+                            merged = current
+                            for piece in additions[name]:
+                                merged = merged.union(piece)
+                            merged = merged.simplify()
+                            old_tuples = frozenset(current.tuples)
+                            fresh = [t for t in merged.tuples if t not in old_tuples]
+                            new_deltas[name] = Relation(theory, merged.schema, fresh)
+                            if frozenset(merged.tuples) != old_tuples:
+                                changed = True
+                            state[name] = merged
+                        if sp is not None:
+                            delta = sum(len(d.tuples) for d in new_deltas.values())
+                            sp.attrs["delta_tuples"] = delta
+                            tracer = active_tracer()
+                            tracer.metrics.count("datalog.seminaive.rounds")
+                            tracer.metrics.observe(
+                                "datalog.seminaive.delta_tuples", delta
                             )
-                changed = False
-                new_deltas: Dict[str, Relation] = {}
-                for name in program.idb:
-                    current = state[name]
-                    merged = current
-                    for piece in additions[name]:
-                        merged = merged.union(piece)
-                    merged = merged.simplify()
-                    old_tuples = frozenset(current.tuples)
-                    fresh = [t for t in merged.tuples if t not in old_tuples]
-                    new_deltas[name] = Relation(theory, merged.schema, fresh)
-                    if frozenset(merged.tuples) != old_tuples:
-                        changed = True
-                    state[name] = merged
-            except BudgetExceeded as error:
-                if on_budget == "partial":
-                    return FixpointResult(state, rounds, False, cut=str(error))
-                raise
-            deltas = new_deltas
-            first_round = False
-            rounds += 1
-            if not changed:
-                return FixpointResult(state, rounds, True)
-            if max_rounds is not None and rounds >= max_rounds:
-                error = round_limit_error("seminaive.round", max_rounds, rounds, guard)
-                if on_budget == "partial":
-                    return FixpointResult(state, rounds, False, cut=str(error))
-                raise error
+                    except BudgetExceeded as error:
+                        if on_budget == "partial":
+                            return FixpointResult(state, rounds, False, cut=str(error))
+                        raise
+                deltas = new_deltas
+                first_round = False
+                rounds += 1
+                if not changed:
+                    return FixpointResult(state, rounds, True)
+                if max_rounds is not None and rounds >= max_rounds:
+                    error = round_limit_error(
+                        "seminaive.round", max_rounds, rounds, guard
+                    )
+                    if on_budget == "partial":
+                        return FixpointResult(state, rounds, False, cut=str(error))
+                    raise error

@@ -35,6 +35,7 @@ from repro.datalog.engine import (
     resolve_guard,
 )
 from repro.errors import DatalogError
+from repro.obs.trace import active_tracer, span
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import EvaluationGuard, round_limit_error
@@ -149,32 +150,55 @@ def evaluate_stratified(
 
     total_rounds = 0
     with guard if guard is not None else contextlib.nullcontext():
-        for layer in strata:
-            rules = [r for r in program.rules if r.head_name in layer]
-            while True:
-                try:
-                    if guard is not None:
-                        guard.on_round("stratified.round")
-                    fault_point("stratified.round")
-                    changed = False
-                    for r in rules:
-                        derived = _derive(r, state, theory)
-                        grown = state[r.head_name].union(derived).simplify()
-                        if frozenset(grown.tuples) != frozenset(state[r.head_name].tuples):
-                            changed = True
-                            state[r.head_name] = grown
-                except BudgetExceeded as error:
-                    if on_budget == "partial":
-                        return FixpointResult(state, total_rounds, False, cut=str(error))
-                    raise
-                total_rounds += 1
-                if not changed:
-                    break
-                if max_rounds is not None and total_rounds >= max_rounds:
-                    error = round_limit_error(
-                        "stratified.round", max_rounds, total_rounds, guard
-                    )
-                    if on_budget == "partial":
-                        return FixpointResult(state, total_rounds, False, cut=str(error))
-                    raise error
+        with span("datalog.stratified", strata=len(strata), rules=len(program.rules)):
+            for layer in strata:
+                rules = [r for r in program.rules if r.head_name in layer]
+                while True:
+                    with span(
+                        "datalog.stratified.round",
+                        round=total_rounds + 1,
+                        stratum=level_of[layer[0]] if layer else 0,
+                    ) as sp:
+                        try:
+                            if guard is not None:
+                                guard.on_round("stratified.round")
+                            fault_point("stratified.round")
+                            changed = False
+                            delta = 0
+                            for r in rules:
+                                derived = _derive(r, state, theory)
+                                old = state[r.head_name]
+                                grown = old.union(derived).simplify()
+                                new_set = frozenset(grown.tuples)
+                                old_set = frozenset(old.tuples)
+                                if new_set != old_set:
+                                    changed = True
+                                    if sp is not None:
+                                        delta += len(new_set - old_set)
+                                    state[r.head_name] = grown
+                            if sp is not None:
+                                sp.attrs["delta_tuples"] = delta
+                                tracer = active_tracer()
+                                tracer.metrics.count("datalog.stratified.rounds")
+                                tracer.metrics.observe(
+                                    "datalog.stratified.delta_tuples", delta
+                                )
+                        except BudgetExceeded as error:
+                            if on_budget == "partial":
+                                return FixpointResult(
+                                    state, total_rounds, False, cut=str(error)
+                                )
+                            raise
+                    total_rounds += 1
+                    if not changed:
+                        break
+                    if max_rounds is not None and total_rounds >= max_rounds:
+                        error = round_limit_error(
+                            "stratified.round", max_rounds, total_rounds, guard
+                        )
+                        if on_budget == "partial":
+                            return FixpointResult(
+                                state, total_rounds, False, cut=str(error)
+                            )
+                        raise error
     return FixpointResult(state, total_rounds, True)

@@ -35,6 +35,7 @@ from repro.core.intervals import Interval
 from repro.core.relation import Relation
 from repro.core.terms import Var
 from repro.errors import EncodingError
+from repro.obs.trace import active_tracer
 
 __all__ = ["CellDecomposition", "CellType", "relations_equivalent", "weak_orderings"]
 
@@ -298,9 +299,15 @@ class CellDecomposition:
                 f"relation constants {sorted(missing)} not in the decomposition"
             )
         out = set()
+        checked = 0
         for cell_type in self.complete_types(relation.arity):
+            checked += 1
             if relation.contains_point(self.type_sample(cell_type)):
                 out.add(cell_type)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.metrics.count("cells.signatures")
+            tracer.metrics.observe("cells.types_checked", checked)
         return frozenset(out)
 
     def relation_of_signature(

@@ -48,7 +48,10 @@ def _decode_term(text: str) -> Term:
         return Var(payload)
     if kind == "const":
         num, _, den = payload.partition("/")
-        return Const(Fraction(int(num), int(den)))
+        try:
+            return Const(Fraction(int(num), int(den)))
+        except (ValueError, ZeroDivisionError) as error:
+            raise EncodingError(f"bad constant encoding {text!r}: {error}") from None
     raise EncodingError(f"bad term encoding {text!r}")
 
 
@@ -116,7 +119,13 @@ def decode_database(text: str) -> Database:
             parts = line.split()
             if len(parts) != 4:
                 raise EncodingError(f"bad atom line {line!r}")
-            made = atom(_decode_term(parts[1]), Op(parts[2]), _decode_term(parts[3]))
+            try:
+                op = Op(parts[2])
+            except ValueError:
+                raise EncodingError(
+                    f"bad comparison operator {parts[2]!r} in {line!r}"
+                ) from None
+            made = atom(_decode_term(parts[1]), op, _decode_term(parts[3]))
             atoms.append(made)
         else:
             raise EncodingError(f"unrecognized line {line!r}")

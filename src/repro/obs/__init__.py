@@ -1,0 +1,65 @@
+"""Observability: evaluation tracing, metrics, and EXPLAIN profiling.
+
+The complexity results this repo reproduces (AC⁰/NC data complexity,
+Datalog¬ = PTIME) are claims about *where the work goes* — QE step
+counts, relation representation sizes, rounds to fixpoint.  This
+package makes those quantities visible on every evaluation path
+without changing any engine signature:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` and the ambient
+  :func:`span` API (ContextVar collection mirroring
+  :func:`repro.runtime.guard.active_guard`; a single context-variable
+  read on the disabled path);
+* :mod:`repro.obs.metrics` — counters + histograms for QE
+  eliminations, per-operator relation sizes in/out, fixpoint rounds
+  and delta sizes, cell-decomposition counts;
+* :mod:`repro.obs.export` — structured JSON trace documents
+  (``repro.trace/1``), validation, and round-trip loading;
+* :mod:`repro.obs.profile` — the per-phase cost tree behind
+  ``python -m repro.cli explain`` and the profile ingestion in
+  ``benchmarks/collect_results.py``.
+
+Typical use::
+
+    from repro.obs import Tracer, render_profile
+
+    tracer = Tracer()
+    with tracer:
+        result = evaluate(formula, db)
+    print(render_profile(tracer))
+
+The disabled-path overhead (instrumentation present, no tracer active)
+is gated < 5% by ``benchmarks/bench_e14_trace_overhead.py``, next to
+E13's budget-guard gate.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    guard_stats_table,
+    load_trace,
+    trace_document,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.metrics import Histogram, Metrics
+from repro.obs.profile import phase_breakdown, render_metrics_summary, render_profile
+from repro.obs.trace import SpanRecord, Tracer, active_tracer, event, span
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Histogram",
+    "Metrics",
+    "SpanRecord",
+    "Tracer",
+    "active_tracer",
+    "event",
+    "guard_stats_table",
+    "load_trace",
+    "phase_breakdown",
+    "render_metrics_summary",
+    "render_profile",
+    "span",
+    "trace_document",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,163 @@
+"""Metrics registry: counters and histograms for evaluation internals.
+
+The complexity theorems this repo reproduces are claims about *cost
+growth* — QE step counts, relation sizes, fixpoint rounds — so the
+engines report exactly those quantities here.  A :class:`Metrics`
+registry is a plain value object: the engines never talk to it
+directly but through the ambient :class:`~repro.obs.trace.Tracer`
+(one ``ContextVar`` read on the disabled path; see
+:mod:`repro.obs.trace`).
+
+Two instrument kinds:
+
+* **counters** — monotone event counts (``metrics.count(name, n)``);
+* **histograms** — summaries of an observed quantity
+  (``metrics.observe(name, value)``): count, sum, min, max.
+  Histograms keep aggregates only, never samples, so recording stays
+  O(1) in space no matter how hot the path.
+
+Metric-name conventions (all emitted by the instrumented hot paths):
+
+======================================  =====================================
+``qe.calls``                            quantifier-elimination entry points
+``qe.eliminated_vars``                  variables existentially eliminated
+``qe.survivors``                        tuples surviving one elimination pass
+``relation.{join,complement,project}.calls``      operator invocations
+``relation.{join,complement,project}.in_tuples``  input representation size
+``relation.{join,complement,project}.out_tuples`` output representation size
+``relation.{join,complement,project}.seconds``    per-call wall time
+``relation.simplify.calls``             absorption passes
+``relation.simplify.atoms_removed``     constraint atoms simplified away
+``relation.simplify.tuples_absorbed``   subsumed tuples dropped
+``fo.negations`` / ``fo.projections``   evaluator complement / ∃ nodes
+``{engine}.rounds``                     fixpoint rounds per engine site
+``{engine}.delta_tuples``               per-round newly derived tuples
+``cells.signatures``                    canonical cell signatures computed
+``cells.types_checked``                 complete types tested per signature
+``guard.<site>``                        per-site EvaluationGuard counters,
+                                        merged when a guard deactivates
+======================================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+__all__ = ["Histogram", "Metrics"]
+
+
+class Histogram:
+    """Aggregate summary of an observed quantity (no samples kept)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's aggregates into this one."""
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+
+    def snapshot(self) -> dict:
+        """The aggregates as a plain dict (stable keys; JSON-safe)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram n={self.count} total={self.total:g} "
+            f"min={self.min} max={self.max}>"
+        )
+
+
+class Metrics:
+    """A registry of named counters and histograms."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump the named counter by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def merge_counters(self, counters: Mapping[str, int], prefix: str = "") -> None:
+        """Fold a counter mapping in (used for guard per-site counters)."""
+        for name, value in counters.items():
+            if value:
+                self.count(prefix + name, value)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's counters and histograms into this one."""
+        self.merge_counters(other.counters)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    # ------------------------------------------------------------ inspection
+
+    def counter(self, name: str) -> int:
+        """The named counter's value (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
+
+    def is_empty(self) -> bool:
+        return not self.counters and not self.histograms
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain nested dict (stable, JSON-safe)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Metrics {len(self.counters)} counter(s), "
+            f"{len(self.histograms)} histogram(s)>"
+        )

@@ -31,6 +31,13 @@ is a single context-variable read.
 Cancellation is cooperative: :meth:`EvaluationGuard.cancel` may be
 called from another thread (or a fault hook); the next ``tick`` raises
 :class:`~repro.runtime.budget.EvaluationCancelled`.
+
+Observability: when a guard deactivates (outermost ``__exit__``) while
+a :class:`~repro.obs.trace.Tracer` is active, the per-site counters
+and totals accumulated *during that activation* are merged into the
+tracer's metrics under the ``guard.`` prefix — guard checkpoints and
+trace metrics share one collection surface without a second code path
+through the algebra.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ import time
 from contextvars import ContextVar
 from typing import Callable, Dict, Optional
 
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import (
     UNLIMITED,
     AtomLimitExceeded,
@@ -102,6 +110,7 @@ class EvaluationGuard:
         "ticks",
         "cancelled",
         "_tokens",
+        "_obs_snapshot",
     )
 
     def __init__(
@@ -126,15 +135,48 @@ class EvaluationGuard:
         self.ticks = 0
         self.cancelled = False
         self._tokens = []
+        self._obs_snapshot: Optional[tuple] = None
 
     # ------------------------------------------------------------ activation
 
     def __enter__(self) -> "EvaluationGuard":
         self._tokens.append(_ACTIVE.set(self))
+        if len(self._tokens) == 1:
+            # delta snapshot: a reactivated guard must only merge what
+            # this activation accumulated into the tracer metrics
+            self._obs_snapshot = (
+                dict(self.counters),
+                self.ticks,
+                self.tuples_materialized,
+                self.rounds_completed,
+            )
         return self
 
     def __exit__(self, *exc_info) -> None:
         _ACTIVE.reset(self._tokens.pop())
+        if not self._tokens:
+            tracer = active_tracer()
+            if tracer is not None:
+                self._merge_into(tracer)
+
+    def _merge_into(self, tracer) -> None:
+        """Merge this activation's deltas into the tracer (``guard.*``)."""
+        counters, ticks, tuples, rounds = self._obs_snapshot or ({}, 0, 0, 0)
+        metrics = tracer.metrics
+        for site, value in self.counters.items():
+            delta = value - counters.get(site, 0)
+            if delta:
+                metrics.count(f"guard.{site}", delta)
+        if self.ticks > ticks:
+            metrics.count("guard.ticks", self.ticks - ticks)
+        if self.tuples_materialized > tuples:
+            metrics.count(
+                "guard.tuples_materialized", self.tuples_materialized - tuples
+            )
+        if self.rounds_completed > rounds:
+            metrics.count(
+                "guard.rounds_completed", self.rounds_completed - rounds
+            )
 
     # ------------------------------------------------------------- inspection
 

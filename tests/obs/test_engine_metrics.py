@@ -1,0 +1,212 @@
+"""Metrics accumulate across all five engines, and tracing never
+changes results (the no-observer fast path is semantically inert)."""
+
+import pytest
+
+from repro.cobjects.calculus import CAnd, CExists, COr, CRelation
+from repro.cobjects.fixpoint import FixpointQuery, evaluate_fixpoint
+from repro.cobjects.while_loop import WhileQuery, evaluate_while
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.relation import Relation
+from repro.core.terms import as_term
+from repro.datalog.engine import evaluate_program
+from repro.datalog.finite import FiniteInstance, evaluate_finite
+from repro.datalog.seminaive import evaluate_seminaive
+from repro.datalog.stratified import evaluate_stratified
+from repro.lang import parse_formula, parse_program
+from repro.obs import Tracer
+from repro.runtime.guard import EvaluationGuard
+
+TC_TEXT = """
+T(x, y) :- E(x, y).
+T(x, z) :- T(x, y), E(y, z).
+"""
+
+
+@pytest.fixture
+def chain_db():
+    db = Database()
+    db["E"] = Relation.from_points(("x", "y"), [(0, 1), (1, 2), (2, 3)])
+    return db
+
+
+@pytest.fixture
+def tc_program():
+    return parse_program(TC_TEXT)
+
+
+def tuple_sets(result, names):
+    return {name: frozenset(result[name].tuples) for name in names}
+
+
+class TestNaive:
+    def test_rounds_and_deltas_recorded(self, chain_db, tc_program):
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_program(tc_program, chain_db)
+        rounds = tracer.metrics.counter("datalog.naive.rounds")
+        assert rounds == result.rounds
+        deltas = tracer.metrics.histogram("datalog.naive.delta_tuples")
+        assert deltas.count == rounds
+        assert deltas.min == 0  # the stagnant final round
+
+    def test_round_spans_nested_under_engine_span(self, chain_db, tc_program):
+        tracer = Tracer()
+        with tracer:
+            evaluate_program(tc_program, chain_db)
+        (root,) = [s for s in tracer.spans if s.name == "datalog.naive"]
+        rounds = [s for s in tracer.spans if s.name == "datalog.naive.round"]
+        assert rounds
+        assert all(s.parent_id == root.span_id for s in rounds)
+        assert [s.attrs["round"] for s in rounds] == list(range(1, len(rounds) + 1))
+
+    def test_tracing_does_not_change_result(self, chain_db, tc_program):
+        plain = evaluate_program(tc_program, chain_db)
+        with Tracer():
+            traced = evaluate_program(tc_program, chain_db)
+        assert plain.rounds == traced.rounds
+        assert tuple_sets(plain, ["T"]) == tuple_sets(traced, ["T"])
+
+
+class TestSeminaive:
+    def test_rounds_and_deltas_recorded(self, chain_db, tc_program):
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_seminaive(tc_program, chain_db)
+        assert tracer.metrics.counter("datalog.seminaive.rounds") == result.rounds
+        deltas = tracer.metrics.histogram("datalog.seminaive.delta_tuples")
+        assert deltas.count == result.rounds
+
+    def test_tracing_does_not_change_result(self, chain_db, tc_program):
+        plain = evaluate_seminaive(tc_program, chain_db)
+        with Tracer():
+            traced = evaluate_seminaive(tc_program, chain_db)
+        assert tuple_sets(plain, ["T"]) == tuple_sets(traced, ["T"])
+
+
+class TestStratified:
+    def test_rounds_recorded(self, chain_db, tc_program):
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_stratified(tc_program, chain_db)
+        assert tracer.metrics.counter("datalog.stratified.rounds") == result.rounds
+        deltas = tracer.metrics.histogram("datalog.stratified.delta_tuples")
+        assert deltas.count == result.rounds
+
+    def test_tracing_does_not_change_result(self, chain_db, tc_program):
+        plain = evaluate_stratified(tc_program, chain_db)
+        with Tracer():
+            traced = evaluate_stratified(tc_program, chain_db)
+        assert tuple_sets(plain, ["T"]) == tuple_sets(traced, ["T"])
+
+
+class TestFinite:
+    @pytest.fixture
+    def instance(self):
+        return FiniteInstance({"E": [(0, 1), (1, 2), (2, 3)]})
+
+    def test_rounds_and_deltas_recorded(self, instance, tc_program):
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_finite(tc_program, instance)
+        assert tracer.metrics.counter("datalog.finite.rounds") == result.rounds
+        deltas = tracer.metrics.histogram("datalog.finite.delta_tuples")
+        assert deltas.count == result.rounds
+        # round 1 derives the 3 base edges
+        assert deltas.max >= 3
+
+    def test_tracing_does_not_change_result(self, instance, tc_program):
+        plain = evaluate_finite(tc_program, instance)
+        with Tracer():
+            traced = evaluate_finite(tc_program, instance)
+        assert plain.rounds == traced.rounds
+        assert plain["T"] == traced["T"]
+
+
+def R(name, *args):
+    return CRelation(name, tuple(as_term(a) for a in args))
+
+
+class TestCCalc:
+    @pytest.fixture
+    def db(self, chain_db):
+        return chain_db
+
+    @pytest.fixture
+    def tc_fixpoint(self):
+        # S(x, y) := E(x, y) or exists z (S(x, z) and E(z, y))
+        body = COr(
+            (
+                R("E", "x", "y"),
+                CExists(("z",), CAnd((R("S", "x", "z"), R("E", "z", "y")))),
+            )
+        )
+        return FixpointQuery("S", ("x", "y"), body)
+
+    def test_fixpoint_rounds_and_deltas(self, db, tc_fixpoint):
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_fixpoint(tc_fixpoint, db)
+        rounds = tracer.metrics.counter("ccalc.fixpoint.rounds")
+        assert rounds >= 2
+        deltas = tracer.metrics.histogram("ccalc.fixpoint.delta_tuples")
+        assert deltas.count == rounds
+        assert not result.is_empty()
+
+    def test_fixpoint_tracing_does_not_change_result(self, db, tc_fixpoint):
+        plain = evaluate_fixpoint(tc_fixpoint, db)
+        with Tracer():
+            traced = evaluate_fixpoint(tc_fixpoint, db)
+        assert frozenset(plain.tuples) == frozenset(traced.tuples)
+
+    def test_while_rounds_recorded(self, db):
+        query = WhileQuery("S", ("x", "y"), R("E", "x", "y"))
+        tracer = Tracer()
+        with tracer:
+            result = evaluate_while(query, db)
+        assert tracer.metrics.counter("ccalc.while.rounds") >= 1
+        assert not result.is_empty()
+
+
+class TestAlgebraAndGuardMetrics:
+    def test_fo_query_records_operator_metrics(self, chain_db):
+        formula = parse_formula("exists y (E(x, y) and not (y < 1))")
+        tracer = Tracer()
+        with tracer:
+            evaluate(formula, chain_db)
+        m = tracer.metrics
+        assert m.counter("relation.project.calls") >= 1
+        assert m.counter("relation.complement.calls") >= 1
+        assert m.counter("fo.negations") >= 1
+        assert m.counter("fo.projections") >= 1
+        assert m.counter("qe.eliminated_vars") >= 1
+        assert m.histogram("relation.project.seconds").count >= 1
+
+    def test_guard_counters_merge_on_deactivation(self, chain_db, tc_program):
+        tracer = Tracer()
+        guard = EvaluationGuard()
+        with tracer:
+            evaluate_program(tc_program, chain_db, guard=guard)
+        m = tracer.metrics
+        assert m.counter("guard.rounds") == guard.counters["rounds"]
+        assert m.counter("guard.ticks") == guard.ticks
+        assert (
+            m.counter("guard.tuples_materialized") == guard.tuples_materialized
+        )
+
+    def test_guard_reactivation_merges_only_the_delta(self, chain_db, tc_program):
+        guard = EvaluationGuard()
+        # first activation outside any tracer: nothing merged
+        evaluate_program(tc_program, chain_db, guard=guard)
+        first_rounds = guard.counters["rounds"]
+        tracer = Tracer()
+        with tracer:
+            evaluate_program(tc_program, chain_db, guard=guard)
+        merged = tracer.metrics.counter("guard.rounds")
+        assert merged == guard.counters["rounds"] - first_rounds
+
+    def test_no_tracer_leaves_no_trace_state(self, chain_db, tc_program):
+        # the disabled path must not create any tracer-side effects
+        result = evaluate_program(tc_program, chain_db)
+        assert result.reached_fixpoint

@@ -1,0 +1,74 @@
+"""Unit tests for the metrics registry: counters, histograms, merging."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, Metrics
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        m = Metrics()
+        m.count("x")
+        m.count("x", 4)
+        assert m.counter("x") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert Metrics().counter("nope") == 0
+
+    def test_merge_counters_with_prefix(self):
+        m = Metrics()
+        m.merge_counters({"joins": 3, "qe": 7}, prefix="guard.")
+        assert m.counter("guard.joins") == 3
+        assert m.counter("guard.qe") == 7
+
+
+class TestHistograms:
+    def test_observe_tracks_aggregates(self):
+        m = Metrics()
+        for v in (2, 5, 3):
+            m.observe("sizes", v)
+        h = m.histogram("sizes")
+        assert h.count == 3
+        assert h.total == 10
+        assert h.min == 2
+        assert h.max == 5
+        assert h.mean == pytest.approx(10 / 3)
+
+    def test_missing_histogram_is_none(self):
+        assert Metrics().histogram("nope") is None
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1)
+        a.observe(3)
+        b.observe(10)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 14
+        assert a.max == 10
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape(self):
+        m = Metrics()
+        m.count("c", 2)
+        m.observe("h", 1.5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["total"] == 1.5
+
+    def test_merge_combines_both_kinds(self):
+        a, b = Metrics(), Metrics()
+        a.count("c", 1)
+        b.count("c", 2)
+        b.observe("h", 4)
+        a.merge(b)
+        assert a.counter("c") == 3
+        assert a.histogram("h").total == 4
+
+    def test_is_empty(self):
+        m = Metrics()
+        assert m.is_empty()
+        m.count("c")
+        assert not m.is_empty()
