@@ -28,6 +28,7 @@ ci:
 	fi
 	pytest benchmarks/bench_e13_budget_overhead.py -s
 	pytest benchmarks/bench_e14_trace_overhead.py -s
+	pytest benchmarks/bench_e15_kernel_cache.py -s
 
 # the observability walkthrough: profile a transitive-closure run and
 # export the JSON trace (TRACE_OUT overrides the export path)

@@ -321,6 +321,63 @@ def e14_profiles() -> None:
     print(f"(machine-readable breakdowns written to {out_path})")
 
 
+def e15_kernel_cache() -> None:
+    """Measure the kernel-cache payoff and the ``--no-cache`` overhead,
+    and fold the ratios into ``BENCH_KERNEL.json`` next to this script
+    so the CI gate and EXPERIMENTS.md read the same numbers."""
+    header("E15 -- kernel memo cache and interning payoff (repro.perf)")
+    from repro.datalog.seminaive import evaluate_seminaive
+    from repro.perf import kernel_cache_disabled, kernel_stats, reset_kernel_cache
+    from repro.queries.library import transitive_closure_program as tc_program
+    from repro.workloads.generators import slow_tc_workload
+
+    def best(thunk, repeat=5):
+        out = float("inf")
+        for _ in range(repeat):
+            _, seconds = timed(thunk)
+            out = min(out, seconds)
+        return out
+
+    program, db = slow_tc_workload(6)
+    tc = transitive_closure_program()
+    chain = path_graph(10)
+    workloads = {
+        "datalog-naive-tc": lambda: evaluate_program(program, db),
+        "datalog-naive-path": lambda: evaluate_program(tc, chain),
+        "datalog-seminaive-path": lambda: evaluate_seminaive(tc, chain),
+    }
+    entries = {}
+    print("| workload | cached (s) | no-cache (s) | speedup | hit rate |")
+    print("|---|---|---|---|---|")
+    for name, thunk in workloads.items():
+        reset_kernel_cache()
+        thunk()  # steady state: the memo cache is warm in a long run
+        warm = best(thunk)
+        stats = kernel_stats()
+        looked_up = stats["cache.hits"] + stats["cache.misses"]
+        hit_rate = stats["cache.hits"] / looked_up if looked_up else 0.0
+        with kernel_cache_disabled():
+            cold = best(thunk)
+        entries[name] = {
+            "cached_seconds": warm,
+            "disabled_seconds": cold,
+            "speedup": cold / warm,
+            "hit_rate": hit_rate,
+        }
+        print(
+            f"| {name} | {warm:.4f} | {cold:.4f} "
+            f"| {cold / warm:.2f}x | {hit_rate:.1%} |"
+        )
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_KERNEL.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "repro.bench-kernel/1", "workloads": entries},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(f"(machine-readable ratios written to {out_path})")
+
+
 def main() -> None:
     print("# Collected experimental results (regenerated)")
     e2_fo_scaling()
@@ -335,6 +392,7 @@ def main() -> None:
     e11_genericity()
     e12_ablations()
     e14_profiles()
+    e15_kernel_cache()
     print()
 
 

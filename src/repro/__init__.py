@@ -19,6 +19,7 @@ Subpackages
 ``repro.workloads``   seeded workload generators for tests and benchmarks
 ``repro.runtime``     resource budgets, guards, degradation, fault injection
 ``repro.obs``         evaluation tracing, metrics, EXPLAIN profiling
+``repro.perf``        kernel memo cache and generalized-tuple interning
 """
 
 __version__ = "1.0.0"
@@ -48,6 +49,10 @@ from repro.obs import (  # noqa: F401
     render_profile,
     span,
 )
+from repro.perf import (  # noqa: F401
+    kernel_cache_disabled,
+    kernel_stats,
+)
 from repro.runtime import (  # noqa: F401
     Budget,
     BudgetExceeded,
@@ -59,6 +64,8 @@ __all__ = [
     "BudgetExceeded",
     "EvaluationGuard",
     "Tracer",
+    "kernel_cache_disabled",
+    "kernel_stats",
     "render_profile",
     "span",
     "Database",

@@ -21,9 +21,13 @@ what was cut.
 Evaluation is also *observable*: ``--trace FILE`` writes a structured
 JSON trace (schema ``repro.trace/1``), ``--profile`` prints the
 per-phase cost tree after the result, ``--stats`` prints the guard's
-per-site counters, ``-v``/``-vv`` print metric summaries on stderr,
-and the ``explain`` subcommand runs a query or program purely for its
-cost tree.
+per-site counters plus the kernel cache/interning statistics,
+``-v``/``-vv`` print metric summaries on stderr, and the ``explain``
+subcommand runs a query or program purely for its cost tree.
+
+``--no-cache`` disables the kernel memo cache and the tuple intern
+pool (:mod:`repro.perf`) for the run — the escape hatch for timing
+comparisons and for ruling the cache out when debugging.
 """
 
 from __future__ import annotations
@@ -45,10 +49,12 @@ from repro.lang import parse_formula, parse_program
 from repro.obs import (
     Tracer,
     guard_stats_table,
+    kernel_stats_table,
     render_metrics_summary,
     render_profile,
     write_trace,
 )
+from repro.perf import kernel_cache_disabled, kernel_stats
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.guard import EvaluationGuard
 
@@ -110,6 +116,20 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the kernel memo cache and tuple interning for this run",
+    )
+
+
+def _cache_context(args: argparse.Namespace):
+    """The kernel-cache escape hatch as a context manager."""
+    if getattr(args, "no_cache", False):
+        return kernel_cache_disabled()
+    return contextlib.nullcontext()
+
+
 def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
     """A Tracer when any observation surface was requested."""
     if getattr(args, "trace", None) or getattr(args, "profile", False) \
@@ -133,6 +153,14 @@ def _report_observation(args: argparse.Namespace,
     a tripped budget still leaves a trace of where the work went)."""
     if guard is not None and args.stats:
         print(guard_stats_table(guard.stats()), file=sys.stderr)
+    if args.stats:
+        stats = kernel_stats()
+        if getattr(args, "no_cache", False):
+            # the run itself bypassed the kernel cache; report it that way
+            # even though the process-wide cache is re-enabled by now
+            stats["cache.enabled"] = False
+            stats["intern.enabled"] = False
+        print(kernel_stats_table(stats), file=sys.stderr)
     if tracer is None:
         return
     if args.verbose:
@@ -188,7 +216,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
     try:
-        with tracer if tracer is not None else contextlib.nullcontext():
+        with _cache_context(args), (
+            tracer if tracer is not None else contextlib.nullcontext()
+        ):
             result = evaluate(formula, db, guard=guard)
         if not result.schema:
             print("true" if not result.is_empty() else "false")
@@ -207,7 +237,9 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
     try:
-        with tracer if tracer is not None else contextlib.nullcontext():
+        with _cache_context(args), (
+            tracer if tracer is not None else contextlib.nullcontext()
+        ):
             result = evaluate_program(
                 program,
                 db,
@@ -236,7 +268,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     tracer = Tracer()
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
     summary: str
-    with tracer:
+    with _cache_context(args), tracer:
         if is_program:
             with open(args.query, encoding="utf-8") as handle:
                 program = parse_program(handle.read())
@@ -303,6 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_budget_flags(query)
     _add_obs_flags(query)
+    _add_cache_flag(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
@@ -321,6 +354,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     datalog.add_argument("--raw", action="store_true")
     _add_budget_flags(datalog)
     _add_obs_flags(datalog)
+    _add_cache_flag(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
 
     explain_cmd = sub.add_parser(
@@ -347,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the structured JSON trace",
     )
     _add_budget_flags(explain_cmd)
+    _add_cache_flag(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.core.terms import Term, Var
 from repro.core.theory import ConstraintTheory
 from repro.errors import SchemaError, TheoryError
+from repro.perf.interning import intern_pool
 
 __all__ = ["GTuple", "Schema", "check_schema"]
 
@@ -50,7 +51,7 @@ class GTuple:
     conjunction is unsatisfiable, which callers treat as "no tuple").
     """
 
-    __slots__ = ("theory", "schema", "atoms", "_hash", "_entailer")
+    __slots__ = ("theory", "schema", "atoms", "_hash", "_entailer", "__weakref__")
 
     def __init__(self, theory: ConstraintTheory, schema: Schema, atoms: FrozenSet) -> None:
         self.theory = theory
@@ -60,6 +61,28 @@ class GTuple:
         self._entailer = None
 
     # ------------------------------------------------------------ construction
+
+    @classmethod
+    def _canonical(
+        cls, theory: ConstraintTheory, schema: Schema, atoms: FrozenSet
+    ) -> "GTuple":
+        """The unique pooled instance for already-canonical parts.
+
+        Interning makes structurally equal tuples the same object, so
+        equality short-circuits on identity and the lazily built
+        entailer is shared across all construction sites.  With the
+        pool disabled this is a plain allocation.
+        """
+        pool = intern_pool()
+        if not pool.enabled:
+            return cls(theory, schema, atoms)
+        key = (theory, schema, atoms)
+        found = pool.get(key)
+        if found is not None:
+            return found
+        made = cls(theory, schema, atoms)
+        pool.add(key, made)
+        return made
 
     @classmethod
     def make(
@@ -89,12 +112,12 @@ class GTuple:
         canonical = theory.canonicalize_if_satisfiable(kept)
         if canonical is None:
             return None
-        return cls(theory, frozen_schema, canonical)
+        return cls._canonical(theory, frozen_schema, canonical)
 
     @classmethod
     def universe(cls, theory: ConstraintTheory, schema: Sequence[str]) -> "GTuple":
         """The unconstrained tuple (all of ``Q^k``)."""
-        return cls(theory, check_schema(schema), frozenset())
+        return cls._canonical(theory, check_schema(schema), frozenset())
 
     @classmethod
     def point(
@@ -128,6 +151,8 @@ class GTuple:
         return self.theory.conjunction_constants(self.atoms)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:  # interning makes this the common case
+            return True
         return (
             isinstance(other, GTuple)
             and self.theory is other.theory
@@ -184,10 +209,12 @@ class GTuple:
     def extend(self, schema: Sequence[str]) -> "GTuple":
         """Reinterpret over a larger schema (new columns unconstrained)."""
         frozen = check_schema(schema)
+        if frozen == self.schema:
+            return self
         missing = set(self.schema) - set(frozen)
         if missing:
             raise SchemaError(f"extend target schema drops columns {sorted(missing)}")
-        return GTuple(self.theory, frozen, self.atoms)
+        return GTuple._canonical(self.theory, frozen, self.atoms)
 
     def rename(self, mapping: Mapping[str, str]) -> "GTuple":
         """Rename columns according to ``mapping`` (missing = identity)."""
@@ -223,9 +250,11 @@ class GTuple:
     def reorder(self, schema: Sequence[str]) -> "GTuple":
         """Same columns in a different order."""
         frozen = check_schema(schema)
+        if frozen == self.schema:
+            return self
         if set(frozen) != set(self.schema):
             raise SchemaError(f"reorder changes column set: {self.schema} -> {frozen}")
-        return GTuple(self.theory, frozen, self.atoms)
+        return GTuple._canonical(self.theory, frozen, self.atoms)
 
     # -------------------------------------------------------------- semantics
 

@@ -50,6 +50,8 @@ class OrderGraph:
         self._edges: Dict[Term, Dict[Term, bool]] = {}
         self._nodes: set = set()
         self._closure: Optional[_Reach] = None
+        self._sat: Optional[bool] = None
+        self._consts: Optional[List[Const]] = None
         for a in atoms:
             self.add(a)
 
@@ -62,6 +64,8 @@ class OrderGraph:
         if a.op in (Op.GE, Op.GT):  # pragma: no cover - atoms normalize these away
             raise TheoryError("atoms must be normalized before reaching OrderGraph")
         self._closure = None
+        self._sat = None
+        self._consts = None
         self._touch(a.left)
         self._touch(a.right)
         if a.op is Op.LT:
@@ -88,7 +92,11 @@ class OrderGraph:
         return frozenset(self._nodes)
 
     def _constant_nodes(self) -> List[Const]:
-        return sorted((n for n in self._nodes if isinstance(n, Const)), key=lambda c: c.value)
+        if self._consts is None:
+            self._consts = sorted(
+                (n for n in self._nodes if isinstance(n, Const)), key=lambda c: c.value
+            )
+        return self._consts
 
     def _compute_closure(self) -> _Reach:
         if self._closure is not None:
@@ -122,7 +130,17 @@ class OrderGraph:
     # ---------------------------------------------------------------- queries
 
     def is_satisfiable(self) -> bool:
-        """True iff the conjunction has a rational solution."""
+        """True iff the conjunction has a rational solution.
+
+        The verdict is memoized: entailers call this per query, and the
+        graph is immutable between :meth:`add` calls.
+        """
+        if self._sat is not None:
+            return self._sat
+        self._sat = self._satisfiable()
+        return self._sat
+
+    def _satisfiable(self) -> bool:
         reach = self._compute_closure()
         for node, row in reach.items():
             if row.get(node) is True:  # strict cycle

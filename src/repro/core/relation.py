@@ -22,9 +22,10 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.atoms import Op
 from repro.core.gtuple import GTuple, Schema, check_schema
-from repro.core.terms import Term, Var
-from repro.core.theory import ConstraintTheory, DENSE_ORDER
+from repro.core.terms import Const, Term, Var
+from repro.core.theory import ConstraintTheory, DenseOrderTheory, DENSE_ORDER
 from repro.errors import SchemaError, TheoryError
 from repro.obs.trace import active_tracer
 from repro.runtime.faults import fault_point
@@ -56,6 +57,25 @@ class Relation:
         self.tuples: Tuple[GTuple, ...] = tuple(seen)
 
     # ------------------------------------------------------------ construction
+
+    @classmethod
+    def _trusted(
+        cls, theory: ConstraintTheory, schema: Schema, tuples: Iterable[GTuple]
+    ) -> "Relation":
+        """Internal fast-path constructor for algebra-produced parts.
+
+        ``schema`` must already be a validated :data:`Schema` and every
+        tuple must be known to match it (because it came out of this
+        algebra over the same schema).  Skips the per-tuple schema and
+        theory re-validation of ``__init__`` but keeps the dedup the
+        fixpoint engines rely on; interning makes that dedup an
+        identity-hash pass.
+        """
+        self = object.__new__(cls)
+        self.theory = theory
+        self.schema = schema
+        self.tuples = tuple(dict.fromkeys(tuples))
+        return self
 
     @classmethod
     def empty(cls, schema: Sequence[str], theory: ConstraintTheory = DENSE_ORDER) -> "Relation":
@@ -142,7 +162,7 @@ class Relation:
 
     def union(self, other: "Relation") -> "Relation":
         self._require_compatible(other)
-        return Relation(self.theory, self.schema, self.tuples + other.tuples)
+        return Relation._trusted(self.theory, self.schema, self.tuples + other.tuples)
 
     def intersection(self, other: "Relation") -> "Relation":
         self._require_compatible(other)
@@ -152,7 +172,7 @@ class Relation:
                 merged = a.merge(b, self.schema)
                 if merged is not None:
                     out.append(merged)
-        return Relation(self.theory, self.schema, out)
+        return Relation._trusted(self.theory, self.schema, out)
 
     def complement(self) -> "Relation":
         """The complement ``Q^k minus R`` in closed form.
@@ -186,7 +206,7 @@ class Relation:
         partial: List[Optional[GTuple]] = [GTuple.universe(self.theory, self.schema)]
         for t in self.tuples:
             if not t.atoms:  # a universe tuple: complement is empty
-                return Relation(self.theory, self.schema, ())
+                return Relation._trusted(self.theory, self.schema, ())
             negated: List = []
             for a in t.atoms:
                 negated.extend(self.theory.negate_atom(a))
@@ -204,8 +224,8 @@ class Relation:
                 guard.on_tuples(len(grown), "relation.complement")
             partial = _absorb(grown)
             if not partial:
-                return Relation(self.theory, self.schema, ())
-        result = Relation(self.theory, self.schema, partial)
+                return Relation._trusted(self.theory, self.schema, ())
+        result = Relation._trusted(self.theory, self.schema, partial)
         if guard is not None:
             guard.check_atoms(result, "relation.complement")
         return result
@@ -226,7 +246,7 @@ class Relation:
             kept = t.conjoin(atoms)
             if kept is not None:
                 out.append(kept)
-        return Relation(self.theory, self.schema, out)
+        return Relation._trusted(self.theory, self.schema, out)
 
     def project(self, columns: Sequence[str]) -> "Relation":
         """Project onto ``columns`` (existentially eliminating the rest)."""
@@ -263,19 +283,34 @@ class Relation:
         if tracer is not None:
             metrics.observe("relation.project.out_tuples", len(current))
             metrics.observe("relation.project.seconds", tracer.clock() - t0)
-        return Relation(self.theory, target, [t.reorder(target) for t in current])
+        return Relation._trusted(self.theory, target, [t.reorder(target) for t in current])
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Rename columns (missing entries = identity)."""
-        new_schema = tuple(mapping.get(c, c) for c in self.schema)
-        return Relation(self.theory, new_schema, [t.rename(mapping) for t in self.tuples])
+        target = check_schema(tuple(mapping.get(c, c) for c in self.schema))
+        return Relation._trusted(
+            self.theory, target, [t.rename(mapping) for t in self.tuples]
+        )
 
     def extend(self, schema: Sequence[str]) -> "Relation":
         """Pad with unconstrained columns to a wider schema."""
-        return Relation(self.theory, schema, [t.extend(schema) for t in self.tuples])
+        target = check_schema(schema)
+        return Relation._trusted(
+            self.theory, target, [t.extend(target) for t in self.tuples]
+        )
 
     def join(self, other: "Relation") -> "Relation":
-        """Natural join on shared column names."""
+        """Natural join on shared column names.
+
+        When both sides are large enough and some shared column is
+        pinned to a constant on most tuples (the classical-tuple case:
+        graph edges, point sets), the pairing is driven by a partition
+        index on that column -- only buckets with compatible constants
+        are paired, plus the unpinned remainder.  Skipped pairs are
+        exactly those whose merge would be unsatisfiable (two distinct
+        constants forced equal), so the result is identical to the
+        nested loop, which remains the transparent fallback.
+        """
         if self.theory is not other.theory and self.theory != other.theory:
             raise TheoryError("relations from different theories")
         fault_point("relation.join")
@@ -290,19 +325,39 @@ class Relation:
         if guard is not None:
             guard.note("relation.join")
         combined = self.schema + tuple(c for c in other.schema if c not in self.schema)
+        # widen the right side once, not once per pair
+        wide_b = [b.extend(combined).reorder(combined) for b in other.tuples]
+        partition = _join_partition(self, other)
+        if partition is not None and tracer is not None:
+            metrics.count("relation.join.indexed")
         out: List[GTuple] = []
-        for a in self.tuples:
+        considered = 0
+        for ai, a in enumerate(self.tuples):
             if guard is not None:
                 guard.tick("relation.join")
             wide_a = a.extend(combined)
-            for b in other.tuples:
-                merged = wide_a.merge(b.extend(combined).reorder(combined), combined)
+            if partition is None:
+                matches: Iterable[int] = range(len(wide_b))
+            else:
+                buckets, unpinned, pins_a = partition
+                pin = pins_a[ai]
+                if pin is None:
+                    matches = range(len(wide_b))
+                else:
+                    # preserve the nested loop's right-side order
+                    matches = sorted(buckets.get(pin, ()) + unpinned)
+            for bi in matches:
+                considered += 1
+                merged = wide_a.merge(wide_b[bi], combined)
                 if merged is not None:
                     out.append(merged)
-        result = Relation(self.theory, combined, out)
+        result = Relation._trusted(self.theory, combined, out)
         if guard is not None:
             guard.charge_relation(result, "relation.join")
         if tracer is not None:
+            skipped = len(self.tuples) * len(other.tuples) - considered
+            if skipped:
+                metrics.count("relation.join.pairs_skipped", skipped)
             metrics.observe("relation.join.out_tuples", len(result.tuples))
             metrics.observe("relation.join.seconds", tracer.clock() - t0)
         return result
@@ -339,7 +394,7 @@ class Relation:
                     len(t.atoms) for t in kept
                 )
                 metrics.count("relation.simplify.atoms_removed", removed)
-        return Relation(self.theory, self.schema, kept)
+        return Relation._trusted(self.theory, self.schema, kept)
 
     def sample_points(self) -> List[Dict[str, Fraction]]:
         """One explicit rational point per generalized tuple."""
@@ -351,26 +406,123 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
 
     ``t`` is subsumed by ``s`` when ``t`` entails every atom of ``s``
     (then the pointset of ``t`` is included in that of ``s``).
-    """
-    distinct: List[GTuple] = []
-    for t in tuples:
-        if t not in distinct:
-            distinct.append(t)
 
-    def subsumes(s: GTuple, t: GTuple) -> bool:
+    The pairwise pass is still quadratic in the worst case, but most
+    candidate pairs are dismissed without touching the entailment
+    kernel: duplicates are hash-deduplicated up front, a universe tuple
+    short-circuits the whole pass, and (for the dense-order theory) a
+    pair is skipped when the candidate subsumer mentions a variable the
+    other tuple leaves unconstrained, or accepted when its atoms are a
+    syntactic subset.
+    """
+    distinct: List[GTuple] = list(dict.fromkeys(tuples))
+    if len(distinct) <= 1:
+        return distinct
+    for t in distinct:
+        if not t.atoms:
+            # a universe tuple subsumes every other tuple and is
+            # subsumed by none, so the pairwise pass reduces to [t]
+            return [t]
+    theory = distinct[0].theory
+    dense = isinstance(theory, DenseOrderTheory)
+    var_sets: List[FrozenSet[Var]] = (
+        [theory.conjunction_variables(t.atoms) for t in distinct] if dense else []
+    )
+
+    def subsumes(si: int, ti: int) -> bool:
+        s, t = distinct[si], distinct[ti]
+        if dense:
+            # an atom mentioning a variable absent from t's conjunction
+            # is never entailed by it (that variable is unconstrained)
+            if not var_sets[si] <= var_sets[ti]:
+                return False
+            # entailment is reflexive, so a syntactic subset subsumes
+            if s.atoms <= t.atoms:
+                return True
         return all(t.entails(a) for a in s.atoms)
 
     kept: List[GTuple] = []
     for i, t in enumerate(distinct):
         absorbed = False
-        for j, s in enumerate(distinct):
-            if i == j or not subsumes(s, t):
+        for j in range(len(distinct)):
+            if i == j or not subsumes(j, i):
                 continue
             # keep the earlier one when two tuples subsume each other
-            if subsumes(t, s) and j > i:
+            if j > i and subsumes(i, j):
                 continue
             absorbed = True
             break
         if not absorbed:
             kept.append(t)
     return kept
+
+
+#: join uses the partition index only when both sides have at least this
+#: many tuples (below that the nested loop wins on setup cost) ...
+_JOIN_INDEX_MIN_TUPLES = 4
+#: ... and at least this fraction of each side pins the shared column
+_JOIN_INDEX_MIN_PINNED = 0.5
+
+
+def _pinned_value(t: GTuple, var: Var) -> Optional[Fraction]:
+    """The constant ``var`` is equated to in ``t``, if any."""
+    for a in t.atoms:
+        if a.op is Op.EQ:
+            if a.left == var and isinstance(a.right, Const):
+                return a.right.value
+            if a.right == var and isinstance(a.left, Const):
+                return a.left.value
+    return None
+
+
+def _join_partition(left: "Relation", right: "Relation"):
+    """A partition index for ``left.join(right)``, or None.
+
+    Picks the shared column most often pinned to a constant on both
+    sides and groups the right side by that constant.  A left tuple
+    pinning the column to ``v`` only needs the ``v`` bucket plus the
+    unpinned remainder: any other bucket forces two distinct constants
+    equal, so those merges are unsatisfiable and contribute nothing.
+    Returns ``(buckets, unpinned, left_pins)`` with right-side tuples
+    referred to by index.
+    """
+    if not isinstance(left.theory, DenseOrderTheory):
+        return None
+    if (
+        len(left.tuples) < _JOIN_INDEX_MIN_TUPLES
+        or len(right.tuples) < _JOIN_INDEX_MIN_TUPLES
+    ):
+        return None
+    right_cols = set(right.schema)
+    shared = [c for c in left.schema if c in right_cols]
+    if not shared:
+        return None
+    best = None
+    for col in shared:
+        var = Var(col)
+        pins_a = [_pinned_value(t, var) for t in left.tuples]
+        na = sum(p is not None for p in pins_a)
+        if na < _JOIN_INDEX_MIN_PINNED * len(left.tuples):
+            continue
+        pins_b = [_pinned_value(t, var) for t in right.tuples]
+        nb = sum(p is not None for p in pins_b)
+        if nb < _JOIN_INDEX_MIN_PINNED * len(right.tuples):
+            continue
+        score = na + nb
+        if best is None or score > best[0]:
+            best = (score, pins_a, pins_b)
+    if best is None:
+        return None
+    _, pins_a, pins_b = best
+    buckets: Dict[Fraction, List[int]] = {}
+    unpinned: List[int] = []
+    for bi, pin in enumerate(pins_b):
+        if pin is None:
+            unpinned.append(bi)
+        else:
+            buckets.setdefault(pin, []).append(bi)
+    return (
+        {value: tuple(indices) for value, indices in buckets.items()},
+        tuple(unpinned),
+        pins_a,
+    )

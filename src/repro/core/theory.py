@@ -27,6 +27,7 @@ from repro.core.atoms import Atom, Op, atom
 from repro.core.ordergraph import OrderGraph
 from repro.core.terms import Const, Term, Var
 from repro.errors import TheoryError
+from repro.perf.cache import KernelEntry, kernel_cache
 
 __all__ = ["ConstraintTheory", "DenseOrderTheory", "DENSE_ORDER"]
 
@@ -162,6 +163,29 @@ class DenseOrderTheory(ConstraintTheory):
 
     name = "dense-order"
 
+    # ------------------------------------------------------------ kernel memo
+    #
+    # Every query below bottoms out in an OrderGraph over the same
+    # conjunction; the process-wide KernelCache memoizes that graph (and
+    # the canonical form derived from it) keyed by frozenset(atoms).
+    # Atoms are immutable value objects and the graph is only queried,
+    # never extended, so entries never go stale.  The disabled path
+    # (``--no-cache``) is a single attribute read before falling through
+    # to the direct kernel.
+
+    def _entry(self, conjunction: Iterable[Atom]) -> KernelEntry:
+        cache = kernel_cache()
+        key = (
+            conjunction
+            if isinstance(conjunction, frozenset)
+            else frozenset(conjunction)
+        )
+        entry = cache.lookup(key)
+        if entry is None:
+            entry = KernelEntry(OrderGraph(key))
+            cache.store(key, entry)
+        return entry
+
     def coerce_atom(self, a: Union[Atom, bool]) -> Union[Atom, bool]:
         """Validate/normalize an atom for storage in a conjunction."""
         if isinstance(a, bool):
@@ -189,7 +213,9 @@ class DenseOrderTheory(ConstraintTheory):
         return a.substitute(mapping)
 
     def is_satisfiable(self, conjunction: Iterable[Atom]) -> bool:
-        return OrderGraph(conjunction).is_satisfiable()
+        if not kernel_cache().enabled:
+            return OrderGraph(conjunction).is_satisfiable()
+        return self._entry(conjunction).graph.is_satisfiable()
 
     def project_out(self, conjunction: Sequence[Atom], var: Var) -> List[List[Atom]]:
         """Eliminate ``exists var`` from an NE-free conjunction.
@@ -249,28 +275,39 @@ class DenseOrderTheory(ConstraintTheory):
         return [keep]
 
     def canonicalize(self, conjunction: Iterable[Atom]) -> FrozenSet[Atom]:
-        return OrderGraph(conjunction).canonical_atoms()
+        if not kernel_cache().enabled:
+            return OrderGraph(conjunction).canonical_atoms()
+        # canonical_atoms (not KernelEntry.canonical) so an unsatisfiable
+        # input raises TheoryError exactly as the uncached kernel does
+        return self._entry(conjunction).graph.canonical_atoms()
 
     def evaluate_atom(self, a: Atom, assignment: Mapping[Var, Fraction]) -> bool:
         return a.evaluate(assignment)
 
     def entails(self, conjunction: Iterable[Atom], a: Atom) -> bool:
-        return OrderGraph(conjunction).implies(a)
+        if not kernel_cache().enabled:
+            return OrderGraph(conjunction).implies(a)
+        return self._entry(conjunction).graph.implies(a)
 
     def solve(self, conjunction: Iterable[Atom]) -> Optional[Dict[Var, Fraction]]:
-        return OrderGraph(conjunction).solve()
+        if not kernel_cache().enabled:
+            return OrderGraph(conjunction).solve()
+        return self._entry(conjunction).graph.solve()
 
     def make_entailer(self, conjunction: Iterable[Atom]):
-        graph = OrderGraph(conjunction)
-        return graph.implies
+        if not kernel_cache().enabled:
+            return OrderGraph(conjunction).implies
+        return self._entry(conjunction).graph.implies
 
     def canonicalize_if_satisfiable(
         self, conjunction: Iterable[Atom]
     ) -> Optional[FrozenSet[Atom]]:
-        graph = OrderGraph(conjunction)
-        if not graph.is_satisfiable():
-            return None
-        return graph.canonical_atoms()
+        if not kernel_cache().enabled:
+            graph = OrderGraph(conjunction)
+            if not graph.is_satisfiable():
+                return None
+            return graph.canonical_atoms()
+        return self._entry(conjunction).canonical()
 
     def equality_atom(self, left: Term, right: Term) -> Union[Atom, bool]:
         from repro.core.atoms import eq

@@ -112,10 +112,9 @@ def _derive(
         # head variables unconstrained by the body range over all of Q
         derived = derived.extend(tuple(derived.schema) + tuple(missing))
     projected = derived.project(tuple(sorted(head_names)))
-    ordered = Relation(
-        theory,
-        tuple(head_names),
-        [t.reorder(tuple(head_names)) for t in projected.tuples],
+    target = tuple(head_names)  # distinct by Rule validation
+    ordered = Relation._trusted(
+        theory, target, [t.reorder(target) for t in projected.tuples]
     )
     return ordered.rename(dict(zip(head_names, head_schema(len(head_names)))))
 
@@ -163,6 +162,10 @@ def evaluate_program(
         state[name] = Relation.empty(head_schema(arity), theory)
 
     rounds = 0
+    # per-predicate tuple sets, carried across rounds so the fixpoint
+    # test builds one frozenset per changed predicate per round instead
+    # of re-freezing the (large, unchanged) previous state every round
+    state_sets: Dict[str, frozenset] = {name: frozenset() for name in program.idb}
     with guard if guard is not None else contextlib.nullcontext():
         with span("datalog.naive", rules=len(program.rules), idb=len(program.idb)):
             while True:
@@ -187,11 +190,12 @@ def evaluate_program(
                             # them is a sound and terminating fixpoint test (and avoids
                             # the exponential complement of a semantic equivalence check).
                             new_set = frozenset(value.tuples)
-                            old_set = frozenset(state[name].tuples)
+                            old_set = state_sets[name]
                             if new_set != old_set:
                                 changed = True
                                 if sp is not None:
                                     delta += len(new_set - old_set)
+                                state_sets[name] = new_set
                             state[name] = value
                         if sp is not None:
                             sp.attrs["delta_tuples"] = delta

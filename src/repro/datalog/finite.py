@@ -146,11 +146,21 @@ def _ground(args: Tuple[Term, ...], env: Mapping[Var, Fraction]) -> Row:
     return tuple(out)
 
 
-def _derive_rule(r: Rule, state: FiniteInstance) -> Set[Row]:
+def _split_body(r: Rule) -> Tuple[List[PredicateLiteral], List]:
+    """Positive predicate literals vs. filters (negations, constraints)."""
     positives = [
         l for l in r.body if isinstance(l, PredicateLiteral) and not l.negated
     ]
     checks = [l for l in r.body if not (isinstance(l, PredicateLiteral) and not l.negated)]
+    return positives, checks
+
+
+def _derive_rule(
+    r: Rule,
+    state: FiniteInstance,
+    split: Optional[Tuple[List[PredicateLiteral], List]] = None,
+) -> Set[Row]:
+    positives, checks = _split_body(r) if split is None else split
 
     derived: Set[Row] = set()
     envs: List[Dict[Var, Fraction]] = [{}]
@@ -217,13 +227,15 @@ def evaluate_finite(
         state.add_relation(name, [], arity=arity)
 
     rounds = 0
+    # the body split is static: compute it once per rule, not per round
+    splits = [(r, _split_body(r)) for r in program.rules]
     with span("datalog.finite", rules=len(program.rules), idb=len(program.idb)):
         while True:
             rounds += 1
             with span("datalog.finite.round", round=rounds) as sp:
                 additions: Dict[str, Set[Row]] = {}
-                for r in program.rules:
-                    new_rows = _derive_rule(r, state)
+                for r, split in splits:
+                    new_rows = _derive_rule(r, state, split)
                     additions.setdefault(r.head_name, set()).update(new_rows)
                 changed = False
                 delta = 0

@@ -180,8 +180,12 @@ def evaluate_seminaive(
                             merged = merged.simplify()
                             old_tuples = frozenset(current.tuples)
                             fresh = [t for t in merged.tuples if t not in old_tuples]
-                            new_deltas[name] = Relation(theory, merged.schema, fresh)
-                            if frozenset(merged.tuples) != old_tuples:
+                            new_deltas[name] = Relation._trusted(
+                                theory, merged.schema, fresh
+                            )
+                            # merged and old differ iff something fresh
+                            # appeared or simplify absorbed an old tuple
+                            if fresh or len(merged.tuples) != len(old_tuples):
                                 changed = True
                             state[name] = merged
                         if sp is not None:

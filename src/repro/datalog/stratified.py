@@ -149,6 +149,9 @@ def evaluate_stratified(
                 )
 
     total_rounds = 0
+    # carried across rounds: one frozenset per changed head per round,
+    # not a re-freeze of the whole previous state
+    state_sets: Dict[str, frozenset] = {name: frozenset() for name in program.idb}
     with guard if guard is not None else contextlib.nullcontext():
         with span("datalog.stratified", strata=len(strata), rules=len(program.rules)):
             for layer in strata:
@@ -170,12 +173,13 @@ def evaluate_stratified(
                                 old = state[r.head_name]
                                 grown = old.union(derived).simplify()
                                 new_set = frozenset(grown.tuples)
-                                old_set = frozenset(old.tuples)
+                                old_set = state_sets[r.head_name]
                                 if new_set != old_set:
                                     changed = True
                                     if sp is not None:
                                         delta += len(new_set - old_set)
                                     state[r.head_name] = grown
+                                    state_sets[r.head_name] = new_set
                             if sp is not None:
                                 sp.attrs["delta_tuples"] = delta
                                 tracer = active_tracer()

@@ -36,6 +36,7 @@ E13's budget-guard gate.
 from repro.obs.export import (
     TRACE_SCHEMA,
     guard_stats_table,
+    kernel_stats_table,
     load_trace,
     trace_document,
     validate_trace,
@@ -54,6 +55,7 @@ __all__ = [
     "active_tracer",
     "event",
     "guard_stats_table",
+    "kernel_stats_table",
     "load_trace",
     "phase_breakdown",
     "render_metrics_summary",

@@ -39,6 +39,7 @@ __all__ = [
     "load_trace",
     "validate_trace",
     "guard_stats_table",
+    "kernel_stats_table",
 ]
 
 #: schema identifier stamped on every exported document
@@ -185,4 +186,33 @@ def guard_stats_table(stats: dict) -> str:
             lines.append(f"  {name.ljust(width)}  {sites[name]}")
     else:
         lines.append("  (no per-site counters recorded)")
+    return "\n".join(lines)
+
+
+def kernel_stats_table(stats: dict) -> str:
+    """The :func:`repro.perf.kernel_stats` payload as aligned text
+    (printed by ``--stats`` next to the guard table)."""
+    lookups = stats["cache.hits"] + stats["cache.misses"]
+    rate = (100.0 * stats["cache.hits"] / lookups) if lookups else 0.0
+    lines = [
+        "kernel cache:%s "
+        "hits %d, misses %d, hit rate %.1f%%, "
+        "entries %d/%d, evictions %d"
+        % (
+            "" if stats["cache.enabled"] else " (disabled)",
+            stats["cache.hits"],
+            stats["cache.misses"],
+            rate,
+            stats["cache.entries"],
+            stats["cache.capacity"],
+            stats["cache.evictions"],
+        ),
+        "  interning:%s reused %d, interned %d, live %d"
+        % (
+            "" if stats["intern.enabled"] else " (disabled)",
+            stats["intern.reused"],
+            stats["intern.interned"],
+            stats["intern.live"],
+        ),
+    ]
     return "\n".join(lines)

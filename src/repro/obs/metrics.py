@@ -36,6 +36,12 @@ Metric-name conventions (all emitted by the instrumented hot paths):
 ``cells.types_checked``                 complete types tested per signature
 ``guard.<site>``                        per-site EvaluationGuard counters,
                                         merged when a guard deactivates
+``kernel.cache.{hits,misses,evictions}``  KernelCache traffic during the
+                                        tracer's outermost activation
+``kernel.intern.{reused,interned}``     GTuple intern-pool traffic, same
+                                        window (see :mod:`repro.perf`)
+``relation.join.indexed``               joins that used the partition index
+``relation.join.pairs_skipped``         tuple pairs pruned by that index
 ======================================  =====================================
 """
 

@@ -206,6 +206,16 @@ def render_profile(tracer: Tracer, guard=None) -> str:
             sizes = deltas.get(engine)
             suffix = f", delta sizes {sizes}" if sizes else ""
             lines.append(f"  {engine}: {round_counters[engine]} round(s){suffix}")
+    hits = metrics.counter("kernel.cache.hits")
+    misses = metrics.counter("kernel.cache.misses")
+    if hits or misses:
+        rate = 100.0 * hits / (hits + misses)
+        reused = metrics.counter("kernel.intern.reused")
+        lines.append("")
+        lines.append(
+            f"kernel cache: {hits} hit(s), {misses} miss(es) "
+            f"({rate:.1f}% hit rate), {reused} interned tuple reuse(s)"
+        )
     if guard is not None:
         from repro.obs.export import guard_stats_table
 

@@ -18,6 +18,9 @@ Guard integration: when an :class:`EvaluationGuard` deactivates inside
 an active tracer, its per-site counters are merged into the tracer's
 metrics under the ``guard.`` prefix (see ``EvaluationGuard.__exit__``),
 so budget checkpoints and trace metrics share one collection surface.
+Kernel-cache integration works the same way: the outermost activation
+snapshots the process-wide counters from :mod:`repro.perf` and the
+outermost exit merges their growth under the ``kernel.`` prefix.
 
 Usage::
 
@@ -41,6 +44,7 @@ from contextvars import ContextVar
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.metrics import Metrics
+from repro.perf.cache import kernel_counters
 
 __all__ = [
     "SpanRecord",
@@ -148,6 +152,7 @@ class Tracer:
         "_stack",
         "_next_id",
         "_tokens",
+        "_kernel_baseline",
     )
 
     def __init__(
@@ -166,15 +171,27 @@ class Tracer:
         self._stack: List[SpanRecord] = []
         self._next_id = 0
         self._tokens: list = []
+        self._kernel_baseline: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------ activation
 
     def __enter__(self) -> "Tracer":
+        if not self._tokens:
+            # snapshot the process-wide kernel-cache counters so the
+            # outermost exit can attribute their growth to this tracer
+            self._kernel_baseline = kernel_counters()
         self._tokens.append(_ACTIVE.set(self))
         return self
 
     def __exit__(self, *exc_info) -> None:
+        outermost = len(self._tokens) == 1
         _ACTIVE.reset(self._tokens.pop())
+        if outermost and self._kernel_baseline is not None:
+            baseline, self._kernel_baseline = self._kernel_baseline, None
+            for name, value in kernel_counters().items():
+                grew = value - baseline.get(name, 0)
+                if grew:
+                    self.metrics.count(f"kernel.{name}", grew)
 
     # -------------------------------------------------------------- recording
 

@@ -1,0 +1,1 @@
+"""Tests for the kernel fast path (:mod:`repro.perf`)."""

@@ -1,0 +1,136 @@
+"""The rewritten hot paths against their straight-line references.
+
+``Relation._absorb`` (hash dedup + subsumption pruning) and
+``Relation.join`` (pinned-constant partition index) must produce
+byte-identical output to the original quadratic algorithms on random
+inputs — not just equivalent pointsets, the same tuples in the same
+order, so downstream syntactic fixpoint tests see no difference.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation, _absorb, _join_partition
+from repro.core.theory import DENSE_ORDER
+from tests.strategies import conjunctions
+
+SCHEMA = ("x", "y", "z", "u", "v")
+
+
+@st.composite
+def gtuples(draw):
+    made = GTuple.make(DENSE_ORDER, SCHEMA, draw(conjunctions(max_size=4)))
+    if made is None:  # unsatisfiable draw: fall back to the universe
+        return GTuple.universe(DENSE_ORDER, SCHEMA)
+    return made
+
+
+def reference_absorb(tuples):
+    """The pre-optimization algorithm, verbatim."""
+    distinct = []
+    for t in tuples:
+        if t not in distinct:
+            distinct.append(t)
+
+    def subsumes(s, t):
+        return all(t.entails(a) for a in s.atoms)
+
+    kept = []
+    for i, t in enumerate(distinct):
+        absorbed = False
+        for j, s in enumerate(distinct):
+            if i == j or not subsumes(s, t):
+                continue
+            if subsumes(t, s) and j > i:
+                continue
+            absorbed = True
+            break
+        if not absorbed:
+            kept.append(t)
+    return kept
+
+
+def reference_join(left, right):
+    """The pre-optimization nested-loop join, verbatim."""
+    combined = left.schema + tuple(c for c in right.schema if c not in left.schema)
+    out = []
+    for a in left.tuples:
+        wide_a = a.extend(combined)
+        for b in right.tuples:
+            merged = wide_a.merge(b.extend(combined).reorder(combined), combined)
+            if merged is not None:
+                out.append(merged)
+    return Relation(left.theory, combined, out)
+
+
+class TestAbsorbMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(gtuples(), max_size=7))
+    def test_same_kept_tuples_in_same_order(self, tuples):
+        assert _absorb(list(tuples)) == reference_absorb(tuples)
+
+    def test_universe_fast_path(self):
+        u = GTuple.universe(DENSE_ORDER, SCHEMA)
+        from repro.core.atoms import lt
+
+        t = GTuple.make(DENSE_ORDER, SCHEMA, [lt("x", "y")])
+        assert _absorb([t, u, t]) == reference_absorb([t, u, t]) == [u]
+
+
+@st.composite
+def point_relations(draw, schema):
+    """Mostly classical tuples plus some unpinned interval tuples."""
+    from repro.core.atoms import le
+
+    points = draw(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    tuples = [GTuple.point(DENSE_ORDER, schema, p) for p in points]
+    for bound in draw(st.lists(st.integers(0, 5), max_size=2)):
+        tuples.append(GTuple.make(DENSE_ORDER, schema, [le(schema[0], bound)]))
+    return Relation(DENSE_ORDER, schema, tuples)
+
+
+class TestJoinMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(point_relations(("x", "y")), point_relations(("y", "z")))
+    def test_shared_column_join(self, left, right):
+        assert left.join(right).tuples == reference_join(left, right).tuples
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_relations(("x", "y")), point_relations(("x", "y")))
+    def test_same_schema_join(self, left, right):
+        assert left.join(right).tuples == reference_join(left, right).tuples
+
+    @settings(max_examples=20, deadline=None)
+    @given(point_relations(("x", "y")), point_relations(("u", "v")))
+    def test_cross_product_join(self, left, right):
+        assert left.join(right).tuples == reference_join(left, right).tuples
+
+    def test_partition_declines_small_inputs(self):
+        small = Relation.from_points(("x", "y"), [(0, 1)])
+        assert _join_partition(small, small) is None
+
+    def test_partition_used_on_point_sets(self):
+        edges = Relation.from_points(("x", "y"), [(i, i + 1) for i in range(6)])
+        other = Relation.from_points(("y", "z"), [(i, i + 2) for i in range(6)])
+        partition = _join_partition(edges, other)
+        assert partition is not None
+        buckets, unpinned, pins = partition
+        assert unpinned == ()
+        assert all(p is not None for p in pins)
+
+
+class TestTrustedConstructor:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(gtuples(), max_size=6))
+    def test_matches_validating_constructor(self, tuples):
+        checked = Relation(DENSE_ORDER, SCHEMA, tuples)
+        trusted = Relation._trusted(DENSE_ORDER, SCHEMA, tuples)
+        assert trusted.tuples == checked.tuples
+        assert trusted.schema == checked.schema

@@ -1,0 +1,82 @@
+"""The generalized-tuple interning pool: identity, lifetime, disable."""
+
+import gc
+
+import pytest
+
+from repro.core.atoms import eq, le, lt
+from repro.core.gtuple import GTuple
+from repro.core.theory import DENSE_ORDER
+from repro.perf import intern_pool, kernel_cache_disabled, reset_kernel_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    reset_kernel_cache()
+    yield
+    reset_kernel_cache()
+
+
+class TestInterning:
+    def test_equal_tuples_are_the_same_object(self):
+        a = GTuple.make(DENSE_ORDER, ("x", "y"), [lt("x", "y"), le("x", 3)])
+        b = GTuple.make(DENSE_ORDER, ("x", "y"), [le("x", 3), lt("x", "y")])
+        assert a is b
+
+    def test_logically_equal_canonical_forms_share_one_instance(self):
+        a = GTuple.make(DENSE_ORDER, ("x",), [le("x", 3), le(3, "x")])
+        b = GTuple.make(DENSE_ORDER, ("x",), [eq("x", 3)])
+        assert a is b
+
+    def test_universe_is_interned(self):
+        assert GTuple.universe(DENSE_ORDER, ("x",)) is GTuple.universe(
+            DENSE_ORDER, ("x",)
+        )
+
+    def test_different_schema_order_distinct(self):
+        a = GTuple.make(DENSE_ORDER, ("x", "y"), [lt("x", "y")])
+        b = GTuple.make(DENSE_ORDER, ("y", "x"), [lt("x", "y")])
+        assert a is not b
+        assert a != b
+
+    def test_extend_and_reorder_intern(self):
+        t = GTuple.make(DENSE_ORDER, ("x",), [le("x", 1)])
+        wide = t.extend(("x", "y"))
+        assert t.extend(("x", "y")) is wide
+        assert wide.reorder(("y", "x")).reorder(("x", "y")) is wide
+
+    def test_identity_paths_return_self(self):
+        t = GTuple.make(DENSE_ORDER, ("x", "y"), [lt("x", "y")])
+        assert t.extend(("x", "y")) is t
+        assert t.reorder(("x", "y")) is t
+
+    def test_reuse_counter_grows(self):
+        pool = intern_pool()
+        keep = GTuple.make(DENSE_ORDER, ("x",), [le("x", 1)])
+        before = pool.reused
+        again = GTuple.make(DENSE_ORDER, ("x",), [le("x", 1)])
+        assert again is keep
+        assert pool.reused == before + 1
+
+    def test_pool_is_weak(self):
+        pool = intern_pool()
+        t = GTuple.make(DENSE_ORDER, ("x",), [le("x", 77)])
+        live = len(pool)
+        del t
+        gc.collect()
+        assert len(pool) < live
+
+    def test_disabled_pool_allocates_fresh_equal_objects(self):
+        with kernel_cache_disabled():
+            a = GTuple.make(DENSE_ORDER, ("x",), [le("x", 2)])
+            b = GTuple.make(DENSE_ORDER, ("x",), [le("x", 2)])
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_interned_and_uninterned_compare_equal(self):
+        a = GTuple.make(DENSE_ORDER, ("x",), [le("x", 2)])
+        with kernel_cache_disabled():
+            b = GTuple.make(DENSE_ORDER, ("x",), [le("x", 2)])
+        assert a is not b
+        assert a == b

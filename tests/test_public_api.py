@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.lang",
     "repro.runtime",
+    "repro.perf",
 ]
 
 
