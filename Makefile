@@ -1,6 +1,6 @@
 # Convenience targets (mirror the commands in README / CONTRIBUTING)
 
-.PHONY: install test test-quick bench results examples explain-demo ci clean
+.PHONY: install test test-quick bench bench-watch results examples explain-demo ci clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,12 @@ test-quick:
 
 bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# append one timing record to benchmarks/BENCH_HISTORY.jsonl and fail
+# (exit 4) when the latest run regressed against the trailing median
+bench-watch:
+	python benchmarks/collect_results.py --history-only
+	python -m repro.cli bench-watch
 
 results:
 	python benchmarks/collect_results.py
@@ -29,6 +35,7 @@ ci:
 	pytest benchmarks/bench_e13_budget_overhead.py -s
 	pytest benchmarks/bench_e14_trace_overhead.py -s
 	pytest benchmarks/bench_e15_kernel_cache.py -s
+	pytest benchmarks/bench_e16_telemetry_overhead.py -s
 
 # the observability walkthrough: profile a transitive-closure run and
 # export the JSON trace (TRACE_OUT overrides the export path)

@@ -1,0 +1,139 @@
+"""E16 -- telemetry-pipeline overhead on the E12 micro-suite.
+
+PR 4 widens the observability layer: every fixpoint round now emits a
+structured log record (``repro.log/1``), every closed span is mirrored
+into the always-on flight-recorder ring, and attached sinks receive
+both.  The zero-cost contract of E14 must survive all of that:
+
+* **disabled** (the shipped default): no tracer active, so the new
+  ``tracer.log(...)`` calls sit behind the same ``if sp is not None:``
+  guard as the E14 metrics -- the only cost is the existing single
+  ContextVar read, and the flight recorder sees nothing;
+* **traced**: a live tracer with *no* sinks -- records flow into the
+  bounded flight ring only;
+* **traced+ring**: a live tracer with an explicit
+  :class:`~repro.obs.sink.RingBufferSink` attached;
+* **traced+jsonl**: a live tracer streaming JSONL to ``os.devnull``,
+  the honest upper bound of the pipeline.
+
+Target (EXPERIMENTS.md E16): disabled-path overhead < 2% against the
+monkeypatched no-op baseline.  Sinks are opt-in, so the traced modes
+are reported, not gated.  ``test_report_overhead`` prints the measured
+ratios directly (``pytest benchmarks/bench_e16_telemetry_overhead.py -s``)
+and is the CI gate (lenient 1.5x hard limit -- single-shot timings are
+noisy; the honest numbers come from the pytest-benchmark pairs).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.evaluator import evaluate
+from repro.datalog.engine import evaluate_program
+from repro.obs import JsonlSink, RingBufferSink, Tracer
+from repro.workloads.generators import (
+    deep_negation_formula,
+    fragmented_interval_database,
+    slow_tc_workload,
+)
+
+MODES = ("disabled", "traced", "traced+ring", "traced+jsonl")
+
+
+def _run(thunk, mode, devnull=None):
+    if mode == "disabled":
+        return thunk()
+    tracer = Tracer()
+    if mode == "traced+ring":
+        tracer.add_sink(RingBufferSink(capacity=256))
+    elif mode == "traced+jsonl":
+        tracer.add_sink(JsonlSink(devnull if devnull is not None else os.devnull))
+    try:
+        with tracer:
+            return thunk()
+    finally:
+        for sink in tracer.sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------- benchmark pairs
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_datalog_fixpoint_telemetry(benchmark, mode):
+    program, db = slow_tc_workload(6)
+    benchmark(lambda: _run(lambda: evaluate_program(program, db), mode))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_fo_negation_telemetry(benchmark, mode):
+    db = fragmented_interval_database(8)
+    formula = deep_negation_formula(2)
+    benchmark(lambda: _run(lambda: evaluate(formula, db), mode))
+
+
+# ------------------------------------------------------------------- report
+
+
+def _best(thunk, repeat=5):
+    out = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        thunk()
+        out = min(out, time.perf_counter() - t0)
+    return out
+
+
+def test_report_overhead(capsys, monkeypatch):
+    """Print telemetry overhead ratios; fail only on gross regressions.
+
+    The *baseline* column monkeypatches every instrumented module's
+    ``active_tracer`` reference to ``lambda: None`` (as in E14), the
+    nearest thing to engines with no telemetry compiled in.  The gated
+    claim is the **disabled** column: log emission, span mirroring, and
+    the flight ring must all hide behind the pre-existing ContextVar
+    read when nobody is looking.
+    """
+    import repro.core.evaluator as m_eval
+    import repro.core.qe as m_qe
+    import repro.core.relation as m_rel
+    import repro.datalog.engine as m_engine
+    import repro.encoding.cells as m_cells
+    import repro.runtime.guard as m_guard
+
+    db = fragmented_interval_database(8)
+    formula = deep_negation_formula(2)
+    program, pdb = slow_tc_workload(6)
+
+    workloads = {
+        "fo-negation": lambda: evaluate(formula, db),
+        "datalog-tc": lambda: evaluate_program(program, pdb),
+    }
+
+    def mode_run(thunk, mode):
+        return lambda: _run(thunk, mode)
+
+    timings = {
+        mode: {name: _best(mode_run(thunk, mode)) for name, thunk in workloads.items()}
+        for mode in MODES
+    }
+
+    for module in (m_rel, m_eval, m_qe, m_engine, m_cells, m_guard):
+        monkeypatch.setattr(module, "active_tracer", lambda: None)
+    baseline = {name: _best(thunk) for name, thunk in workloads.items()}
+
+    with capsys.disabled():
+        print("\nE16: telemetry overhead vs monkeypatched no-op baseline (best of 5)")
+        print(f"  {'workload':12s}" + "".join(f" {mode:>13s}" for mode in MODES))
+        worst = 0.0
+        for name in workloads:
+            row = f"  {name:12s}"
+            for mode in MODES:
+                ratio = timings[mode][name] / baseline[name]
+                if mode == "disabled":
+                    worst = max(worst, ratio)
+                row += f" {ratio:12.3f}x"
+            print(row)
+        print(f"  worst disabled {worst:6.3f}x  (target < 1.02)")
+    assert worst < 1.5, f"disabled-path telemetry overhead regressed: {worst:.2f}x"

@@ -6,10 +6,17 @@ Benchmarks (pytest-benchmark) measure *times*; this script collects the
 paper-vs-measured content of EXPERIMENTS.md.  Run:
 
     python benchmarks/collect_results.py
+
+Every run also appends one provenance-stamped record of quick workload
+timings to ``benchmarks/BENCH_HISTORY.jsonl`` (``repro.bench-history/1``),
+the append-only history that ``repro bench-watch`` compares against.
+``--history-only`` skips the tables and records just the history entry;
+``--history PATH`` redirects the file.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import os
@@ -378,7 +385,74 @@ def e15_kernel_cache() -> None:
     print(f"(machine-readable ratios written to {out_path})")
 
 
-def main() -> None:
+DEFAULT_HISTORY = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_HISTORY.jsonl"
+)
+
+
+def bench_history(history_path: str) -> None:
+    """Append one provenance-stamped timing record to the bench history.
+
+    The workloads mirror the quick E14 profile set (small enough to run
+    on every CI push); timings are best-of-3 to damp scheduler noise.
+    ``repro bench-watch`` compares the appended record against the
+    median of the trailing window and fails CI on a regression.
+    """
+    header("bench history -- quick workload timings (repro.bench-history/1)")
+    from repro.datalog.seminaive import evaluate_seminaive
+    from repro.obs import append_history
+    from repro.perf import reset_kernel_cache
+
+    f = exists("y", rel("S", "x") & rel("S", "y") & constraint(lt("x", "y")))
+    workloads = {
+        "fo_self_join_seconds": lambda: evaluate(
+            f, random_interval_database(23, count=16)
+        ),
+        "datalog_naive_tc_seconds": lambda: evaluate_program(
+            transitive_closure_program(), path_graph(8)
+        ),
+        "datalog_seminaive_tc_seconds": lambda: evaluate_seminaive(
+            transitive_closure_program(), path_graph(8)
+        ),
+    }
+    metrics = {}
+    print("| workload | best-of-3 (s) |")
+    print("|---|---|")
+    for name, thunk in workloads.items():
+        reset_kernel_cache()
+        thunk()  # warm-up: steady-state caches, not first-touch cost
+        best = float("inf")
+        for _ in range(3):
+            _, seconds = timed(thunk)
+            best = min(best, seconds)
+        metrics[name] = best
+        print(f"| {name} | {best:.4f} |")
+    record = append_history(history_path, metrics)
+    print()
+    print(
+        f"(appended record for commit "
+        f"{record['provenance'].get('git', 'unknown')} to {history_path})"
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="regenerate EXPERIMENTS.md tables and append bench history"
+    )
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        help="bench-history JSONL path (default: benchmarks/BENCH_HISTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--history-only",
+        action="store_true",
+        help="skip the experiment tables; append just the history record",
+    )
+    args = parser.parse_args(argv)
+    if args.history_only:
+        bench_history(args.history)
+        return
     print("# Collected experimental results (regenerated)")
     e2_fo_scaling()
     e4_ef_table()
@@ -393,6 +467,7 @@ def main() -> None:
     e12_ablations()
     e14_profiles()
     e15_kernel_cache()
+    bench_history(args.history)
     print()
 
 

@@ -25,6 +25,23 @@ per-site counters plus the kernel cache/interning statistics,
 ``-v``/``-vv`` print metric summaries on stderr, and the ``explain``
 subcommand runs a query or program purely for its cost tree.
 
+Telemetry exports (the :mod:`repro.obs.telemetry` pipeline):
+``--log-jsonl FILE`` streams every structured log record
+(``repro.log/1``) as JSON lines, ``--metrics-out FILE`` writes the
+final metrics snapshot in the Prometheus text format, and
+``--postmortem-dir DIR`` arms the flight recorder — an aborted run
+(budget error, fault, crash inside the guard) leaves a
+``repro.postmortem/1`` document there with the last telemetry events
+and the partial guard counters.
+
+``repro bench-watch`` compares the newest ``BENCH_HISTORY.jsonl``
+record against the trailing baseline and exits ``4`` on regression.
+
+Exit codes are uniform across subcommands: ``0`` ok, ``1``
+encoding/input error, ``2`` usage error, ``3`` budget exhausted,
+``4`` benchmark regression (see the README table; asserted by
+``tests/obs/test_cli_exit_codes.py``).
+
 ``--no-cache`` disables the kernel memo cache and the tuple intern
 pool (:mod:`repro.perf`) for the run — the escape hatch for timing
 comparisons and for ruling the cache out when debugging.
@@ -47,23 +64,43 @@ from repro.encoding.standard import decode_database, encode_database, encoding_s
 from repro.errors import ReproError
 from repro.lang import parse_formula, parse_program
 from repro.obs import (
+    JsonlSink,
     Tracer,
+    compare_latest,
+    configure_flight_recorder,
+    flight_recorder,
     guard_stats_table,
     kernel_stats_table,
+    load_history,
     render_metrics_summary,
     render_profile,
+    render_watch_report,
+    write_prometheus,
     write_trace,
 )
 from repro.perf import kernel_cache_disabled, kernel_stats
 from repro.runtime.budget import Budget, BudgetExceeded
 from repro.runtime.guard import EvaluationGuard
 
-__all__ = ["main", "EXIT_ERROR", "EXIT_BUDGET"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_BUDGET",
+    "EXIT_REGRESSION",
+]
 
+#: success
+EXIT_OK = 0
 #: ordinary failure (parse error, schema error, missing file, ...)
 EXIT_ERROR = 1
+#: usage error (unknown subcommand, bad flag) — argparse's convention
+EXIT_USAGE = 2
 #: a resource budget tripped (deadline, tuples, rounds, depth)
 EXIT_BUDGET = 3
+#: ``bench-watch`` found a benchmark regression beyond the threshold
+EXIT_REGRESSION = 4
 
 
 def _load(path: str) -> Database:
@@ -97,6 +134,23 @@ def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """The export surfaces of the telemetry pipeline (all subcommands
+    that evaluate anything)."""
+    parser.add_argument(
+        "--log-jsonl", default=None, metavar="FILE",
+        help="stream structured log records (repro.log/1) as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the final metrics snapshot in Prometheus text format",
+    )
+    parser.add_argument(
+        "--postmortem-dir", default=None, metavar="DIR",
+        help="on an aborted run, dump a repro.postmortem/1 document here",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -114,6 +168,7 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "-v", "--verbose", action="count", default=0,
         help="-v: metrics summary on stderr; -vv: also list every span",
     )
+    _add_telemetry_flags(parser)
 
 
 def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
@@ -131,17 +186,33 @@ def _cache_context(args: argparse.Namespace):
 
 
 def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
-    """A Tracer when any observation surface was requested."""
-    if getattr(args, "trace", None) or getattr(args, "profile", False) \
-            or getattr(args, "verbose", 0):
-        return Tracer()
-    return None
+    """A Tracer when any observation surface was requested; the JSONL
+    log sink is attached here so engine emission streams live."""
+    wanted = (
+        getattr(args, "trace", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "verbose", 0)
+        or getattr(args, "log_jsonl", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "postmortem_dir", None)
+    )
+    if not wanted:
+        return None
+    tracer = Tracer()
+    if getattr(args, "log_jsonl", None):
+        tracer.add_sink(JsonlSink(args.log_jsonl))
+    return tracer
 
 
 def _guard_of(args: argparse.Namespace,
               budget: Optional[Budget]) -> Optional[EvaluationGuard]:
-    """A guard when there is a budget to enforce or stats to report."""
-    if budget is not None or getattr(args, "stats", False):
+    """A guard when there is a budget to enforce, stats to report, or a
+    post-mortem to arm (the dump hook lives on the guard's exit)."""
+    if (
+        budget is not None
+        or getattr(args, "stats", False)
+        or getattr(args, "postmortem_dir", None)
+    ):
         return EvaluationGuard(budget)
     return None
 
@@ -176,6 +247,10 @@ def _report_observation(args: argparse.Namespace,
         print(render_profile(tracer, guard if args.stats else None))
     if args.trace:
         write_trace(args.trace, tracer, guard)
+    if getattr(args, "metrics_out", None):
+        write_prometheus(args.metrics_out, tracer.metrics)
+    for sink in tracer.sinks:
+        sink.close()
 
 
 def _print_relation(relation, as_intervals: bool) -> None:
@@ -266,54 +341,78 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     guard = EvaluationGuard(budget)  # guard stats are part of the tree
     tracer = Tracer()
+    if getattr(args, "log_jsonl", None):
+        tracer.add_sink(JsonlSink(args.log_jsonl))
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
     summary: str
-    with _cache_context(args), tracer:
-        if is_program:
-            with open(args.query, encoding="utf-8") as handle:
-                program = parse_program(handle.read())
-            if args.engine == "seminaive":
-                from repro.datalog.seminaive import evaluate_seminaive as engine
-            elif args.engine == "stratified":
-                from repro.datalog.stratified import evaluate_stratified as engine
-            else:
-                engine = evaluate_program
-            result = engine(
-                program, db, max_rounds=args.max_rounds, guard=guard,
-                on_budget=args.on_budget,
-            )
-            idb_tuples = sum(len(result[name]) for name in program.idb)
-            if result.reached_fixpoint:
-                summary = (
-                    f"result: fixpoint after {result.rounds} round(s), "
-                    f"{idb_tuples} IDB generalized tuple(s)"
-                )
-            else:
-                summary = (
-                    f"result: cut off after {result.rounds} round(s): {result.cut}"
-                )
-        else:
-            formula = parse_formula(args.query)
-            relation = evaluate(formula, db, guard=guard)
-            if not relation.schema:
-                summary = f"result: {'true' if not relation.is_empty() else 'false'}"
-            else:
-                summary = (
-                    f"result: {len(relation)} generalized tuple(s) over "
-                    f"({', '.join(relation.schema)})"
-                )
-    print(summary)
-    print()
-    print(render_profile(tracer, guard))
-    if args.trace:
-        write_trace(args.trace, tracer, guard)
+    try:
+        with _cache_context(args), tracer:
+            summary = _run_explain(args, db, guard, is_program)
+        print(summary)
+    finally:
+        # a budget abort must not lose the partial telemetry: the cost
+        # tree (with the guard's per-site counters accumulated so far)
+        # and the requested exports are emitted either way
+        print()
+        print(render_profile(tracer, guard))
+        if args.trace:
+            write_trace(args.trace, tracer, guard)
+        if getattr(args, "metrics_out", None):
+            write_prometheus(args.metrics_out, tracer.metrics)
+        for sink in tracer.sinks:
+            sink.close()
     return 0
+
+
+def _run_explain(args, db, guard, is_program) -> str:
+    """One explain evaluation; returns the one-line result summary."""
+    if is_program:
+        with open(args.query, encoding="utf-8") as handle:
+            program = parse_program(handle.read())
+        if args.engine == "seminaive":
+            from repro.datalog.seminaive import evaluate_seminaive as engine
+        elif args.engine == "stratified":
+            from repro.datalog.stratified import evaluate_stratified as engine
+        else:
+            engine = evaluate_program
+        result = engine(
+            program, db, max_rounds=args.max_rounds, guard=guard,
+            on_budget=args.on_budget,
+        )
+        idb_tuples = sum(len(result[name]) for name in program.idb)
+        if result.reached_fixpoint:
+            return (
+                f"result: fixpoint after {result.rounds} round(s), "
+                f"{idb_tuples} IDB generalized tuple(s)"
+            )
+        return f"result: cut off after {result.rounds} round(s): {result.cut}"
+    formula = parse_formula(args.query)
+    relation = evaluate(formula, db, guard=guard)
+    if not relation.schema:
+        return f"result: {'true' if not relation.is_empty() else 'false'}"
+    return (
+        f"result: {len(relation)} generalized tuple(s) over "
+        f"({', '.join(relation.schema)})"
+    )
 
 
 def _cmd_roundtrip(args: argparse.Namespace) -> int:
     db = _load(args.database)
     sys.stdout.write(encode_database(db))
     return 0
+
+
+def _cmd_bench_watch(args: argparse.Namespace) -> int:
+    """Compare the newest bench-history record against the trailing
+    baseline; exit 4 when any metric regressed past the threshold."""
+    records = load_history(args.history)
+    report = compare_latest(
+        records, threshold=args.threshold, window=args.window
+    )
+    print(render_watch_report(report))
+    if report["status"] == "regression":
+        return EXIT_REGRESSION
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -382,13 +481,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_budget_flags(explain_cmd)
     _add_cache_flag(explain_cmd)
+    _add_telemetry_flags(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")
     roundtrip.add_argument("database")
     roundtrip.set_defaults(fn=_cmd_roundtrip)
 
+    watch = sub.add_parser(
+        "bench-watch",
+        help="compare the latest bench-history record against the "
+        "trailing baseline (exit 4 on regression)",
+    )
+    watch.add_argument(
+        "--history", default="benchmarks/BENCH_HISTORY.jsonl", metavar="FILE",
+        help="the repro.bench-history/1 JSONL file to read",
+    )
+    watch.add_argument(
+        "--threshold", type=float, default=1.5, metavar="RATIO",
+        help="flag a metric slower than RATIO x its baseline (default 1.5)",
+    )
+    watch.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline = median of the previous up-to-N records (default 5)",
+    )
+    watch.set_defaults(fn=_cmd_bench_watch)
+
     args = parser.parse_args(argv)
+    recorder = flight_recorder()
+    previous_dump_dir = recorder.dump_dir
+    if getattr(args, "postmortem_dir", None):
+        configure_flight_recorder(dump_dir=args.postmortem_dir)
+        recorder.last_path = None
     try:
         return args.fn(args)
     except BudgetExceeded as error:
@@ -396,6 +520,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         diag = error.diagnostics()
         detail = ", ".join(f"{key}={diag[key]}" for key in sorted(diag))
         print(f"diagnostics: {detail}", file=sys.stderr)
+        if getattr(args, "postmortem_dir", None):
+            # budget errors that never crossed a guard exit (e.g. an
+            # engine-local --max-rounds cut with no guard active) still
+            # deserve a dump; the recorder dedupes the guarded ones
+            recorder.dump(error=error, reason="cli")
+        if recorder.last_path:
+            print(f"post-mortem: {recorder.last_path}", file=sys.stderr)
         return EXIT_BUDGET
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -403,6 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
+    finally:
+        recorder.dump_dir = previous_dump_dir
 
 
 if __name__ == "__main__":

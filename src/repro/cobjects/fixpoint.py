@@ -141,6 +141,11 @@ def evaluate_fixpoint(
                         tracer = active_tracer()
                         tracer.metrics.count("ccalc.fixpoint.rounds")
                         tracer.metrics.observe("ccalc.fixpoint.delta_tuples", delta)
+                        tracer.log(
+                            "ccalc.fixpoint.round",
+                            round=rounds + 1,
+                            delta_tuples=delta,
+                        )
                 except BudgetExceeded as error:
                     if on_budget == "partial":
                         return PartialRelation(current, rounds, str(error))

@@ -189,6 +189,12 @@ def evaluate_while(
                         tracer = active_tracer()
                         tracer.metrics.count("ccalc.while.rounds")
                         tracer.metrics.observe("ccalc.while.delta_tuples", delta)
+                        tracer.log(
+                            "ccalc.while.round",
+                            round=rounds + 1,
+                            delta_tuples=delta,
+                            state_tuples=len(new.tuples),
+                        )
                 except BudgetExceeded as error:
                     if on_budget == "partial":
                         return PartialRelation(current, rounds, str(error))

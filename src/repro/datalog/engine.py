@@ -202,6 +202,12 @@ def evaluate_program(
                             tracer = active_tracer()
                             tracer.metrics.count("datalog.naive.rounds")
                             tracer.metrics.observe("datalog.naive.delta_tuples", delta)
+                            tracer.log(
+                                "datalog.naive.round",
+                                round=rounds + 1,
+                                delta_tuples=delta,
+                                changed=changed,
+                            )
                     except BudgetExceeded as error:
                         if on_budget == "partial":
                             return FixpointResult(state, rounds, False, cut=str(error))

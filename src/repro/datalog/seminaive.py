@@ -196,6 +196,12 @@ def evaluate_seminaive(
                             tracer.metrics.observe(
                                 "datalog.seminaive.delta_tuples", delta
                             )
+                            tracer.log(
+                                "datalog.seminaive.round",
+                                round=rounds + 1,
+                                delta_tuples=delta,
+                                changed=changed,
+                            )
                     except BudgetExceeded as error:
                         if on_budget == "partial":
                             return FixpointResult(state, rounds, False, cut=str(error))

@@ -187,6 +187,13 @@ def evaluate_stratified(
                                 tracer.metrics.observe(
                                     "datalog.stratified.delta_tuples", delta
                                 )
+                                tracer.log(
+                                    "datalog.stratified.round",
+                                    round=total_rounds + 1,
+                                    stratum=level_of[layer[0]] if layer else 0,
+                                    delta_tuples=delta,
+                                    changed=changed,
+                                )
                         except BudgetExceeded as error:
                             if on_budget == "partial":
                                 return FixpointResult(

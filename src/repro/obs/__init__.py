@@ -42,26 +42,75 @@ from repro.obs.export import (
     validate_trace,
     write_trace,
 )
+from repro.obs.flightrec import (
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    configure_flight_recorder,
+    flight_recorder,
+    last_postmortem,
+    load_postmortem,
+    validate_postmortem,
+)
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    append_history,
+    compare_latest,
+    load_history,
+    render_watch_report,
+    validate_history_record,
+)
+from repro.obs.log import LOG_SCHEMA, log_event
 from repro.obs.metrics import Histogram, Metrics
 from repro.obs.profile import phase_breakdown, render_metrics_summary, render_profile
+from repro.obs.sink import (
+    LEVELS,
+    CollectingSink,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+    prometheus_text,
+    write_prometheus,
+)
 from repro.obs.trace import SpanRecord, Tracer, active_tracer, event, span
 
 __all__ = [
+    "HISTORY_SCHEMA",
+    "LEVELS",
+    "LOG_SCHEMA",
+    "POSTMORTEM_SCHEMA",
     "TRACE_SCHEMA",
+    "CollectingSink",
+    "FlightRecorder",
     "Histogram",
+    "JsonlSink",
     "Metrics",
+    "RingBufferSink",
+    "Sink",
     "SpanRecord",
     "Tracer",
     "active_tracer",
+    "append_history",
+    "compare_latest",
+    "configure_flight_recorder",
     "event",
+    "flight_recorder",
     "guard_stats_table",
     "kernel_stats_table",
+    "last_postmortem",
+    "load_history",
+    "load_postmortem",
     "load_trace",
+    "log_event",
     "phase_breakdown",
+    "prometheus_text",
     "render_metrics_summary",
     "render_profile",
+    "render_watch_report",
     "span",
     "trace_document",
+    "validate_history_record",
+    "validate_postmortem",
     "validate_trace",
+    "write_prometheus",
     "write_trace",
 ]

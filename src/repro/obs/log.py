@@ -1,0 +1,51 @@
+"""Structured JSON-lines event logging, correlated with traces.
+
+One *log record* is a flat JSON-safe dict::
+
+    {
+      "schema": "repro.log/1",
+      "ts":     1.234,          # seconds on the tracer's monotonic clock
+      "level":  "info",         # debug | info | warning | error
+      "kind":   "log",          # log | span | event
+      "name":   "datalog.naive.round",
+      "trace":  "b2f1c9d4e0a7",  # the emitting tracer's correlation id
+      "span":   7,               # innermost open span id, or null
+      "attrs":  {"round": 3, "delta_tuples": 12}
+    }
+
+Records are *emitted through the tracer*: :func:`log_event` reads the
+ambient :class:`~repro.obs.trace.Tracer` (one ContextVar read) and
+does nothing when no tracer is active, so instrumented sites pay no
+new cost when telemetry is off — the same contract as
+:func:`repro.obs.trace.span`.  An active tracer fans each record out
+to its attached sinks (:mod:`repro.obs.sink`), filtered per-sink by
+``min_level``, and mirrors it into the process-wide flight-recorder
+ring (:mod:`repro.obs.flightrec`) so the last N events survive to a
+post-mortem.
+
+Span closes and instant events are mirrored into the same stream
+automatically (``kind: "span"`` / ``"event"``, level ``debug``), so a
+JSONL sink sees the whole evaluation without the engines calling two
+APIs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.sink import LEVELS, level_number
+from repro.obs.trace import LOG_SCHEMA, active_tracer
+
+__all__ = ["LOG_SCHEMA", "LEVELS", "level_number", "log_event"]
+
+
+def log_event(name: str, level: str = "info", **attrs: Any) -> None:
+    """Emit one structured log record through the ambient tracer.
+
+    A no-op (single ContextVar read) when no tracer is active, so this
+    is safe to call from the engines' hot paths guarded by the same
+    ``sp is not None`` checks that gate metric recording.
+    """
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.log(name, level=level, **attrs)

@@ -1,0 +1,204 @@
+"""Pluggable telemetry sinks: where structured log records go.
+
+A :class:`Sink` consumes the log records a
+:class:`~repro.obs.trace.Tracer` emits (see :mod:`repro.obs.log` for
+the record shape).  Sinks are attached to a tracer with
+``tracer.add_sink(...)`` and are *pull-free*: the tracer pushes each
+record at emission time, filtered by the sink's ``min_level``, so a
+sink never has to poll and the disabled path (no tracer active) costs
+the instrumented sites nothing.
+
+Three concrete sinks cover the deployment shapes the ROADMAP's
+production north-star needs:
+
+* :class:`JsonlSink` — one JSON object per line to a file or handle,
+  the interchange format log shippers ingest;
+* :class:`RingBufferSink` — a bounded in-memory ring keeping the last
+  *N* records; the flight recorder (:mod:`repro.obs.flightrec`) is
+  built on one of these;
+* :class:`CollectingSink` — an unbounded list, for tests and
+  interactive inspection.
+
+Metrics travel separately: :func:`prometheus_text` renders a
+:class:`~repro.obs.metrics.Metrics` snapshot in the Prometheus text
+exposition format (counters as ``counter``, histograms as ``summary``
+plus ``_min``/``_max`` gauges), and :func:`write_prometheus` writes it
+atomically enough for a scrape-by-file setup (write + rename is
+overkill here; one process owns the file per run).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import deque
+from typing import IO, Dict, List, Optional, Union
+
+__all__ = [
+    "LEVELS",
+    "level_number",
+    "Sink",
+    "CollectingSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+#: recognized log levels, in severity order
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def level_number(level: str) -> int:
+    """The numeric severity of a level name (unknown names rank lowest)."""
+    return LEVELS.get(level, 0)
+
+
+class Sink:
+    """Base class: receives each record at emission time.
+
+    ``min_level`` filters: records below it are never delivered (the
+    tracer checks before calling :meth:`emit`, so a verbose sink does
+    not tax a quiet one).
+    """
+
+    min_level: str = "debug"
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered output downstream (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be emitted to after."""
+
+
+class CollectingSink(Sink):
+    """Keeps every record in a list (tests, interactive sessions)."""
+
+    def __init__(self, min_level: str = "debug") -> None:
+        self.min_level = min_level
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class RingBufferSink(Sink):
+    """Keeps the last ``capacity`` records; older ones fall off.
+
+    ``dropped`` counts the records that fell off the ring — the reader
+    of a snapshot can tell "these are all the events" apart from
+    "these are merely the most recent ones".
+    """
+
+    def __init__(self, capacity: int = 256, min_level: str = "debug") -> None:
+        self.min_level = min_level
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, record: dict) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(record)
+
+    def snapshot(self) -> List[dict]:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per line (the ``--log-jsonl``
+    CLI surface).  Accepts a path (opened lazily, closed by
+    :meth:`close`) or an already-open handle (left open)."""
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        min_level: str = "debug",
+    ) -> None:
+        self.min_level = min_level
+        self.lines_written = 0
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def emit(self, record: dict) -> None:
+        self._handle.write(
+            json.dumps(record, sort_keys=True, default=str, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+        self.lines_written += 1
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+# --------------------------------------------------------- metrics snapshots
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_METRIC_NAME.sub('_', name)}"
+
+
+def prometheus_text(metrics, namespace: str = "repro") -> str:
+    """A :class:`~repro.obs.metrics.Metrics` registry (or its
+    ``snapshot()`` dict) in the Prometheus text exposition format.
+
+    Counters become ``counter`` samples; histograms become ``summary``
+    ``_count``/``_sum`` pairs plus ``_min``/``_max`` gauges (the
+    registry keeps aggregates, never samples, so quantiles are not
+    available — min/max bound them).
+    """
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        aggregate = snapshot["histograms"][name]
+        metric = _metric_name(name, namespace)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {aggregate['count']}")
+        lines.append(f"{metric}_sum {aggregate['total']}")
+        for bound in ("min", "max"):
+            value = aggregate.get(bound)
+            if value is not None:
+                lines.append(f"# TYPE {metric}_{bound} gauge")
+                lines.append(f"{metric}_{bound} {value}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_prometheus(
+    path: str, metrics, namespace: str = "repro"
+) -> Optional[str]:
+    """Write the metrics snapshot to ``path`` (the ``--metrics-out``
+    CLI surface); returns the path for chaining."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(metrics, namespace))
+    return path

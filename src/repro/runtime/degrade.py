@@ -20,6 +20,12 @@ exception, according to a :class:`DegradePolicy`:
 
 The wrapper is engine-agnostic: pass ``engine=`` any callable with the
 ``evaluate_program`` signature (naive, semi-naive, stratified).
+
+Every degradation decision (transient retry, simplification retry,
+partial fallback) is emitted as a ``warning``-level structured log
+event through the ambient tracer (:mod:`repro.obs.log`), so a
+production run's retries are visible in the log stream and the
+flight-recorder ring — and cost nothing when nobody is observing.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.log import log_event
 from repro.runtime.budget import Budget, BudgetExceeded, TupleLimitExceeded
 from repro.runtime.faults import TransientEvaluationError
 
@@ -91,10 +98,14 @@ def run_with_policy(
     while True:
         try:
             return attempt(simplify, "raise", max_rounds)
-        except TransientEvaluationError:
+        except TransientEvaluationError as error:
             if transient_left <= 0:
                 raise
             transient_left -= 1
+            log_event(
+                "degrade.retry_transient", level="warning",
+                error=type(error).__name__, retries_left=transient_left,
+            )
         except BudgetExceeded as error:
             # representation blowup: simplification shrinks representations
             # without changing the denoted pointset — retry once with it on
@@ -105,10 +116,19 @@ def run_with_policy(
             ):
                 retried_simplified = True
                 simplify = True
+                log_event(
+                    "degrade.retry_simplified", level="warning",
+                    error=type(error).__name__, site=error.site,
+                )
                 continue
             fallback = policy.fallback_max_rounds
             if fallback is None and error.rounds > 0:
                 fallback = error.rounds
             if not policy.partial_on_budget or not fallback:
                 raise
+            log_event(
+                "degrade.partial_fallback", level="warning",
+                error=type(error).__name__, site=error.site,
+                fallback_max_rounds=fallback,
+            )
             return attempt(simplify, "partial", fallback)

@@ -161,4 +161,10 @@ class FaultRegistry:
             if fault.error is not None:
                 error = fault.error() if isinstance(fault.error, type) else fault.error
                 self.log.append((site, hit, f"raise:{type(error).__name__}"))
+                # a tripping fault is a post-mortem trigger: record it in
+                # the flight ring (and dump, when a dir is configured)
+                # before the raise unwinds the evaluation
+                from repro.obs.flightrec import flight_recorder
+
+                flight_recorder().on_fault(site, error)
                 raise error

@@ -38,6 +38,13 @@ and totals accumulated *during that activation* are merged into the
 tracer's metrics under the ``guard.`` prefix — guard checkpoints and
 trace metrics share one collection surface without a second code path
 through the algebra.
+
+Post-mortems: when the outermost ``__exit__`` sees an exception — a
+budget error, an injected fault, anything — the per-site counters and
+totals accumulated so far are captured into a ``repro.postmortem/1``
+document by the process-wide flight recorder
+(:mod:`repro.obs.flightrec`), so a budget abort keeps its partial
+telemetry instead of losing it with the stack unwind.
 """
 
 from __future__ import annotations
@@ -152,12 +159,19 @@ class EvaluationGuard:
             )
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
         _ACTIVE.reset(self._tokens.pop())
         if not self._tokens:
             tracer = active_tracer()
             if tracer is not None:
                 self._merge_into(tracer)
+            if exc is not None:
+                # the evaluation died inside this guard (budget error,
+                # injected fault, or any uncaught exception): capture a
+                # post-mortem so the abort is diagnosable after the fact
+                from repro.obs.flightrec import flight_recorder
+
+                flight_recorder().on_guard_exception(self, exc, tracer)
 
     def _merge_into(self, tracer) -> None:
         """Merge this activation's deltas into the tracer (``guard.*``)."""

@@ -1,0 +1,145 @@
+"""The CLI exit-code contract: 0 ok, 1 input error, 2 usage, 3 budget,
+4 bench regression — one code per failure class, documented in README."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import (
+    EXIT_BUDGET,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    main,
+)
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.encoding.standard import encode_database
+from repro.obs import HISTORY_SCHEMA
+
+TC_PROGRAM = "tc(x, y) :- e(x, y).\ntc(x, z) :- tc(x, y), e(y, z).\n"
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = Database()
+    db["e"] = Relation.from_points(("x", "y"), [(0, 1), (1, 2), (2, 3)])
+    path = tmp_path / "db.cdb"
+    path.write_text(encode_database(db), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "tc.dl"
+    path.write_text(TC_PROGRAM, encoding="utf-8")
+    return str(path)
+
+
+def write_history(path, *runs):
+    with open(path, "w", encoding="utf-8") as handle:
+        for metrics in runs:
+            handle.write(json.dumps({
+                "schema": HISTORY_SCHEMA,
+                "created_unix": time.time(),
+                "provenance": {"git": None, "python": "x", "platform": "y",
+                               "argv": "synthetic"},
+                "metrics": metrics,
+            }))
+            handle.write("\n")
+
+
+class TestDistinctCodes:
+    def test_the_five_codes_are_distinct_and_documented(self):
+        codes = [EXIT_OK, EXIT_ERROR, EXIT_USAGE, EXIT_BUDGET, EXIT_REGRESSION]
+        assert codes == [0, 1, 2, 3, 4]
+
+
+class TestExitOk:
+    def test_successful_query(self, db_file, capsys):
+        assert main(["query", db_file, "exists y e(x, y)"]) == EXIT_OK
+        capsys.readouterr()
+
+
+class TestExitError:
+    def test_missing_input_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.cdb")
+        assert main(["query", missing, "e(x, y)"]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_database(self, tmp_path, capsys):
+        path = tmp_path / "bad.cdb"
+        path.write_text("this is not a constraint database", encoding="utf-8")
+        assert main(["query", str(path), "e(x, y)"]) == EXIT_ERROR
+        capsys.readouterr()
+
+    def test_malformed_formula(self, db_file, capsys):
+        assert main(["query", db_file, "exists exists ((("]) == EXIT_ERROR
+        capsys.readouterr()
+
+
+class TestExitUsage:
+    def test_unknown_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["frobnicate"])
+        assert err.value.code == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_missing_required_argument(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["query"])
+        assert err.value.code == EXIT_USAGE
+        capsys.readouterr()
+
+
+class TestExitBudget:
+    def test_round_limit(self, db_file, program_file, capsys):
+        code = main(["datalog", db_file, program_file, "--max-rounds", "1"])
+        assert code == EXIT_BUDGET
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_explain_budget_abort_still_prints_profile(
+        self, db_file, program_file, capsys
+    ):
+        code = main(["explain", db_file, program_file, "--max-rounds", "1"])
+        assert code == EXIT_BUDGET
+        captured = capsys.readouterr()
+        # satellite: the partial profile and guard counters must still
+        # surface when the guard trips mid-run
+        assert "evaluation profile" in captured.out
+        assert "guard stats" in captured.out
+        assert "budget exceeded" in captured.err
+
+
+class TestExitRegression:
+    def test_injected_2x_slowdown_detected(self, tmp_path, capsys):
+        history = str(tmp_path / "history.jsonl")
+        write_history(
+            history,
+            {"tc_seconds": 1.00},
+            {"tc_seconds": 0.98},
+            {"tc_seconds": 1.02},
+            {"tc_seconds": 2.04},  # the injected 2x slowdown
+        )
+        code = main(["bench-watch", "--history", history])
+        assert code == EXIT_REGRESSION
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "status: regression" in out
+
+    def test_flat_history_passes(self, tmp_path, capsys):
+        history = str(tmp_path / "history.jsonl")
+        write_history(
+            history,
+            {"tc_seconds": 1.00},
+            {"tc_seconds": 0.98},
+            {"tc_seconds": 1.02},
+        )
+        assert main(["bench-watch", "--history", history]) == EXIT_OK
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_missing_history_is_an_input_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.jsonl")
+        assert main(["bench-watch", "--history", missing]) == EXIT_ERROR
+        capsys.readouterr()

@@ -1,0 +1,122 @@
+"""Structured log records: emission, correlation, levels, mirroring."""
+
+import json
+
+from repro.obs import CollectingSink, LOG_SCHEMA, Tracer, log_event
+from repro.obs.trace import span
+
+
+class TestDisabledPath:
+    def test_no_tracer_is_a_noop(self):
+        log_event("orphan.event", round=1)  # must not raise
+
+    def test_no_tracer_reaches_no_sink(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        log_event("before.activation")  # tracer built but not active
+        assert len(sink) == 0
+
+
+class TestEmission:
+    def test_record_shape(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer:
+            log_event("engine.round", round=3, delta_tuples=12)
+        records = [r for r in sink.records if r["kind"] == "log"]
+        assert len(records) == 1
+        record = records[0]
+        assert record["schema"] == LOG_SCHEMA
+        assert record["name"] == "engine.round"
+        assert record["level"] == "info"
+        assert record["trace"] == tracer.trace_id
+        assert record["attrs"] == {"round": 3, "delta_tuples": 12}
+        json.dumps(record)  # JSON-safe
+
+    def test_span_correlation(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer:
+            log_event("outside")
+            with span("work") as sp:
+                log_event("inside")
+                inner_id = sp.span_id
+        logs = {r["name"]: r for r in sink.records if r["kind"] == "log"}
+        assert logs["outside"]["span"] is None
+        assert logs["inside"]["span"] == inner_id
+
+    def test_trace_ids_differ_between_tracers(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+    def test_explicit_trace_id_kept(self):
+        assert Tracer(trace_id="run-42").trace_id == "run-42"
+
+
+class TestMirroring:
+    def test_span_close_mirrored_with_duration(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer:
+            with span("qe.eliminate", vars=2):
+                pass
+        mirrored = [r for r in sink.records if r["kind"] == "span"]
+        assert len(mirrored) == 1
+        assert mirrored[0]["name"] == "qe.eliminate"
+        assert mirrored[0]["level"] == "debug"
+        assert mirrored[0]["attrs"]["vars"] == 2
+        assert mirrored[0]["attrs"]["duration"] >= 0.0
+
+    def test_instant_event_mirrored(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer:
+            tracer.event("round.delta", size=7)
+        mirrored = [r for r in sink.records if r["kind"] == "event"]
+        assert [r["name"] for r in mirrored] == ["round.delta"]
+
+
+class TestLevelFiltering:
+    def test_min_level_filters_per_sink(self):
+        tracer = Tracer()
+        quiet = tracer.add_sink(CollectingSink(min_level="warning"))
+        verbose = tracer.add_sink(CollectingSink())
+        with tracer:
+            log_event("fine", level="debug")
+            log_event("notable", level="warning")
+            log_event("broken", level="error")
+        assert [r["name"] for r in quiet.records] == ["notable", "broken"]
+        assert {"fine", "notable", "broken"} <= {r["name"] for r in verbose.records}
+
+    def test_span_mirrors_are_debug_level(self):
+        tracer = Tracer()
+        quiet = tracer.add_sink(CollectingSink(min_level="info"))
+        with tracer:
+            with span("noise"):
+                pass
+            log_event("signal")
+        assert [r["name"] for r in quiet.records] == ["signal"]
+
+
+class TestEngineIntegration:
+    def test_fixpoint_rounds_logged(self):
+        from repro.core.database import Database
+        from repro.core.relation import Relation
+        from repro.datalog.engine import evaluate_program
+        from repro.lang import parse_program
+
+        db = Database()
+        db["E"] = Relation.from_points(("x", "y"), [(0, 1), (1, 2), (2, 3)])
+        program = parse_program(
+            "T(x, y) :- E(x, y).\nT(x, z) :- T(x, y), E(y, z).\n"
+        )
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer:
+            result = evaluate_program(program, db)
+        rounds = [
+            r for r in sink.records
+            if r["kind"] == "log" and r["name"] == "datalog.naive.round"
+        ]
+        assert len(rounds) == result.rounds
+        assert rounds[0]["attrs"]["round"] == 1
+        assert all(r["trace"] == tracer.trace_id for r in rounds)

@@ -1,0 +1,135 @@
+"""Telemetry sinks: levels, ring semantics, JSONL output, Prometheus."""
+
+import io
+import json
+
+from repro.obs import (
+    LEVELS,
+    CollectingSink,
+    JsonlSink,
+    Metrics,
+    RingBufferSink,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.sink import level_number
+
+
+def rec(name, level="info", **attrs):
+    return {
+        "schema": "repro.log/1",
+        "ts": 0.0,
+        "level": level,
+        "kind": "log",
+        "name": name,
+        "trace": "abc",
+        "span": None,
+        "attrs": attrs,
+    }
+
+
+class TestLevels:
+    def test_severity_order(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+    def test_unknown_level_ranks_lowest(self):
+        assert level_number("chatty") < level_number("debug")
+
+
+class TestCollectingSink:
+    def test_collects_in_order(self):
+        sink = CollectingSink()
+        sink.emit(rec("a"))
+        sink.emit(rec("b"))
+        assert [r["name"] for r in sink.records] == ["a", "b"]
+        assert len(sink) == 2
+
+
+class TestRingBufferSink:
+    def test_keeps_last_n_and_counts_dropped(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.emit(rec(f"e{i}"))
+        assert [r["name"] for r in ring.snapshot()] == ["e2", "e3", "e4"]
+        assert ring.dropped == 2
+        assert len(ring) == 3
+
+    def test_snapshot_is_a_copy(self):
+        ring = RingBufferSink(capacity=2)
+        ring.emit(rec("a"))
+        snap = ring.snapshot()
+        ring.emit(rec("b"))
+        ring.emit(rec("c"))
+        assert [r["name"] for r in snap] == ["a"]
+
+    def test_clear_resets_dropped(self):
+        ring = RingBufferSink(capacity=1)
+        ring.emit(rec("a"))
+        ring.emit(rec("b"))
+        ring.clear()
+        assert len(ring) == 0 and ring.dropped == 0
+
+
+class TestJsonlSink:
+    def test_writes_one_compact_object_per_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(rec("a", round=1))
+        sink.emit(rec("b"))
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2 and sink.lines_written == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a" and first["attrs"] == {"round": 1}
+        assert ": " not in lines[0]  # compact separators
+
+    def test_handle_target_left_open(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit(rec("a"))
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["name"] == "a"
+
+    def test_non_json_attrs_coerced(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(rec("a", what={1, 2}.__class__))
+        sink.close()
+        json.loads(path.read_text(encoding="utf-8"))  # default=str kept it valid
+
+
+class TestPrometheus:
+    def metrics(self):
+        m = Metrics()
+        m.count("relation.join.calls", 3)
+        m.observe("qe.vars", 2)
+        m.observe("qe.vars", 5)
+        return m
+
+    def test_counters_and_summaries(self):
+        text = prometheus_text(self.metrics())
+        assert "# TYPE repro_relation_join_calls counter" in text
+        assert "repro_relation_join_calls 3" in text
+        assert "# TYPE repro_qe_vars summary" in text
+        assert "repro_qe_vars_count 2" in text
+        assert "repro_qe_vars_sum 7" in text
+        assert "repro_qe_vars_min 2" in text
+        assert "repro_qe_vars_max 5" in text
+
+    def test_name_sanitization_and_namespace(self):
+        m = Metrics()
+        m.count("guard.site:odd name!", 1)
+        text = prometheus_text(m, namespace="custom")
+        assert "custom_guard_site:odd_name_ 1" in text
+
+    def test_accepts_snapshot_dict(self):
+        text = prometheus_text(self.metrics().snapshot())
+        assert "repro_relation_join_calls 3" in text
+
+    def test_write_prometheus_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert write_prometheus(str(path), self.metrics()) == str(path)
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        assert "repro_qe_vars_count 2" in content

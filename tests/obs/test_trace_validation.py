@@ -1,0 +1,161 @@
+"""``repro.trace/1`` validation failures: malformed nesting, negative
+durations, unknown schema ids, and other corrupted documents.
+
+``tests/obs/test_export.py`` checks that well-formed documents round
+trip; this battery checks the other direction — every invariant named
+in :func:`repro.obs.export.validate_trace` actually rejects."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.relation import Relation
+from repro.datalog.engine import evaluate_program
+from repro.errors import EncodingError
+from repro.lang import parse_program
+from repro.obs import TRACE_SCHEMA, Tracer, trace_document, validate_trace
+
+
+def base_document():
+    return {
+        "schema": TRACE_SCHEMA,
+        "spans": [],
+        "events": [],
+        "metrics": {"counters": {}, "histograms": {}},
+        "guard": None,
+        "dropped_spans": 0,
+    }
+
+
+def span_entry(span_id, parent=None, start=0.0, end=1.0, name="s"):
+    return {
+        "id": span_id, "parent": parent, "name": name,
+        "start": start, "end": end, "attrs": {},
+    }
+
+
+class TestSchemaId:
+    @pytest.mark.parametrize(
+        "schema",
+        ["repro.trace/2", "repro.trace", "trace/1", "", None, 1],
+    )
+    def test_unknown_schema_id_rejected(self, schema):
+        doc = base_document()
+        doc["schema"] = schema
+        with pytest.raises(EncodingError, match="schema"):
+            validate_trace(doc)
+
+    def test_missing_schema_rejected(self):
+        doc = base_document()
+        del doc["schema"]
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(EncodingError):
+            validate_trace([base_document()])
+
+
+class TestSpanNesting:
+    def test_child_starting_before_parent_rejected(self):
+        doc = base_document()
+        doc["spans"] = [
+            span_entry(1, start=5.0, end=9.0),
+            span_entry(2, parent=1, start=2.0, end=6.0),
+        ]
+        with pytest.raises(EncodingError, match="before its parent"):
+            validate_trace(doc)
+
+    def test_self_parent_cycle_needs_no_special_case(self):
+        # a span claiming itself as parent is structurally fine for the
+        # parent-exists check but still must not start before "its
+        # parent" vacuously -- the validator accepts or rejects it
+        # purely by the declared invariants
+        doc = base_document()
+        doc["spans"] = [span_entry(1, parent=1)]
+        validate_trace(doc)
+
+    def test_forward_parent_reference_allowed(self):
+        # span order in the document is collection order, not tree
+        # order; a parent listed later must still resolve
+        doc = base_document()
+        doc["spans"] = [
+            span_entry(2, parent=1, start=1.0, end=2.0),
+            span_entry(1, start=0.5, end=3.0),
+        ]
+        assert validate_trace(doc) is doc
+
+
+class TestDurations:
+    def test_negative_duration_rejected(self):
+        doc = base_document()
+        doc["spans"] = [span_entry(1, start=3.0, end=1.0)]
+        with pytest.raises(EncodingError, match="closes before it opens"):
+            validate_trace(doc)
+
+    def test_open_span_tolerated(self):
+        doc = base_document()
+        doc["spans"] = [span_entry(1, end=None)]
+        assert validate_trace(doc) is doc
+
+    def test_zero_duration_tolerated(self):
+        doc = base_document()
+        doc["spans"] = [span_entry(1, start=1.0, end=1.0)]
+        assert validate_trace(doc) is doc
+
+
+class TestEvents:
+    def test_event_with_unknown_parent_rejected(self):
+        doc = base_document()
+        doc["events"] = [{"name": "e", "time": 0.0, "parent": 404, "attrs": {}}]
+        with pytest.raises(EncodingError, match="unknown parent"):
+            validate_trace(doc)
+
+    def test_event_missing_time_rejected(self):
+        doc = base_document()
+        doc["events"] = [{"name": "e"}]
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
+
+
+class TestStructure:
+    def test_span_missing_key_rejected(self):
+        doc = base_document()
+        entry = span_entry(1)
+        del entry["attrs"]
+        doc["spans"] = [entry]
+        with pytest.raises(EncodingError, match="missing key"):
+            validate_trace(doc)
+
+    def test_non_string_span_name_rejected(self):
+        doc = base_document()
+        doc["spans"] = [span_entry(1, name=7)]
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
+
+    def test_spans_must_be_an_array(self):
+        doc = base_document()
+        doc["spans"] = {"1": span_entry(1)}
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
+
+    def test_histogram_without_aggregates_rejected(self):
+        doc = base_document()
+        doc["metrics"]["histograms"] = {"h": {"total": 3.0}}
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
+
+
+class TestCorruptedRealDocument:
+    def test_real_trace_survives_then_breaks_when_corrupted(self):
+        db = Database()
+        db["E"] = Relation.from_points(("x", "y"), [(0, 1), (1, 2)])
+        program = parse_program(
+            "T(x, y) :- E(x, y).\nT(x, z) :- T(x, y), E(y, z).\n"
+        )
+        tracer = Tracer()
+        with tracer:
+            evaluate_program(program, db)
+        doc = validate_trace(trace_document(tracer))
+        doc["spans"][0]["start"] = doc["spans"][0]["end"] + 1.0
+        with pytest.raises(EncodingError):
+            validate_trace(doc)
