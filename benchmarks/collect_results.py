@@ -385,9 +385,104 @@ def e15_kernel_cache() -> None:
     print(f"(machine-readable ratios written to {out_path})")
 
 
+def e17_parallel() -> None:
+    """Measure the sharded-backend speedup and the off-switch overhead,
+    and fold the numbers into ``BENCH_PARALLEL.json`` next to this
+    script so the CI gate and EXPERIMENTS.md read the same numbers.
+
+    Speedup depends on the machine: the JSON records the core count
+    alongside the ratios, and single-core runs still record the
+    overhead envelope (the correctness story lives in the differential
+    suite, not here).
+    """
+    header("E17 -- sharded parallel evaluation (repro.parallel)")
+    import sys
+
+    sys.path.insert(0, "benchmarks")
+    from bench_e17_parallel import join_heavy_relation, tc_fixpoint, two_hop
+
+    import repro.core.relation as relation_module
+    from repro.parallel import ExecutionContext
+
+    def best(thunk, repeat=3):
+        out = float("inf")
+        for _ in range(repeat):
+            _, seconds = timed(thunk)
+            out = min(out, seconds)
+        return out
+
+    cores = os.cpu_count() or 1
+    r = join_heavy_relation()
+    entries = {"cores": cores, "workloads": {}}
+    print("| workload | serial (s) | 4 workers (s) | speedup |")
+    print("|---|---|---|---|")
+    workloads = {
+        "two_hop_join": (lambda: two_hop(r), "with"),
+        "tc_seminaive": (tc_fixpoint, "kwarg"),
+    }
+    ctx = ExecutionContext(workers=4, pool="process", min_tuples=8)
+    try:
+        for name, (thunk, style) in workloads.items():
+            serial = best(thunk)
+            if style == "with":
+                with ctx:
+                    thunk()  # warm the pool once
+                    parallel = best(thunk)
+            else:
+                thunk(context=ctx)
+                parallel = best(lambda: thunk(context=ctx))
+            entries["workloads"][name] = {
+                "serial_seconds": serial,
+                "parallel_seconds": parallel,
+                "speedup": serial / parallel,
+            }
+            print(
+                f"| {name} | {serial:.4f} | {parallel:.4f} "
+                f"| {serial / parallel:.2f}x |"
+            )
+    finally:
+        ctx.close()
+
+    hook = relation_module.active_execution_context
+    hot = lambda: [two_hop(r) for _ in range(3)]
+    with_hook = best(hot, repeat=5)
+    relation_module.active_execution_context = lambda: None
+    try:
+        without_hook = best(hot, repeat=5)
+    finally:
+        relation_module.active_execution_context = hook
+    overhead = with_hook / without_hook - 1.0
+    entries["off_overhead"] = overhead
+    print()
+    print(f"off-switch overhead: {overhead:+.2%} (target < 3%)")
+
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_PARALLEL.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "repro.bench-parallel/1", **entries},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(f"(machine-readable ratios written to {out_path})")
+
+
 DEFAULT_HISTORY = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_HISTORY.jsonl"
 )
+
+
+def _parallel_two_hop() -> None:
+    """Quick sharded two-hop join for the history record (thread pool:
+    cheap to spin up, and the shard/merge cost is what is watched)."""
+    from repro.parallel import ExecutionContext
+
+    r = Relation.from_points(("x", "y"), [(i, (i * 7 + 3) % 60) for i in range(60)])
+    ctx = ExecutionContext(workers=2, pool="thread", min_tuples=2)
+    try:
+        with ctx:
+            r.join(r.rename({"x": "y", "y": "z"})).project(("x", "z"))
+    finally:
+        ctx.close()
 
 
 def bench_history(history_path: str) -> None:
@@ -414,6 +509,7 @@ def bench_history(history_path: str) -> None:
         "datalog_seminaive_tc_seconds": lambda: evaluate_seminaive(
             transitive_closure_program(), path_graph(8)
         ),
+        "parallel_two_hop_seconds": _parallel_two_hop,
     }
     metrics = {}
     print("| workload | best-of-3 (s) |")
@@ -467,6 +563,7 @@ def main(argv=None) -> None:
     e12_ablations()
     e14_profiles()
     e15_kernel_cache()
+    e17_parallel()
     bench_history(args.history)
     print()
 

@@ -20,6 +20,7 @@ Subpackages
 ``repro.runtime``     resource budgets, guards, degradation, fault injection
 ``repro.obs``         evaluation tracing, metrics, EXPLAIN profiling
 ``repro.perf``        kernel memo cache and generalized-tuple interning
+``repro.parallel``    opt-in sharded parallel evaluation backend
 """
 
 __version__ = "1.0.0"
@@ -49,6 +50,9 @@ from repro.obs import (  # noqa: F401
     render_profile,
     span,
 )
+from repro.parallel import (  # noqa: F401
+    ExecutionContext,
+)
 from repro.perf import (  # noqa: F401
     kernel_cache_disabled,
     kernel_stats,
@@ -63,6 +67,7 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "EvaluationGuard",
+    "ExecutionContext",
     "Tracer",
     "kernel_cache_disabled",
     "kernel_stats",

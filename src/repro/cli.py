@@ -45,6 +45,11 @@ encoding/input error, ``2`` usage error, ``3`` budget exhausted,
 ``--no-cache`` disables the kernel memo cache and the tuple intern
 pool (:mod:`repro.perf`) for the run — the escape hatch for timing
 comparisons and for ruling the cache out when debugging.
+
+``--parallel`` (with ``--workers`` and ``--shard-strategy``) shards
+the expensive relation kernels across a worker pool
+(:mod:`repro.parallel`); serial evaluation remains the default and
+the reference, and results are set-equivalent either way.
 """
 
 from __future__ import annotations
@@ -185,6 +190,35 @@ def _cache_context(args: argparse.Namespace):
     return contextlib.nullcontext()
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="shard the expensive relation kernels across a worker pool "
+        "(serial evaluation is the default and the reference)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker pool size for --parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--shard-strategy", choices=("hash", "cell"), default="hash",
+        help="tuple partitioner for --parallel: stable-hash or "
+        "cell-aligned (default: hash)",
+    )
+
+
+def _context_of(args: argparse.Namespace):
+    """An ExecutionContext when --parallel was requested, else None."""
+    if not getattr(args, "parallel", False):
+        return None
+    from repro.parallel import ExecutionContext
+
+    return ExecutionContext(
+        workers=getattr(args, "workers", None),
+        shard_strategy=getattr(args, "shard_strategy", "hash"),
+    )
+
+
 def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
     """A Tracer when any observation surface was requested; the JSONL
     log sink is attached here so engine emission streams live."""
@@ -290,16 +324,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
+    ctx = _context_of(args)
     try:
         with _cache_context(args), (
             tracer if tracer is not None else contextlib.nullcontext()
         ):
-            result = evaluate(formula, db, guard=guard)
+            result = evaluate(formula, db, guard=guard, context=ctx)
         if not result.schema:
             print("true" if not result.is_empty() else "false")
         else:
             _print_relation(result, as_intervals=not args.raw)
     finally:
+        if ctx is not None:
+            ctx.close()
         _report_observation(args, tracer, guard)
     return 0
 
@@ -311,6 +348,7 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
+    ctx = _context_of(args)
     try:
         with _cache_context(args), (
             tracer if tracer is not None else contextlib.nullcontext()
@@ -321,6 +359,7 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
                 max_rounds=args.max_rounds,
                 guard=guard,
                 on_budget=args.on_budget,
+                context=ctx,
             )
         if result.reached_fixpoint:
             print(f"fixpoint after {result.rounds} round(s)")
@@ -331,6 +370,8 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
             print(f"-- {name}")
             _print_relation(result[name], as_intervals=not args.raw)
     finally:
+        if ctx is not None:
+            ctx.close()
         _report_observation(args, tracer, guard)
     return 0
 
@@ -344,9 +385,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if getattr(args, "log_jsonl", None):
         tracer.add_sink(JsonlSink(args.log_jsonl))
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
+    ctx = _context_of(args)
     summary: str
     try:
-        with _cache_context(args), tracer:
+        with _cache_context(args), tracer, (
+            ctx if ctx is not None else contextlib.nullcontext()
+        ):
+            # the context is *activated* around the whole run (rather
+            # than passed to one engine) so the stratified engine and
+            # any nested evaluation see it through the context variable
             summary = _run_explain(args, db, guard, is_program)
         print(summary)
     finally:
@@ -361,6 +408,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             write_prometheus(args.metrics_out, tracer.metrics)
         for sink in tracer.sinks:
             sink.close()
+        if ctx is not None:
+            ctx.close()
     return 0
 
 
@@ -435,6 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_budget_flags(query)
     _add_obs_flags(query)
     _add_cache_flag(query)
+    _add_parallel_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
@@ -454,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_budget_flags(datalog)
     _add_obs_flags(datalog)
     _add_cache_flag(datalog)
+    _add_parallel_flags(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
 
     explain_cmd = sub.add_parser(
@@ -481,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_budget_flags(explain_cmd)
     _add_cache_flag(explain_cmd)
+    _add_parallel_flags(explain_cmd)
     _add_telemetry_flags(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
 

@@ -106,6 +106,11 @@ class Atom:
     def __hash__(self) -> int:  # cached: atoms live in hot frozensets
         return self._hash
 
+    def __reduce__(self):
+        # rebuild through the constructor so the cached (salted) hash
+        # is recomputed in the unpickling process
+        return (Atom, (self.left, self.op, self.right))
+
     def __str__(self) -> str:
         return f"{self.left} {self.op.value} {self.right}"
 

@@ -28,6 +28,7 @@ tuple budget.  Without a guard the checkpoints are near-free.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional, Sequence, Tuple
 
 from repro.core.database import Database
@@ -76,6 +77,7 @@ def evaluate(
     theory: ConstraintTheory = DENSE_ORDER,
     *,
     guard: Optional[EvaluationGuard] = None,
+    context=None,
 ) -> Relation:
     """Evaluate ``formula`` against ``database`` in closed form.
 
@@ -83,7 +85,11 @@ def evaluate(
     names of the formula.  ``database`` may be omitted for pure
     constraint formulas.  ``guard`` bounds the evaluation (deadline,
     tuple/depth budgets, cancellation); when omitted, the guard active
-    on the calling context (if any) governs the run.
+    on the calling context (if any) governs the run.  ``context``
+    optionally activates a
+    :class:`~repro.parallel.context.ExecutionContext` for the run, so
+    the expensive relation kernels are sharded across its worker pool;
+    serial evaluation (the reference semantics) is the default.
     """
     if database is None:
         database = Database(theory=theory)
@@ -98,22 +104,23 @@ def evaluate(
             )
         theory = database.theory
     tracer = active_tracer()
-    if tracer is None:
-        if guard is None:
-            guard = active_guard()
-            result = _eval(formula, database, theory, guard)
-        else:
-            with guard:
-                result = _eval(formula, database, theory, guard)
-    else:
-        with tracer.span("fo.evaluate", formula=_formula_label(formula)) as sp:
+    with context if context is not None else contextlib.nullcontext():
+        if tracer is None:
             if guard is None:
                 guard = active_guard()
                 result = _eval(formula, database, theory, guard)
             else:
                 with guard:
                     result = _eval(formula, database, theory, guard)
-            sp.attrs["out_tuples"] = len(result.tuples)
+        else:
+            with tracer.span("fo.evaluate", formula=_formula_label(formula)) as sp:
+                if guard is None:
+                    guard = active_guard()
+                    result = _eval(formula, database, theory, guard)
+                else:
+                    with guard:
+                        result = _eval(formula, database, theory, guard)
+                sp.attrs["out_tuples"] = len(result.tuples)
     target = _result_schema(formula)
     if result.schema != target:  # pragma: no cover - _eval keeps schemas sorted
         result = result.extend(_common_schema(result.schema, target)).project(target)
@@ -126,13 +133,16 @@ def evaluate_boolean(
     theory: ConstraintTheory = DENSE_ORDER,
     *,
     guard: Optional[EvaluationGuard] = None,
+    context=None,
 ) -> bool:
     """Evaluate a sentence (closed formula) to a boolean."""
     free = formula.free_variables()
     if free:
         names = ", ".join(sorted(v.name for v in free))
         raise EvaluationError(f"formula is not a sentence; free variables: {names}")
-    return not evaluate(formula, database, theory, guard=guard).is_empty()
+    return not evaluate(
+        formula, database, theory, guard=guard, context=context
+    ).is_empty()
 
 
 # --------------------------------------------------------------------- core

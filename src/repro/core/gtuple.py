@@ -32,6 +32,11 @@ __all__ = ["GTuple", "Schema", "check_schema"]
 Schema = Tuple[str, ...]
 
 
+def _restore_gtuple(theory: ConstraintTheory, schema: Schema, atoms: FrozenSet) -> "GTuple":
+    """Unpickle through the interning constructor (see GTuple.__reduce__)."""
+    return GTuple._canonical(theory, schema, atoms)
+
+
 def check_schema(schema: Sequence[str]) -> Schema:
     """Validate and freeze a schema (ordered, distinct column names)."""
     out = tuple(schema)
@@ -162,6 +167,15 @@ class GTuple:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Ship only (theory, schema, atoms): the cached hash is salted
+        # and the lazy entailer closes over unpicklable kernel state,
+        # so both are rebuilt on the receiving side -- and routing
+        # through _canonical re-interns the tuple into that process's
+        # pool, keeping the identity fast paths effective for shard
+        # payloads crossing a process boundary.
+        return (_restore_gtuple, (self.theory, self.schema, self.atoms))
 
     def __repr__(self) -> str:
         cols = ", ".join(self.schema)

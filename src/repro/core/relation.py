@@ -28,6 +28,7 @@ from repro.core.terms import Const, Term, Var
 from repro.core.theory import ConstraintTheory, DenseOrderTheory, DENSE_ORDER
 from repro.errors import SchemaError, TheoryError
 from repro.obs.trace import active_tracer
+from repro.parallel.context import active_execution_context
 from repro.runtime.faults import fault_point
 from repro.runtime.guard import active_guard
 
@@ -208,7 +209,13 @@ class Relation:
             if not t.atoms:  # a universe tuple: complement is empty
                 return Relation._trusted(self.theory, self.schema, ())
             negated: List = []
-            for a in t.atoms:
+            # sorted: t.atoms is a frozenset whose iteration order is
+            # hash-salted; the complement's *tuple set* is order-
+            # independent, but which duplicate representative survives
+            # dedup (and hence the representation order downstream) is
+            # not -- pin it so runs agree across PYTHONHASHSEED values
+            # and shard merges
+            for a in sorted(t.atoms, key=str):
                 negated.extend(self.theory.negate_atom(a))
             grown: List[GTuple] = []
             for p in partial:
@@ -268,22 +275,29 @@ class Relation:
             metrics = tracer.metrics
             metrics.count("relation.project.calls")
             metrics.observe("relation.project.in_tuples", len(current))
-        for column in victims:
-            survivors: List[GTuple] = []
-            for t in current:
-                survivors.extend(t.project_out_all(column))
-            current = survivors
-            if guard is not None:
-                guard.note("qe", len(survivors))
-                guard.on_tuples(len(survivors), "relation.project")
-                guard.tick("relation.project")
-            if tracer is not None:
-                metrics.count("qe.eliminated_vars")
-                metrics.observe("qe.survivors", len(survivors))
+        ctx = active_execution_context() if victims else None
+        if ctx is not None and ctx.eligible(len(current)):
+            from repro.parallel.backend import parallel_project
+
+            reordered = parallel_project(current, victims, target, ctx, guard, tracer)
+        else:
+            for column in victims:
+                survivors: List[GTuple] = []
+                for t in current:
+                    survivors.extend(t.project_out_all(column))
+                current = survivors
+                if guard is not None:
+                    guard.note("qe", len(survivors))
+                    guard.on_tuples(len(survivors), "relation.project")
+                    guard.tick("relation.project")
+                if tracer is not None:
+                    metrics.count("qe.eliminated_vars")
+                    metrics.observe("qe.survivors", len(survivors))
+            reordered = [t.reorder(target) for t in current]
         if tracer is not None:
-            metrics.observe("relation.project.out_tuples", len(current))
+            metrics.observe("relation.project.out_tuples", len(reordered))
             metrics.observe("relation.project.seconds", tracer.clock() - t0)
-        return Relation._trusted(self.theory, target, [t.reorder(target) for t in current])
+        return Relation._trusted(self.theory, target, reordered)
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Rename columns (missing entries = identity)."""
@@ -332,25 +346,33 @@ class Relation:
             metrics.count("relation.join.indexed")
         out: List[GTuple] = []
         considered = 0
-        for ai, a in enumerate(self.tuples):
-            if guard is not None:
-                guard.tick("relation.join")
-            wide_a = a.extend(combined)
-            if partition is None:
-                matches: Iterable[int] = range(len(wide_b))
-            else:
-                buckets, unpinned, pins_a = partition
-                pin = pins_a[ai]
-                if pin is None:
-                    matches = range(len(wide_b))
+        ctx = active_execution_context()
+        if ctx is not None and wide_b and ctx.eligible(len(self.tuples)):
+            from repro.parallel.backend import parallel_join
+
+            out, considered = parallel_join(
+                self.tuples, wide_b, combined, partition, ctx, guard
+            )
+        else:
+            for ai, a in enumerate(self.tuples):
+                if guard is not None:
+                    guard.tick("relation.join")
+                wide_a = a.extend(combined)
+                if partition is None:
+                    matches: Iterable[int] = range(len(wide_b))
                 else:
-                    # preserve the nested loop's right-side order
-                    matches = sorted(buckets.get(pin, ()) + unpinned)
-            for bi in matches:
-                considered += 1
-                merged = wide_a.merge(wide_b[bi], combined)
-                if merged is not None:
-                    out.append(merged)
+                    buckets, unpinned, pins_a = partition
+                    pin = pins_a[ai]
+                    if pin is None:
+                        matches = range(len(wide_b))
+                    else:
+                        # preserve the nested loop's right-side order
+                        matches = sorted(buckets.get(pin, ()) + unpinned)
+                for bi in matches:
+                    considered += 1
+                    merged = wide_a.merge(wide_b[bi], combined)
+                    if merged is not None:
+                        out.append(merged)
         result = Relation._trusted(self.theory, combined, out)
         if guard is not None:
             guard.charge_relation(result, "relation.join")
@@ -423,6 +445,24 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
             # a universe tuple subsumes every other tuple and is
             # subsumed by none, so the pairwise pass reduces to [t]
             return [t]
+    ctx = active_execution_context()
+    if ctx is not None and ctx.eligible(len(distinct)):
+        from repro.parallel.backend import parallel_absorb
+
+        return parallel_absorb(distinct, ctx)
+    return [distinct[i] for i in _absorb_survivors(distinct, 0, len(distinct))]
+
+
+def _absorb_survivors(distinct: List[GTuple], start: int, stop: int) -> List[int]:
+    """Indices in ``[start, stop)`` of tuples not absorbed by any other.
+
+    ``distinct`` must be deduplicated, non-trivial (no universe tuple,
+    length > 1) and is never mutated.  Whether index ``i`` survives
+    depends only on the full list, not on other survival decisions, so
+    disjoint ranges can be decided independently (the parallel backend
+    fans them out) and concatenated in order to reproduce the full
+    serial pass.
+    """
     theory = distinct[0].theory
     dense = isinstance(theory, DenseOrderTheory)
     var_sets: List[FrozenSet[Var]] = (
@@ -441,19 +481,31 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
                 return True
         return all(t.entails(a) for a in s.atoms)
 
-    kept: List[GTuple] = []
-    for i, t in enumerate(distinct):
+    def stable_key(i: int) -> List[str]:
+        return sorted(str(a) for a in distinct[i].atoms)
+
+    kept: List[int] = []
+    for i in range(start, stop):
         absorbed = False
         for j in range(len(distinct)):
             if i == j or not subsumes(j, i):
                 continue
-            # keep the earlier one when two tuples subsume each other
-            if j > i and subsumes(i, j):
-                continue
+            if subsumes(i, j):
+                # mutual subsumption: the tuples denote the same
+                # pointset.  Keep the one with the smaller canonical
+                # rendering -- an input-order-independent tie-break, so
+                # the surviving representative does not depend on how
+                # (or in which shard) the list was assembled.  Dense-
+                # order tuples are canonicalized, so distinct-but-
+                # equivalent tuples cannot arise there and this branch
+                # only governs other theories.
+                ki, kj = stable_key(i), stable_key(j)
+                if (ki, i) < (kj, j):
+                    continue
             absorbed = True
             break
         if not absorbed:
-            kept.append(t)
+            kept.append(i)
     return kept
 
 

@@ -34,6 +34,12 @@ class Var:
     def __hash__(self) -> int:  # cached: terms are hashed hot
         return self._hash
 
+    def __reduce__(self):
+        # rebuild through the constructor: the cached hash is salted
+        # (PYTHONHASHSEED), so it must be recomputed in the unpickling
+        # process rather than shipped across a process boundary
+        return (Var, (self.name,))
+
     def __str__(self) -> str:
         return self.name
 
@@ -51,6 +57,10 @@ class Const:
 
     def __hash__(self) -> int:  # cached: Fraction.__hash__ is slow
         return self._hash
+
+    def __reduce__(self):
+        # recompute the cached hash on unpickle (see Var.__reduce__)
+        return (Const, (self.value,))
 
     def __str__(self) -> str:
         return str(self.value)

@@ -128,6 +128,7 @@ def evaluate_program(
     budget: Optional[Budget] = None,
     guard: Optional[EvaluationGuard] = None,
     on_budget: str = "raise",
+    context=None,
 ) -> FixpointResult:
     """Run ``program`` to its inflationary fixpoint over ``database``.
 
@@ -143,6 +144,11 @@ def evaluate_program(
     completed round as a partial :class:`FixpointResult` with
     ``reached_fixpoint=False`` and ``cut`` naming what was cut —
     sound under inflationary semantics (facts are only ever added).
+
+    ``context`` optionally activates a
+    :class:`~repro.parallel.context.ExecutionContext` for the whole
+    run, sharding the expensive relation kernels of every round across
+    its worker pool; serial evaluation stays the reference.
     """
     check_on_budget(on_budget)
     guard = resolve_guard(guard, budget)
@@ -166,7 +172,8 @@ def evaluate_program(
     # test builds one frozenset per changed predicate per round instead
     # of re-freezing the (large, unchanged) previous state every round
     state_sets: Dict[str, frozenset] = {name: frozenset() for name in program.idb}
-    with guard if guard is not None else contextlib.nullcontext():
+    with contextlib.nullcontext() if context is None else context, \
+            contextlib.nullcontext() if guard is None else guard:
         with span("datalog.naive", rules=len(program.rules), idb=len(program.idb)):
             while True:
                 with span("datalog.naive.round", round=rounds + 1) as sp:

@@ -101,6 +101,7 @@ def evaluate_seminaive(
     budget: Optional[Budget] = None,
     guard: Optional[EvaluationGuard] = None,
     on_budget: str = "raise",
+    context=None,
 ) -> FixpointResult:
     """Inflationary fixpoint via semi-naive evaluation.
 
@@ -108,7 +109,9 @@ def evaluate_seminaive(
     (the fixpoint is unique); round counts may differ by the usual
     off-by-one of delta initialization.  Budgets behave identically:
     ``on_budget="raise"`` raises on exhaustion, ``"partial"`` returns
-    the truncated state tagged with what was cut.
+    the truncated state tagged with what was cut.  ``context``
+    optionally activates an
+    :class:`~repro.parallel.context.ExecutionContext` for the run.
     """
     check_on_budget(on_budget)
     guard = resolve_guard(guard, budget)
@@ -142,7 +145,8 @@ def evaluate_seminaive(
     }
     first_round = True
     rounds = 0
-    with guard if guard is not None else contextlib.nullcontext():
+    with contextlib.nullcontext() if context is None else context, \
+            contextlib.nullcontext() if guard is None else guard:
         with span(
             "datalog.seminaive",
             rules=len(program.rules),

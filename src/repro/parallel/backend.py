@@ -1,0 +1,188 @@
+"""Shard / fan-out / merge drivers for the parallel relation algebra.
+
+Each driver here is called from a ``Relation`` operation *between* its
+existing preamble (fault point, guard note, tracer call counters) and
+postamble (result charging, in/out metrics), replacing only the inner
+loop: shard the tuple set (:mod:`repro.parallel.shards`), run the
+picklable kernels (:mod:`repro.parallel.worker`) on the context's pool,
+and merge.
+
+Two invariants carry the correctness story:
+
+* **Set equivalence** — a relation is the union of its tuples, so the
+  union of per-shard outputs of a tuple-local kernel equals the serial
+  output *set* (join, projection), and the absorption merge is
+  byte-identical to serial (contiguous index ranges, concatenated in
+  order).
+
+* **Guard parity** — workers never see the guard; the parent replays
+  the serial-equivalent charges at merge time (one ``qe`` note per
+  eliminated column with the summed survivor count, one tuple charge
+  for the same total), so an :class:`EvaluationGuard`'s counters and
+  ``tuples_materialized`` match a serial run of the same query exactly
+  and budgets keep binding under parallel evaluation.
+
+Every driver emits ``parallel.*`` metrics into the active tracer:
+shard count, skew (max/mean shard size), summed worker seconds, merge
+seconds, and utilization (worker seconds over wall seconds × workers).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs.trace import active_tracer
+from repro.parallel.context import ExecutionContext
+from repro.parallel.shards import index_ranges, shard_indices, shard_skew
+from repro.parallel.worker import absorb_shard, join_shard, project_shard
+
+__all__ = ["parallel_join", "parallel_project", "parallel_absorb"]
+
+
+def _emit(
+    op: str,
+    shards: Sequence[Sequence],
+    ctx: ExecutionContext,
+    wall: float,
+    worker_seconds: float,
+    merge_seconds: float,
+) -> None:
+    tracer = active_tracer()
+    if tracer is None:
+        return
+    metrics = tracer.metrics
+    metrics.count(f"parallel.{op}.calls")
+    metrics.observe("parallel.shards", len(shards))
+    metrics.observe("parallel.skew", shard_skew(shards))
+    metrics.observe("parallel.worker_seconds", worker_seconds)
+    metrics.observe("parallel.merge_seconds", merge_seconds)
+    if wall > 0:
+        metrics.observe(
+            "parallel.utilization", worker_seconds / (wall * ctx.workers)
+        )
+    if ctx.fallbacks:
+        metrics.observe("parallel.pool_fallbacks", ctx.fallbacks)
+
+
+def parallel_join(
+    left_tuples: Sequence,
+    wide_b: Sequence,
+    combined: Tuple[str, ...],
+    partition,
+    ctx: ExecutionContext,
+    guard,
+) -> Tuple[list, int]:
+    """Fan the left side's pairing loop out across shards.
+
+    The right side (already widened) and the partition index are
+    replicated to every shard; only the left tuples are partitioned.
+    Returns ``(merged_tuples, pairs_considered)`` — the same multiset
+    of merged tuples and the same pair count as the serial loop.
+    """
+    shards = shard_indices(left_tuples, ctx.workers, ctx.shard_strategy)
+    if partition is None:
+        buckets, unpinned, pins_a = None, (), [None] * len(left_tuples)
+    else:
+        buckets, unpinned, pins_a = partition
+    payloads = [
+        (
+            [(left_tuples[i], pins_a[i]) for i in shard],
+            combined,
+            list(wide_b),
+            buckets,
+            unpinned,
+        )
+        for shard in shards
+    ]
+    t0 = time.perf_counter()
+    results = ctx.run_shards(join_shard, payloads)
+    wall = time.perf_counter() - t0
+    merge0 = time.perf_counter()
+    out: List = []
+    considered = 0
+    worker_seconds = 0.0
+    for shard_out, shard_considered, seconds in results:
+        out.extend(shard_out)
+        considered += shard_considered
+        worker_seconds += seconds
+    if guard is not None:
+        # the serial loop ticks once per left tuple; one deadline /
+        # cancellation check per shard keeps budgets binding without a
+        # pretend-loop (tick counts are not part of guard parity)
+        for _ in shards:
+            guard.tick("relation.join")
+    merge_seconds = time.perf_counter() - merge0
+    _emit("join", shards, ctx, wall, worker_seconds, merge_seconds)
+    return out, considered
+
+
+def parallel_project(
+    tuples: Sequence,
+    victims: Sequence[str],
+    target: Tuple[str, ...],
+    ctx: ExecutionContext,
+    guard,
+    tracer,
+) -> list:
+    """Fan the column-elimination pass out across shards of tuples.
+
+    Quantifier elimination is tuple-local, so shards run the whole
+    victim-column sequence independently.  Guard parity: the serial
+    loop notes ``qe`` / charges tuples once per column with that
+    column's survivor count; the summed per-shard counts are replayed
+    here in the same column order, so counters and charged tuples are
+    identical to serial.  Returns the merged, already-reordered tuples.
+    """
+    shards = shard_indices(tuples, ctx.workers, ctx.shard_strategy)
+    payloads = [
+        ([tuples[i] for i in shard], tuple(victims), target) for shard in shards
+    ]
+    t0 = time.perf_counter()
+    results = ctx.run_shards(project_shard, payloads)
+    wall = time.perf_counter() - t0
+    merge0 = time.perf_counter()
+    out: List = []
+    worker_seconds = 0.0
+    column_totals = [0] * len(victims)
+    for shard_out, counts, seconds in results:
+        out.extend(shard_out)
+        worker_seconds += seconds
+        for c, n in enumerate(counts):
+            column_totals[c] += n
+    for total in column_totals:
+        if guard is not None:
+            guard.note("qe", total)
+            guard.on_tuples(total, "relation.project")
+            guard.tick("relation.project")
+        if tracer is not None:
+            tracer.metrics.count("qe.eliminated_vars")
+            tracer.metrics.observe("qe.survivors", total)
+    merge_seconds = time.perf_counter() - merge0
+    _emit("project", shards, ctx, wall, worker_seconds, merge_seconds)
+    return out
+
+
+def parallel_absorb(distinct: Sequence, ctx: ExecutionContext) -> list:
+    """Fan the absorption survivor scan out across index ranges.
+
+    Each shard receives the full deduplicated list (subsumption is a
+    global test) and decides one contiguous range; concatenating the
+    surviving indices in range order reproduces the serial
+    ``_absorb`` result byte-for-byte.
+    """
+    ranges = index_ranges(len(distinct), ctx.workers)
+    distinct = list(distinct)
+    payloads = [(distinct, r.start, r.stop) for r in ranges]
+    t0 = time.perf_counter()
+    results = ctx.run_shards(absorb_shard, payloads)
+    wall = time.perf_counter() - t0
+    merge0 = time.perf_counter()
+    kept: List = []
+    worker_seconds = 0.0
+    for indices, seconds in results:
+        kept.extend(distinct[i] for i in indices)
+        worker_seconds += seconds
+    merge_seconds = time.perf_counter() - merge0
+    _emit("absorb", ranges, ctx, wall, worker_seconds, merge_seconds)
+    return kept

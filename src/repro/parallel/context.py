@@ -1,0 +1,206 @@
+"""Opt-in parallel execution contexts for the relation algebra.
+
+An :class:`ExecutionContext` owns a :mod:`concurrent.futures` worker
+pool and the sharding policy (worker count, shard strategy, minimum
+shardable size).  Activation mirrors :class:`EvaluationGuard`: the FO
+evaluator and the Datalog engines activate a context (``with ctx:``)
+around a run, and :func:`active_execution_context` hands it to
+``Relation.join`` / ``project`` / ``simplify`` without widening the
+algebra signatures.  Serial evaluation remains the default and the
+reference: with no context active the cost at each hook is a single
+context-variable read.
+
+Pools: ``"process"`` fans shards out to a
+:class:`~concurrent.futures.ProcessPoolExecutor` (shard payloads are
+picklable by construction; see :mod:`repro.parallel.worker`),
+``"thread"`` to a :class:`~concurrent.futures.ThreadPoolExecutor`, and
+``"auto"`` picks processes when more than one worker was requested.
+A process pool that cannot start, or that breaks mid-run, degrades to
+threads — the run completes either way and the degradation is counted
+in :attr:`ExecutionContext.fallbacks`.
+
+This module deliberately imports nothing from the rest of the package
+(stdlib only), so :mod:`repro.core.relation` can import it at module
+level without a cycle; the shard/merge machinery lives in
+:mod:`repro.parallel.backend` and is imported lazily at the hooks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextvars import ContextVar
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["ExecutionContext", "active_execution_context"]
+
+#: accepted shard strategies (see :mod:`repro.parallel.shards`)
+SHARD_STRATEGIES = ("hash", "cell")
+#: accepted pool kinds ("auto" resolves at construction)
+POOL_KINDS = ("auto", "process", "thread")
+
+_ACTIVE: ContextVar[Optional["ExecutionContext"]] = ContextVar(
+    "repro_active_execution_context", default=None
+)
+
+
+def active_execution_context() -> Optional["ExecutionContext"]:
+    """The innermost context activated *in this process*, or ``None``.
+
+    Worker processes forked by a process pool inherit the parent's
+    context variables; the owner-pid check makes the inherited context
+    invisible there, so shard kernels never re-parallelize recursively.
+    """
+    ctx = _ACTIVE.get()
+    if ctx is None or ctx._owner_pid != os.getpid() or ctx.closed:
+        return None
+    return ctx
+
+
+class ExecutionContext:
+    """Sharding policy plus a lazily created worker pool.
+
+    ``workers``: pool size (default: the machine's CPU count).
+    ``shard_strategy``: ``"hash"`` (stable digest of the canonical
+    form) or ``"cell"`` (cell-aligned; see
+    :mod:`repro.parallel.shards`).
+    ``pool``: ``"auto"`` / ``"process"`` / ``"thread"``.
+    ``min_tuples``: inputs smaller than this stay on the serial path
+    (sharding a tiny relation costs more than it saves).
+
+    The executor is created on first use and reused across
+    activations; call :meth:`close` (or use the context as an argument
+    to ``contextlib.closing``) when done with it.
+    """
+
+    __slots__ = (
+        "workers",
+        "shard_strategy",
+        "pool",
+        "min_tuples",
+        "fallbacks",
+        "batches",
+        "closed",
+        "_pool_kind",
+        "_executor",
+        "_owner_pid",
+        "_tokens",
+    )
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_strategy: str = "hash",
+        pool: str = "auto",
+        min_tuples: int = 8,
+    ) -> None:
+        if shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"shard_strategy must be one of {SHARD_STRATEGIES}, "
+                f"got {shard_strategy!r}"
+            )
+        if pool not in POOL_KINDS:
+            raise ValueError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.shard_strategy = shard_strategy
+        self.pool = pool
+        self.min_tuples = int(min_tuples)
+        self.fallbacks = 0  #: process-pool degradations to threads
+        self.batches = 0  #: shard batches dispatched to the pool
+        self.closed = False
+        self._pool_kind = (
+            pool if pool != "auto" else ("process" if self.workers > 1 else "thread")
+        )
+        self._executor = None
+        self._owner_pid = os.getpid()
+        self._tokens: list = []
+
+    # ------------------------------------------------------------ activation
+
+    def __enter__(self) -> "ExecutionContext":
+        self._tokens.append(_ACTIVE.set(self))
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
+        _ACTIVE.reset(self._tokens.pop())
+
+    # -------------------------------------------------------------- policy
+
+    def eligible(self, size: int) -> bool:
+        """Is an input of ``size`` tuples worth sharding?"""
+        return size >= self.min_tuples
+
+    @property
+    def pool_kind(self) -> str:
+        """The resolved pool kind ("process" or "thread")."""
+        return self._pool_kind
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "shard_strategy": self.shard_strategy,
+            "pool": self._pool_kind,
+            "batches": self.batches,
+            "fallbacks": self.fallbacks,
+        }
+
+    # ------------------------------------------------------------ execution
+
+    def _ensure_executor(self):
+        if self.closed:
+            raise RuntimeError("ExecutionContext is closed")
+        if self._executor is None:
+            if self._pool_kind == "process":
+                try:
+                    self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                except (OSError, ValueError):
+                    self._degrade_to_threads()
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _degrade_to_threads(self) -> None:
+        self.fallbacks += 1
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        self._pool_kind = "thread"
+        self._executor = None
+
+    def run_shards(self, fn: Callable, payloads: Sequence) -> List:
+        """Run ``fn`` over every payload on the pool, results in order.
+
+        On a process pool, an unpicklable payload/result or a broken
+        pool degrades the context to threads and re-runs the whole
+        batch there — shard kernels are pure functions of their
+        payload, so a re-run is safe.
+        """
+        if not payloads:
+            return []
+        self.batches += 1
+        executor = self._ensure_executor()
+        if self._pool_kind == "process":
+            try:
+                return list(executor.map(fn, payloads))
+            except (pickle.PicklingError, AttributeError, TypeError,
+                    BrokenProcessPool, OSError):
+                self._degrade_to_threads()
+                executor = self._ensure_executor()
+        return list(executor.map(fn, payloads))
+
+    def close(self) -> None:
+        """Shut the worker pool down; the context cannot be reused."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecutionContext workers={self.workers} "
+            f"strategy={self.shard_strategy} pool={self._pool_kind}"
+            f"{' closed' if self.closed else ''}>"
+        )

@@ -1,0 +1,257 @@
+"""Unit tests for the execution context, pool handling, and metrics.
+
+The differential suite checks *what* the parallel backend computes;
+these tests check *how* it behaves as a component: construction-time
+validation, activation scoping (including the owner-pid recursion
+guard), graceful degradation from a broken process pool to threads,
+the ``parallel.*`` metric stream, and the CLI flags end to end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import pickle
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.database import Database
+from repro.core.gtuple import GTuple
+from repro.core.relation import Relation
+from repro.core.terms import Const, Var
+from repro.encoding.standard import encode_database
+from repro.obs import Tracer
+from repro.parallel import ExecutionContext, active_execution_context
+from repro.parallel.context import POOL_KINDS, SHARD_STRATEGIES
+
+
+# ------------------------------------------------------------- construction
+
+
+class TestConstruction:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="shard_strategy"):
+            ExecutionContext(workers=2, shard_strategy="modulo")
+
+    def test_rejects_unknown_pool(self):
+        with pytest.raises(ValueError, match="pool"):
+            ExecutionContext(workers=2, pool="greenlet")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionContext(workers=0)
+
+    def test_auto_pool_resolution(self):
+        assert ExecutionContext(workers=1).pool_kind == "thread"
+        assert ExecutionContext(workers=2).pool_kind == "process"
+        assert ExecutionContext(workers=2, pool="thread").pool_kind == "thread"
+
+    def test_constants_exported(self):
+        assert SHARD_STRATEGIES == ("hash", "cell")
+        assert POOL_KINDS == ("auto", "process", "thread")
+
+
+# --------------------------------------------------------------- activation
+
+
+class TestActivation:
+    def test_active_only_inside_with(self):
+        ctx = ExecutionContext(workers=1, pool="thread")
+        assert active_execution_context() is None
+        with ctx:
+            assert active_execution_context() is ctx
+            with ctx:  # re-entrant
+                assert active_execution_context() is ctx
+            assert active_execution_context() is ctx
+        assert active_execution_context() is None
+        ctx.close()
+
+    def test_closed_context_is_invisible(self):
+        ctx = ExecutionContext(workers=1, pool="thread")
+        with ctx:
+            ctx.close()
+            assert active_execution_context() is None
+
+    def test_foreign_pid_context_is_invisible(self):
+        ctx = ExecutionContext(workers=1, pool="thread")
+        with ctx:
+            ctx._owner_pid = os.getpid() + 1  # simulate a forked worker
+            assert active_execution_context() is None
+            ctx._owner_pid = os.getpid()
+        ctx.close()
+
+    def test_eligibility_threshold(self):
+        ctx = ExecutionContext(workers=2, pool="thread", min_tuples=8)
+        assert not ctx.eligible(7)
+        assert ctx.eligible(8)
+        ctx.close()
+
+    def test_closed_context_refuses_work(self):
+        ctx = ExecutionContext(workers=1, pool="thread")
+        ctx.close()
+        with pytest.raises(RuntimeError):
+            ctx.run_shards(str, [1])
+
+
+# ------------------------------------------------------------ pool fallback
+
+
+class TestPoolFallback:
+    def test_unpicklable_payload_degrades_to_threads(self):
+        ctx = ExecutionContext(workers=2, pool="process")
+        try:
+            # a lambda cannot cross a process boundary; the batch must
+            # complete on threads and the degradation must be counted
+            out = ctx.run_shards(lambda p: p * 2, [1, 2, 3])
+            assert out == [2, 4, 6]
+            assert ctx.pool_kind == "thread"
+            assert ctx.fallbacks == 1
+            assert ctx.stats()["fallbacks"] == 1
+        finally:
+            ctx.close()
+
+    def test_process_pool_runs_picklable_work(self):
+        ctx = ExecutionContext(workers=2, pool="process")
+        try:
+            assert ctx.run_shards(len, [[1], [1, 2]]) == [1, 2]
+            assert ctx.fallbacks == 0
+            assert ctx.batches == 1
+        finally:
+            ctx.close()
+
+    def test_empty_batch_is_free(self):
+        ctx = ExecutionContext(workers=2, pool="process")
+        try:
+            assert ctx.run_shards(len, []) == []
+            assert ctx.batches == 0
+        finally:
+            ctx.close()
+
+
+# -------------------------------------------------------------- picklability
+
+
+class TestPicklability:
+    def test_terms_and_atoms_round_trip(self):
+        from repro.core.atoms import lt
+
+        v, c = Var("x"), Const(3)
+        a = lt(v, c)
+        assert pickle.loads(pickle.dumps(v)) == v
+        assert pickle.loads(pickle.dumps(c)) == c
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_gtuple_round_trip_reinterns(self):
+        r = Relation.from_points(("x", "y"), [(0, 1), (1, 2)])
+        for t in r.tuples:
+            clone = pickle.loads(pickle.dumps(t))
+            assert clone is t  # canonical interning in this process
+
+    def test_relation_survives_worker_round_trip(self):
+        r = Relation.from_points(("x", "y"), [(i, i + 1) for i in range(6)])
+        ctx = ExecutionContext(workers=2, pool="process")
+        try:
+            back = ctx.run_shards(_identity_tuples, [tuple(r.tuples)])[0]
+            assert list(back) == list(r.tuples)
+            assert ctx.fallbacks == 0
+        finally:
+            ctx.close()
+
+
+def _identity_tuples(tuples):
+    # module-level so the process pool can pickle it by reference
+    assert all(isinstance(t, GTuple) for t in tuples)
+    return tuples
+
+
+# ------------------------------------------------------------------ metrics
+
+
+class TestMetrics:
+    def test_parallel_metrics_emitted(self):
+        e = Relation.from_points(("x", "y"), [(i, i + 1) for i in range(10)])
+        ctx = ExecutionContext(workers=2, pool="thread", min_tuples=2)
+        tracer = Tracer()
+        try:
+            with tracer, ctx:
+                e.join(e.rename({"x": "y", "y": "z"})).project(("x", "z"))
+        finally:
+            ctx.close()
+        counters = tracer.metrics.counters
+        histograms = tracer.metrics.histograms
+        assert counters["parallel.join.calls"] >= 1
+        assert counters["parallel.project.calls"] >= 1
+        assert "parallel.shards" in histograms
+        assert "parallel.skew" in histograms
+        assert "parallel.worker_seconds" in histograms
+        assert "parallel.utilization" in histograms
+
+    def test_no_parallel_metrics_without_context(self):
+        e = Relation.from_points(("x", "y"), [(i, i + 1) for i in range(10)])
+        tracer = Tracer()
+        with tracer:
+            e.join(e.rename({"x": "y", "y": "z"}))
+        assert not any(k.startswith("parallel.") for k in tracer.metrics.counters)
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+@pytest.fixture()
+def workload(tmp_path):
+    db = Database(
+        {"E": Relation.from_points(("x", "y"), [(i, i + 1) for i in range(9)])}
+    )
+    db_path = tmp_path / "g.cdb"
+    db_path.write_text(encode_database(db), encoding="utf-8")
+    dl = tmp_path / "tc.dl"
+    dl.write_text(
+        "tc(x, y) :- E(x, y).\ntc(x, z) :- tc(x, y), E(y, z).\n", encoding="utf-8"
+    )
+    return str(db_path), str(dl)
+
+
+def _run_cli(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(argv)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_query_parallel_matches_serial(self, workload):
+        db, _ = workload
+        argv = ["query", db, "--raw", "exists y (E(x, y) and E(y, z))"]
+        code_s, out_s = _run_cli(argv)
+        code_p, out_p = _run_cli(
+            argv + ["--parallel", "--workers", "2", "--shard-strategy", "cell"]
+        )
+        assert code_s == code_p == 0
+        # shard concatenation may reorder the printed tuples
+        assert sorted(out_s.splitlines()) == sorted(out_p.splitlines())
+
+    def test_datalog_parallel_matches_serial(self, workload):
+        db, dl = workload
+        argv = ["datalog", db, dl, "--show", "tc"]
+        code_s, out_s = _run_cli(argv)
+        code_p, out_p = _run_cli(argv + ["--parallel", "--workers", "2"])
+        assert code_s == code_p == 0
+        assert sorted(out_s.splitlines()) == sorted(out_p.splitlines())
+
+    def test_explain_accepts_parallel_flags(self, workload):
+        db, dl = workload
+        code, out = _run_cli(
+            ["explain", db, dl, "--parallel", "--workers", "2"]
+        )
+        assert code == 0
+        assert out.strip()
+
+    def test_rejects_bad_strategy(self, workload):
+        db, _ = workload
+        with pytest.raises(SystemExit):
+            _run_cli(
+                ["query", db, "E(x, y)", "--parallel",
+                 "--shard-strategy", "modulo"]
+            )
