@@ -1,6 +1,6 @@
 # Convenience targets (mirror the commands in README / CONTRIBUTING)
 
-.PHONY: install test test-quick bench bench-watch results examples explain-demo ci clean
+.PHONY: install test test-quick bench bench-watch results examples explain-demo ci chaos clean
 
 install:
 	python setup.py develop
@@ -36,6 +36,14 @@ ci:
 	pytest benchmarks/bench_e14_trace_overhead.py -s
 	pytest benchmarks/bench_e15_kernel_cache.py -s
 	pytest benchmarks/bench_e16_telemetry_overhead.py -s
+	pytest benchmarks/bench_e18_resilience.py -s --benchmark-disable
+
+# the cross-process chaos matrix: deterministic faults and worker
+# crashes injected inside pool workers; the oracle must still match
+# the serial reference byte for byte with guard parity
+chaos:
+	REPRO_CHAOS=1 python tests/parallel/oracle.py
+	REPRO_CHAOS=1 REPRO_DIFF_POOL=process python tests/parallel/oracle.py
 
 # the observability walkthrough: profile a transitive-closure run and
 # export the JSON trace (TRACE_OUT overrides the export path)

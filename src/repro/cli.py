@@ -39,8 +39,8 @@ record against the trailing baseline and exits ``4`` on regression.
 
 Exit codes are uniform across subcommands: ``0`` ok, ``1``
 encoding/input error, ``2`` usage error, ``3`` budget exhausted,
-``4`` benchmark regression (see the README table; asserted by
-``tests/obs/test_cli_exit_codes.py``).
+``4`` benchmark regression, ``5`` unrecoverable shard failure (see
+the README table; asserted by ``tests/obs/test_cli_exit_codes.py``).
 
 ``--no-cache`` disables the kernel memo cache and the tuple intern
 pool (:mod:`repro.perf`) for the run — the escape hatch for timing
@@ -49,7 +49,16 @@ comparisons and for ruling the cache out when debugging.
 ``--parallel`` (with ``--workers`` and ``--shard-strategy``) shards
 the expensive relation kernels across a worker pool
 (:mod:`repro.parallel`); serial evaluation remains the default and
-the reference, and results are set-equivalent either way.
+the reference, and results are set-equivalent either way.  On a
+single-CPU machine ``--parallel`` without an explicit ``--workers``
+auto-degrades to serial (a pool of one worker only adds overhead) with
+a warning.  Shard dispatch is fault-tolerant: ``--shard-timeout``
+bounds each shard, ``--shard-retries`` caps pool re-dispatches before
+a failing shard is quarantined (re-executed serially in-process), and
+``--on-shard-failure`` picks the terminal behavior — ``fail`` (exit
+``5``, no quarantine), ``serial`` (the default: quarantine, then exit
+``5``), or ``partial`` (drop the shard and print the tagged partial
+result).
 """
 
 from __future__ import annotations
@@ -66,7 +75,7 @@ from repro.core.intervals import IntervalSet
 from repro.core.relation import Relation
 from repro.datalog.engine import evaluate_program
 from repro.encoding.standard import decode_database, encode_database, encoding_size
-from repro.errors import ReproError
+from repro.errors import ReproError, ShardFailedError
 from repro.lang import parse_formula, parse_program
 from repro.obs import (
     JsonlSink,
@@ -94,6 +103,7 @@ __all__ = [
     "EXIT_USAGE",
     "EXIT_BUDGET",
     "EXIT_REGRESSION",
+    "EXIT_SHARD",
 ]
 
 #: success
@@ -106,6 +116,9 @@ EXIT_USAGE = 2
 EXIT_BUDGET = 3
 #: ``bench-watch`` found a benchmark regression beyond the threshold
 EXIT_REGRESSION = 4
+#: a parallel shard failed every recovery path the policy allows
+#: (retries + quarantine) and --on-shard-failure forbids partial results
+EXIT_SHARD = 5
 
 
 def _load(path: str) -> Database:
@@ -205,17 +218,62 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="tuple partitioner for --parallel: stable-hash or "
         "cell-aligned (default: hash)",
     )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard deadline; a shard past it is retried, then "
+        "quarantined (default: none)",
+    )
+    parser.add_argument(
+        "--shard-retries", type=int, default=None, metavar="N",
+        help="pool re-dispatches per shard before quarantine (default: 2)",
+    )
+    parser.add_argument(
+        "--on-shard-failure", choices=("fail", "serial", "partial"),
+        default=None, dest="on_shard_failure",
+        help="after a shard exhausts its retries: fail (exit 5, no "
+        "quarantine), serial (quarantine, then exit 5; the default), or "
+        "partial (drop the shard, print the tagged partial result)",
+    )
+
+
+def _resilience_of(args: argparse.Namespace):
+    """A ResiliencePolicy when any resilience flag departs from the
+    defaults, else None (the context falls back to DEFAULT_POLICY)."""
+    timeout = getattr(args, "shard_timeout", None)
+    retries = getattr(args, "shard_retries", None)
+    on_failure = getattr(args, "on_shard_failure", None)
+    if timeout is None and retries is None and on_failure is None:
+        return None
+    from repro.parallel import ResiliencePolicy
+
+    return ResiliencePolicy(
+        shard_timeout=timeout,
+        max_retries=retries if retries is not None else 2,
+        on_failure=on_failure if on_failure is not None else "serial",
+    )
 
 
 def _context_of(args: argparse.Namespace):
     """An ExecutionContext when --parallel was requested, else None."""
     if not getattr(args, "parallel", False):
         return None
+    workers = getattr(args, "workers", None)
+    if workers is None and (os.cpu_count() or 1) == 1:
+        # one CPU and no explicit pool size: a worker pool can only add
+        # dispatch overhead, so degrade to the serial reference path
+        print(
+            "warning: --parallel on a single-CPU machine without "
+            "--workers; evaluating serially (pass --workers to force "
+            "a pool)",
+            file=sys.stderr,
+        )
+        return None
     from repro.parallel import ExecutionContext
 
     return ExecutionContext(
-        workers=getattr(args, "workers", None),
+        workers=workers,
         shard_strategy=getattr(args, "shard_strategy", "hash"),
+        resilience=_resilience_of(args),
     )
 
 
@@ -287,6 +345,17 @@ def _report_observation(args: argparse.Namespace,
         sink.close()
 
 
+def _note_partial_shards(ctx) -> None:
+    """Tag a run that dropped shards (--on-shard-failure=partial): the
+    printed result is a sound subset, and the user must know."""
+    if ctx is not None and ctx.is_partial:
+        print(
+            f"note: partial result — {ctx.dropped_shards} shard(s) "
+            f"dropped after exhausting retries and quarantine",
+            file=sys.stderr,
+        )
+
+
 def _print_relation(relation, as_intervals: bool) -> None:
     if as_intervals and relation.arity == 1:
         print(IntervalSet.from_relation(relation))
@@ -330,6 +399,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             tracer if tracer is not None else contextlib.nullcontext()
         ):
             result = evaluate(formula, db, guard=guard, context=ctx)
+        _note_partial_shards(ctx)
         if not result.schema:
             print("true" if not result.is_empty() else "false")
         else:
@@ -361,6 +431,7 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
                 on_budget=args.on_budget,
                 context=ctx,
             )
+        _note_partial_shards(ctx)
         if result.reached_fixpoint:
             print(f"fixpoint after {result.rounds} round(s)")
         else:
@@ -580,6 +651,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if recorder.last_path:
             print(f"post-mortem: {recorder.last_path}", file=sys.stderr)
         return EXIT_BUDGET
+    except ShardFailedError as error:
+        # must precede ReproError: a shard that failed retries AND
+        # quarantine is an infrastructure verdict, not an input error,
+        # and scripts retry exit 5 differently than they fix exit 1
+        print(f"shard failure: {error}", file=sys.stderr)
+        diag = error.diagnostics()
+        detail = ", ".join(f"{key}={diag[key]}" for key in sorted(diag))
+        print(f"diagnostics: {detail}", file=sys.stderr)
+        if recorder.last_path:
+            print(f"post-mortem: {recorder.last_path}", file=sys.stderr)
+        return EXIT_SHARD
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

@@ -205,7 +205,14 @@ class Relation:
         if guard is not None:
             guard.note("relation.complement")
         partial: List[Optional[GTuple]] = [GTuple.universe(self.theory, self.schema)]
-        for t in self.tuples:
+        # canonical iteration order: the conjunction-of-negations product
+        # below charges the guard once per input tuple and early-exits
+        # when the partial product empties, so its *accounting* (not
+        # just its result set) depends on tuple order -- and parallel
+        # join/project merges reorder tuples relative to serial.  Sort
+        # by the same stable key _absorb uses so serial and sharded
+        # runs charge identically for the same tuple multiset.
+        for t in sorted(self.tuples, key=lambda t: sorted(str(a) for a in t.atoms)):
             if not t.atoms:  # a universe tuple: complement is empty
                 return Relation._trusted(self.theory, self.schema, ())
             negated: List = []

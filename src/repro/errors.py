@@ -24,6 +24,36 @@ class EvaluationError(ReproError):
     """A query could not be evaluated against the given database."""
 
 
+class ShardFailedError(EvaluationError):
+    """A parallel shard exhausted every recovery path.
+
+    Raised by the resilient dispatch loop
+    (:mod:`repro.parallel.resilience`) when a shard failed all retries
+    and — unless the policy said ``on_failure="fail"`` — its serial
+    in-process quarantine re-execution failed too.  Carries enough
+    structure for the CLI's exit-code contract (exit ``5``) and for
+    post-mortems: the operation, the shard index, how many attempts
+    were made, and the underlying cause.
+    """
+
+    def __init__(self, message: str, *, op: str = "", shard: int = -1,
+                 attempts: int = 0, cause: BaseException = None) -> None:
+        super().__init__(message)
+        self.op = op
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+
+    def diagnostics(self) -> dict:
+        """Structured failure facts (mirrors ``BudgetExceeded``)."""
+        return {
+            "op": self.op,
+            "shard": self.shard,
+            "attempts": self.attempts,
+            "cause": type(self.cause).__name__ if self.cause else None,
+        }
+
+
 class ParseError(ReproError):
     """A textual query or program could not be parsed."""
 

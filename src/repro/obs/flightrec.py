@@ -18,6 +18,7 @@ document*:
       "error": {"type", "message", "diagnostics"} | null,
       "trace": {"id", "active_spans", "metrics"} | null,
       "guard": EvaluationGuard.stats() | null,
+      "parallel": ExecutionContext.stats() + last_batch | null,
       "kernel": repro.perf.kernel_stats(),
       "events": [last ring records, oldest first],
       "events_dropped": 0,
@@ -130,6 +131,21 @@ class FlightRecorder:
                     error.diagnostics() if hasattr(error, "diagnostics") else None
                 ),
             }
+        # resilience accounting: when a parallel context is active at
+        # capture time, its recovery counters (retries, quarantines,
+        # pool restarts, dropped shards) explain *how* the evaluation
+        # got where it died — optional section, absent on serial runs
+        parallel_doc: Optional[dict] = None
+        try:
+            from repro.parallel.context import active_execution_context
+
+            ctx = active_execution_context()
+            if ctx is not None:
+                parallel_doc = ctx.stats()
+                if ctx.last_report is not None:
+                    parallel_doc["last_batch"] = ctx.last_report.as_dict()
+        except Exception:
+            parallel_doc = None  # never make the failure path worse
         trace_doc: Optional[dict] = None
         if tracer is not None:
             trace_doc = {
@@ -149,6 +165,7 @@ class FlightRecorder:
             "error": error_doc,
             "trace": trace_doc,
             "guard": guard.stats() if guard is not None else None,
+            "parallel": parallel_doc,
             "kernel": kernel_stats(),
             "events": [dict(entry) for entry in self.ring.snapshot()],
             "events_dropped": self.ring.dropped,

@@ -42,7 +42,24 @@ Metric-name conventions (all emitted by the instrumented hot paths):
                                         window (see :mod:`repro.perf`)
 ``relation.join.indexed``               joins that used the partition index
 ``relation.join.pairs_skipped``         tuple pairs pruned by that index
+``parallel.{join,project,absorb}.calls``  sharded operator dispatches
+``parallel.shards`` / ``parallel.skew``   shard count / max-over-mean size
+``parallel.worker_seconds``             summed in-worker kernel seconds
+``parallel.merge_seconds``              parent-side merge wall time
+``parallel.utilization``                worker seconds / (wall × workers)
+``parallel.pool_fallbacks``             process→thread pool degradations
+                                        (emitted every dispatch, 0 included)
+``parallel.retries``                    shard re-dispatches after failures
+``parallel.shard_deadline_exceeded``    shards past the per-shard deadline
+``parallel.quarantined``                shards re-executed serially in-process
+``parallel.dropped_shards``             shards abandoned (on_failure=partial)
+``parallel.pool_restarts``              fresh pools after worker crashes
 ======================================  =====================================
+
+The six resilience gauges (``pool_fallbacks`` through
+``pool_restarts``) are emitted unconditionally on every sharded
+dispatch — a zero means "nothing went wrong", which dashboards and the
+differential oracle need as an explicit data point, not a missing key.
 """
 
 from __future__ import annotations

@@ -61,8 +61,14 @@ def _emit(
         metrics.observe(
             "parallel.utilization", worker_seconds / (wall * ctx.workers)
         )
-    if ctx.fallbacks:
-        metrics.observe("parallel.pool_fallbacks", ctx.fallbacks)
+    # resilience gauges: emitted unconditionally (a zero is a signal —
+    # "nothing went wrong" — and dashboards need the key to exist)
+    metrics.observe("parallel.pool_fallbacks", ctx.fallbacks)
+    metrics.observe("parallel.retries", ctx.retries)
+    metrics.observe("parallel.shard_deadline_exceeded", ctx.deadline_exceeded)
+    metrics.observe("parallel.quarantined", ctx.quarantined)
+    metrics.observe("parallel.dropped_shards", ctx.dropped_shards)
+    metrics.observe("parallel.pool_restarts", ctx.pool_restarts)
 
 
 def parallel_join(
@@ -102,7 +108,10 @@ def parallel_join(
     out: List = []
     considered = 0
     worker_seconds = 0.0
-    for shard_out, shard_considered, seconds in results:
+    for result in results:
+        if result is None:  # shard dropped under on_failure="partial"
+            continue
+        shard_out, shard_considered, seconds = result
         out.extend(shard_out)
         considered += shard_considered
         worker_seconds += seconds
@@ -145,7 +154,10 @@ def parallel_project(
     out: List = []
     worker_seconds = 0.0
     column_totals = [0] * len(victims)
-    for shard_out, counts, seconds in results:
+    for result in results:
+        if result is None:  # shard dropped under on_failure="partial"
+            continue
+        shard_out, counts, seconds = result
         out.extend(shard_out)
         worker_seconds += seconds
         for c, n in enumerate(counts):
@@ -175,12 +187,23 @@ def parallel_absorb(distinct: Sequence, ctx: ExecutionContext) -> list:
     distinct = list(distinct)
     payloads = [(distinct, r.start, r.stop) for r in ranges]
     t0 = time.perf_counter()
-    results = ctx.run_shards(absorb_shard, payloads)
+    # absorption has a semantically exact degraded fallback: keeping a
+    # failed range unfiltered only leaves redundant (absorbable) tuples
+    # in the union, never changes the represented set — so a dropped
+    # shard here keeps the whole range instead of losing tuples
+    results = ctx.run_shards(
+        absorb_shard,
+        payloads,
+        degraded=lambda p: (list(range(p[1], p[2])), 0.0),
+    )
     wall = time.perf_counter() - t0
     merge0 = time.perf_counter()
     kept: List = []
     worker_seconds = 0.0
-    for indices, seconds in results:
+    for result in results:
+        if result is None:  # shard dropped under on_failure="partial"
+            continue
+        indices, seconds = result
         kept.extend(distinct[i] for i in indices)
         worker_seconds += seconds
     merge_seconds = time.perf_counter() - merge0

@@ -1,36 +1,41 @@
 """Opt-in parallel execution contexts for the relation algebra.
 
 An :class:`ExecutionContext` owns a :mod:`concurrent.futures` worker
-pool and the sharding policy (worker count, shard strategy, minimum
-shardable size).  Activation mirrors :class:`EvaluationGuard`: the FO
-evaluator and the Datalog engines activate a context (``with ctx:``)
-around a run, and :func:`active_execution_context` hands it to
-``Relation.join`` / ``project`` / ``simplify`` without widening the
-algebra signatures.  Serial evaluation remains the default and the
-reference: with no context active the cost at each hook is a single
-context-variable read.
+pool, the sharding policy (worker count, shard strategy, minimum
+shardable size), and the resilience policy (per-shard deadlines,
+bounded retries with seeded-jitter backoff, quarantine — see
+:mod:`repro.parallel.resilience`).  Activation mirrors
+:class:`EvaluationGuard`: the FO evaluator and the Datalog engines
+activate a context (``with ctx:``) around a run, and
+:func:`active_execution_context` hands it to ``Relation.join`` /
+``project`` / ``simplify`` without widening the algebra signatures.
+Serial evaluation remains the default and the reference: with no
+context active the cost at each hook is a single context-variable
+read.
 
 Pools: ``"process"`` fans shards out to a
 :class:`~concurrent.futures.ProcessPoolExecutor` (shard payloads are
 picklable by construction; see :mod:`repro.parallel.worker`),
 ``"thread"`` to a :class:`~concurrent.futures.ThreadPoolExecutor`, and
 ``"auto"`` picks processes when more than one worker was requested.
-A process pool that cannot start, or that breaks mid-run, degrades to
-threads — the run completes either way and the degradation is counted
-in :attr:`ExecutionContext.fallbacks`.
+A process pool that cannot start degrades to threads; one that breaks
+mid-run (a crashed worker) is *restarted* and only the unfinished
+shards are re-dispatched, degrading to threads only when restarts are
+exhausted.  Either way the run completes: degradations are counted in
+:attr:`ExecutionContext.fallbacks` and restarts in
+:attr:`ExecutionContext.pool_restarts`.
 
 This module deliberately imports nothing from the rest of the package
 (stdlib only), so :mod:`repro.core.relation` can import it at module
 level without a cycle; the shard/merge machinery lives in
-:mod:`repro.parallel.backend` and is imported lazily at the hooks.
+:mod:`repro.parallel.backend` and the retry/recovery loop in
+:mod:`repro.parallel.resilience`, both imported lazily at the hooks.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from contextvars import ContextVar
 from typing import Callable, List, Optional, Sequence
 
@@ -60,7 +65,7 @@ def active_execution_context() -> Optional["ExecutionContext"]:
 
 
 class ExecutionContext:
-    """Sharding policy plus a lazily created worker pool.
+    """Sharding + resilience policy plus a lazily created worker pool.
 
     ``workers``: pool size (default: the machine's CPU count).
     ``shard_strategy``: ``"hash"`` (stable digest of the canonical
@@ -69,6 +74,9 @@ class ExecutionContext:
     ``pool``: ``"auto"`` / ``"process"`` / ``"thread"``.
     ``min_tuples``: inputs smaller than this stay on the serial path
     (sharding a tiny relation costs more than it saves).
+    ``resilience``: a :class:`~repro.parallel.resilience.ResiliencePolicy`
+    (``None``: the default — no per-shard deadline, two retries,
+    quarantine before failing).
 
     The executor is created on first use and reused across
     activations; call :meth:`close` (or use the context as an argument
@@ -80,11 +88,19 @@ class ExecutionContext:
         "shard_strategy",
         "pool",
         "min_tuples",
+        "resilience",
         "fallbacks",
         "batches",
+        "retries",
+        "deadline_exceeded",
+        "quarantined",
+        "dropped_shards",
+        "pool_restarts",
+        "last_report",
         "closed",
         "_pool_kind",
         "_executor",
+        "_retired",
         "_owner_pid",
         "_tokens",
     )
@@ -95,6 +111,7 @@ class ExecutionContext:
         shard_strategy: str = "hash",
         pool: str = "auto",
         min_tuples: int = 8,
+        resilience=None,
     ) -> None:
         if shard_strategy not in SHARD_STRATEGIES:
             raise ValueError(
@@ -109,13 +126,21 @@ class ExecutionContext:
         self.shard_strategy = shard_strategy
         self.pool = pool
         self.min_tuples = int(min_tuples)
+        self.resilience = resilience  # opaque here; resolved at dispatch
         self.fallbacks = 0  #: process-pool degradations to threads
         self.batches = 0  #: shard batches dispatched to the pool
+        self.retries = 0  #: shard re-dispatches after failures/timeouts
+        self.deadline_exceeded = 0  #: shards past their per-shard deadline
+        self.quarantined = 0  #: shards re-executed serially in-process
+        self.dropped_shards = 0  #: shards abandoned under on_failure="partial"
+        self.pool_restarts = 0  #: fresh process pools after worker crashes
+        self.last_report = None  #: BatchReport of the newest batch
         self.closed = False
         self._pool_kind = (
             pool if pool != "auto" else ("process" if self.workers > 1 else "thread")
         )
         self._executor = None
+        self._retired: list = []
         self._owner_pid = os.getpid()
         self._tokens: list = []
 
@@ -139,14 +164,31 @@ class ExecutionContext:
         """The resolved pool kind ("process" or "thread")."""
         return self._pool_kind
 
+    @property
+    def is_partial(self) -> bool:
+        """Did any batch drop a shard (result is a sound subset)?"""
+        return self.dropped_shards > 0
+
     def stats(self) -> dict:
-        return {
+        stats = {
             "workers": self.workers,
             "shard_strategy": self.shard_strategy,
             "pool": self._pool_kind,
             "batches": self.batches,
             "fallbacks": self.fallbacks,
+            "retries": self.retries,
+            "deadline_exceeded": self.deadline_exceeded,
+            "quarantined": self.quarantined,
+            "dropped_shards": self.dropped_shards,
+            "pool_restarts": self.pool_restarts,
         }
+        if self.resilience is not None:
+            stats["resilience"] = {
+                "shard_timeout": self.resilience.shard_timeout,
+                "max_retries": self.resilience.max_retries,
+                "on_failure": self.resilience.on_failure,
+            }
+        return stats
 
     # ------------------------------------------------------------ execution
 
@@ -163,39 +205,68 @@ class ExecutionContext:
                 self._executor = ThreadPoolExecutor(max_workers=self.workers)
         return self._executor
 
-    def _degrade_to_threads(self) -> None:
-        self.fallbacks += 1
+    def _retire_executor(self) -> None:
+        """Shut the current executor down without waiting, but keep a
+        strong reference to it until :meth:`close`.
+
+        The reference is deliberate, not a leak: a process pool forks
+        workers that inherit the parent's heap, and a retired executor
+        left to the garbage collector would be collected *inside those
+        children* too — running ``concurrent.futures``' executor
+        weakref callback there, which takes a shutdown lock the fork
+        may have copied in the held state (a deadlock observed under
+        crash-fault chaos).  Pinning the object means the callback
+        never fires in a worker; the handful of retired executors per
+        query (bounded by restarts + fallbacks) is released at close.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=False)
-        self._pool_kind = "thread"
+            self._retired.append(self._executor)
         self._executor = None
 
-    def run_shards(self, fn: Callable, payloads: Sequence) -> List:
+    def _degrade_to_threads(self) -> None:
+        self.fallbacks += 1
+        self._retire_executor()
+        self._pool_kind = "thread"
+
+    def _restart_pool(self) -> None:
+        """Replace a broken process pool with a fresh one (same kind).
+
+        Called by the resilient dispatch loop after a worker crash
+        (``BrokenProcessPool``): completed shard results are kept and
+        only the unfinished shards are re-dispatched to the new pool.
+        """
+        self._retire_executor()
+
+    def run_shards(self, fn: Callable, payloads: Sequence,
+                   degraded: Optional[Callable] = None) -> List:
         """Run ``fn`` over every payload on the pool, results in order.
 
-        On a process pool, an unpicklable payload/result or a broken
-        pool degrades the context to threads and re-runs the whole
-        batch there — shard kernels are pure functions of their
-        payload, so a re-run is safe.
+        Dispatch is resilient (:mod:`repro.parallel.resilience`): each
+        shard runs under the policy's per-shard deadline with bounded
+        retry + seeded exponential backoff; a crashed worker restarts
+        the pool and re-dispatches only the unfinished shards; a shard
+        that fails every retry is quarantined (re-executed serially
+        in-process).  ``degraded`` is an optional semantically exact
+        per-payload fallback used instead of dropping a shard under
+        ``on_failure="partial"`` (absorption passes one: keep the whole
+        range).  Raises
+        :class:`~repro.errors.ShardFailedError` when a shard exhausts
+        every recovery path the policy allows.
         """
         if not payloads:
             return []
         self.batches += 1
-        executor = self._ensure_executor()
-        if self._pool_kind == "process":
-            try:
-                return list(executor.map(fn, payloads))
-            except (pickle.PicklingError, AttributeError, TypeError,
-                    BrokenProcessPool, OSError):
-                self._degrade_to_threads()
-                executor = self._ensure_executor()
-        return list(executor.map(fn, payloads))
+        from repro.parallel.resilience import dispatch_shards
+
+        return dispatch_shards(self, fn, payloads, degraded=degraded)
 
     def close(self) -> None:
         """Shut the worker pool down; the context cannot be reused."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._retired.clear()
         self.closed = True
 
     def __repr__(self) -> str:

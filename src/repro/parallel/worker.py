@@ -13,16 +13,109 @@ recurse into the parallel path or double-charge a budget.
 Every kernel returns its own wall-clock seconds as the last element,
 so the parent can report worker utilization without a second clock
 source in the children.
+
+Cross-process chaos: when a :class:`~repro.runtime.faults.FaultRegistry`
+with faults armed at the ``worker.*`` sites is active in the parent,
+the resilient dispatch loop wraps each shard in :func:`run_shard`,
+which rehydrates the exported armed-fault table on the receiving side
+(cached per process and registry epoch, so ``after``/``times``/seeded-
+probability state accumulates across that worker's tasks) and fires
+the kernel's ``worker.<kernel>`` site before running it.
+:func:`run_quarantined` fires the same site against the parent's own
+ambient registry, so the serial quarantine path is chaos-visible too.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.relation import _absorb_survivors
+from repro.runtime.faults import FaultRegistry, fault_point
 
-__all__ = ["join_shard", "project_shard", "absorb_shard"]
+__all__ = [
+    "join_shard",
+    "project_shard",
+    "absorb_shard",
+    "shard_site",
+    "run_shard",
+    "run_quarantined",
+    "probe_fault_sequence",
+]
+
+
+def shard_site(fn) -> str:
+    """The fault-point site name for a shard kernel."""
+    return f"worker.{fn.__name__}"
+
+
+# one rehydrated registry per (arming registry, epoch); a single slot
+# suffices because one dispatch loop ships one spec at a time
+_CACHED_KEY: Optional[tuple] = None
+_CACHED_REGISTRY: Optional[FaultRegistry] = None
+
+
+def _rehydrated(spec: Optional[dict]) -> Optional[FaultRegistry]:
+    global _CACHED_KEY, _CACHED_REGISTRY
+    if spec is None:
+        return None
+    key = tuple(spec["key"])
+    if _CACHED_KEY != key:
+        _CACHED_KEY = key
+        _CACHED_REGISTRY = FaultRegistry.from_spec(spec)
+    return _CACHED_REGISTRY
+
+
+def run_shard(payload) -> object:
+    """Worker-side entry point for chaos-wrapped shards.
+
+    Payload: ``(spec, kernel, kernel_payload)`` where ``spec`` is an
+    exported armed-fault table (or ``None``).  Rehydrates the faults,
+    fires the kernel's ``worker.*`` site, then runs the kernel.  The
+    rehydrated registry is cached per process, so its hit counters and
+    seeded random stream persist across the tasks this worker runs —
+    the same deterministic schedule semantics as the parent's registry.
+    """
+    spec, kernel, kernel_payload = payload
+    registry = _rehydrated(spec)
+    if registry is None:
+        return kernel(kernel_payload)
+    with registry:
+        fault_point(shard_site(kernel))
+        return kernel(kernel_payload)
+
+
+def run_quarantined(fn, payload) -> object:
+    """Serial in-process re-execution of a poisoned shard.
+
+    Fires the kernel's ``worker.*`` site against the *ambient* (parent)
+    registry — a deterministically poisoned shard stays poisoned here,
+    which is what lets tests drive the quarantine-failure path — then
+    runs the kernel on the caller's thread.
+    """
+    fault_point(shard_site(fn))
+    return fn(payload)
+
+
+def probe_fault_sequence(payload) -> List[Tuple[str, int, str]]:
+    """Rehydrate ``spec`` fresh and fire ``site`` ``hits`` times.
+
+    Payload: ``(spec, site, hits)``.  Returns the registry's log — the
+    exact (site, hit, action) firing sequence.  Module-level and
+    picklable, so the determinism tests can run it both in-process and
+    inside a spawned worker and assert the sequences are identical for
+    a fixed seed.  Errors raised by armed faults are recorded and
+    swallowed (the probe observes the schedule, not the unwind).
+    """
+    spec, site, hits = payload
+    registry = FaultRegistry.from_spec(spec)
+    with registry:
+        for _ in range(hits):
+            try:
+                fault_point(site)
+            except Exception:
+                pass
+    return registry.log
 
 
 def join_shard(payload) -> Tuple[list, int, float]:

@@ -6,7 +6,11 @@ exception, according to a :class:`DegradePolicy`:
 
 1. **transient retry** — injected/infrastructural
    :class:`~repro.runtime.faults.TransientEvaluationError` failures are
-   retried up to ``retry_transient`` times;
+   retried up to ``retry_transient`` times; a
+   :class:`~repro.errors.ShardFailedError` from the parallel backend is
+   retried the same way — by the time one propagates, the resilient
+   dispatch loop has restarted or degraded the pool, so a whole-query
+   retry runs on healthier infrastructure than the attempt that died;
 2. **simplification retry** — when the *representation* blew the
    budget (tuple or atom limits) and the first attempt ran with
    per-round simplification off, retry once with simplification on
@@ -34,6 +38,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import ShardFailedError
 from repro.obs.log import log_event
 from repro.runtime.budget import Budget, BudgetExceeded, TupleLimitExceeded
 from repro.runtime.faults import TransientEvaluationError
@@ -98,7 +103,7 @@ def run_with_policy(
     while True:
         try:
             return attempt(simplify, "raise", max_rounds)
-        except TransientEvaluationError as error:
+        except (TransientEvaluationError, ShardFailedError) as error:
             if transient_left <= 0:
                 raise
             transient_left -= 1

@@ -1,0 +1,198 @@
+"""Cross-process chaos harness: spec export, rehydration, determinism.
+
+The resilience tests drive the recovery paths; these tests pin the
+*harness* that makes chaos cross a process boundary: which armed
+faults are exportable, how a worker-side copy behaves (owner pid,
+crash semantics), and — the property everything else leans on — that
+a fixed seed produces the identical firing sequence whether the
+faults fire in-process or inside a spawned worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.relation import Relation
+from repro.encoding.cells import relations_equivalent
+from repro.lang import parse_formula
+from repro.parallel import ExecutionContext, ResiliencePolicy
+from repro.parallel.worker import probe_fault_sequence
+from repro.runtime.faults import (
+    KNOWN_SITES,
+    FaultRegistry,
+    TransientEvaluationError,
+    WorkerCrashError,
+    fault_point,
+)
+from repro.runtime.guard import EvaluationGuard
+
+
+# ------------------------------------------------------------------- export
+
+
+class TestExportSpec:
+    def test_round_trip_preserves_schedules(self):
+        registry = FaultRegistry(seed=11)
+        registry.inject("worker.join_shard", after=1, times=2)
+        registry.inject("worker.project_shard", delay=0.0, probability=0.5,
+                        times=3)
+        copy = FaultRegistry.from_spec(registry.export_spec())
+        assert copy.seed == 11
+        assert copy.owner_pid == registry.owner_pid
+        # the copy fires the same schedule the parent would
+        with copy:
+            fault_point("worker.join_shard")  # after=1: skipped
+            with pytest.raises(TransientEvaluationError):
+                fault_point("worker.join_shard")
+
+    def test_parent_only_faults_are_excluded(self):
+        registry = FaultRegistry(seed=0)
+        registry.inject("worker.join_shard", on_fire=lambda: None)
+        registry.inject("worker.join_shard", charge_tuples=5)
+        registry.inject("worker.join_shard", times=1)  # exportable
+        spec = registry.export_spec()
+        assert len(spec["faults"]) == 1
+        assert spec["faults"][0]["error"] is not None
+
+    def test_epoch_changes_the_export_key(self):
+        registry = FaultRegistry(seed=0)
+        registry.inject("worker.join_shard")
+        key1 = registry.export_spec()["key"]
+        registry.inject("worker.project_shard")
+        key2 = registry.export_spec()["key"]
+        assert key1 != key2  # workers re-rehydrate on the next shard
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        registry = FaultRegistry(seed=2)
+        registry.inject("worker.absorb_shard",
+                        error=TransientEvaluationError("boom"), times=4)
+        spec = pickle.loads(pickle.dumps(registry.export_spec()))
+        assert spec["faults"][0]["site"] == "worker.absorb_shard"
+
+    def test_worker_sites_are_known(self):
+        for site in ("worker.join_shard", "worker.project_shard",
+                     "worker.absorb_shard"):
+            assert site in KNOWN_SITES
+
+
+# ------------------------------------------------------------ crash semantics
+
+
+class TestCrashSemantics:
+    def test_crash_in_owner_process_raises_retryable(self):
+        registry = FaultRegistry()
+        registry.inject("s", crash=True)
+        with registry:
+            with pytest.raises(WorkerCrashError):
+                fault_point("s")
+        # WorkerCrashError is transient by design: the degrade policy
+        # and the retry loop both treat it as recoverable
+        assert issubclass(WorkerCrashError, TransientEvaluationError)
+
+    def test_rehydrated_copy_keeps_parent_owner_pid(self):
+        registry = FaultRegistry()
+        registry.inject("s", crash=True)
+        copy = FaultRegistry.from_spec(registry.export_spec())
+        assert copy.owner_pid == registry.owner_pid
+        # in THIS process the pid matches, so the copy raises too; in a
+        # spawned worker the same fault calls os._exit (pinned end to
+        # end by TestCrashRecovery in test_resilience.py)
+        with copy:
+            with pytest.raises(WorkerCrashError):
+                fault_point("s")
+
+
+# --------------------------------------------------------- seed determinism
+
+
+class TestSeedDeterminism:
+    def _spec(self, seed):
+        registry = FaultRegistry(seed=seed)
+        registry.inject("worker.join_shard", probability=0.4, times=50)
+        registry.inject("worker.join_shard", crash=False, delay=0.0,
+                        after=3, times=2,
+                        error=TransientEvaluationError("deterministic"))
+        return registry.export_spec()
+
+    def test_same_seed_same_sequence_across_processes(self):
+        spec = self._spec(seed=1234)
+        local = probe_fault_sequence((spec, "worker.join_shard", 25))
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(
+                probe_fault_sequence, (spec, "worker.join_shard", 25)
+            ).result(timeout=60)
+        assert local == remote
+        assert local  # the schedule actually fired something
+
+    def test_different_seeds_diverge(self):
+        a = probe_fault_sequence((self._spec(1), "worker.join_shard", 25))
+        b = probe_fault_sequence((self._spec(2), "worker.join_shard", 25))
+        assert a != b
+
+
+# ------------------------------------------------------------- end to end
+
+
+def _chaos_registry():
+    registry = FaultRegistry(seed=99)
+    for site in ("worker.join_shard", "worker.project_shard"):
+        registry.inject(site, error=TransientEvaluationError(f"chaos {site}"),
+                        times=2)
+    # spend the parent-side budgets so the quarantine backstop always
+    # rescues (export ships configuration; workers keep full budgets)
+    with registry:
+        for site in ("worker.join_shard", "worker.project_shard"):
+            for _ in range(2):
+                try:
+                    registry.fire(site)
+                except Exception:
+                    pass
+    return registry
+
+
+class TestEndToEnd:
+    def test_worker_faults_recover_with_serial_semantics(self):
+        db = Database({"E": Relation.from_points(
+            ("x", "y"), [(i, i + 1) for i in range(8)] + [(0, 4)]
+        )})
+        formula = parse_formula("exists y (E(x, y) and E(y, z))")
+        serial_guard = EvaluationGuard()
+        serial = evaluate(formula, db, guard=serial_guard)
+
+        ctx = ExecutionContext(
+            workers=2, pool="process", min_tuples=2,
+            resilience=ResiliencePolicy(max_retries=6, backoff_base=0.002,
+                                        max_pool_restarts=3),
+        )
+        chaos_guard = EvaluationGuard()
+        try:
+            with _chaos_registry():
+                parallel = evaluate(formula, db, guard=chaos_guard, context=ctx)
+            recovered = ctx.retries + ctx.quarantined + ctx.pool_restarts
+            assert recovered > 0, "chaos never fired"
+        finally:
+            ctx.close()
+        assert relations_equivalent(serial, parallel)
+        assert dict(serial_guard.counters) == dict(chaos_guard.counters)
+        assert serial_guard.tuples_materialized == chaos_guard.tuples_materialized
+
+    def test_chaos_free_payloads_ship_unwrapped(self):
+        # without worker.* faults armed, shards bypass run_shard: the
+        # spec gate keeps the zero-chaos hot path allocation-free
+        from repro.parallel.resilience import _chaos_spec
+
+        registry = FaultRegistry()
+        registry.inject("evaluator.eval")  # armed, but not a worker site
+        with registry:
+            assert _chaos_spec() is None
+        registry2 = FaultRegistry()
+        registry2.inject("worker.join_shard")
+        with registry2:
+            assert _chaos_spec() is not None
+        assert _chaos_spec() is None  # no registry at all
