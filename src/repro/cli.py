@@ -22,8 +22,11 @@ Evaluation is also *observable*: ``--trace FILE`` writes a structured
 JSON trace (schema ``repro.trace/1``), ``--profile`` prints the
 per-phase cost tree after the result, ``--stats`` prints the guard's
 per-site counters plus the kernel cache/interning statistics,
-``-v``/``-vv`` print metric summaries on stderr, and the ``explain``
-subcommand runs a query or program purely for its cost tree.
+``-v``/``-vv`` print metric summaries on stderr, the ``explain``
+subcommand runs a query or program purely for its cost tree, and the
+``profile`` subcommand runs one purely for its per-operator cost
+ledger — the estimated-vs-actual cardinality table, exportable as a
+schema-versioned ``repro.profile/1`` document with ``--out``.
 
 Telemetry exports (the :mod:`repro.obs.telemetry` pipeline):
 ``--log-jsonl FILE`` streams every structured log record
@@ -59,6 +62,13 @@ a failing shard is quarantined (re-executed serially in-process), and
 ``5``, no quarantine), ``serial`` (the default: quarantine, then exit
 ``5``), or ``partial`` (drop the shard and print the tagged partial
 result).
+
+When an observation surface is active, ``--parallel`` runs capture
+worker-side telemetry and stitch it into the parent trace (spans with
+``pid``/``shard``/``attempt`` attributes, worker kernel-cache deltas,
+log records), so ``--trace`` / ``--stats`` / ``explain`` see inside
+the pool; ``--no-stitch`` turns the capture off for overhead-sensitive
+runs (untraced runs never pay for it either way).
 """
 
 from __future__ import annotations
@@ -86,9 +96,11 @@ from repro.obs import (
     guard_stats_table,
     kernel_stats_table,
     load_history,
+    render_cost_ledger,
     render_metrics_summary,
     render_profile,
     render_watch_report,
+    write_profile,
     write_prometheus,
     write_trace,
 )
@@ -234,6 +246,12 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         "quarantine), serial (quarantine, then exit 5; the default), or "
         "partial (drop the shard, print the tagged partial result)",
     )
+    parser.add_argument(
+        "--no-stitch", action="store_true", dest="no_stitch",
+        help="disable worker-side telemetry capture and trace stitching "
+        "for --parallel runs (only relevant when an observation surface "
+        "is active; untraced runs never capture)",
+    )
 
 
 def _resilience_of(args: argparse.Namespace):
@@ -274,6 +292,7 @@ def _context_of(args: argparse.Namespace):
         workers=workers,
         shard_strategy=getattr(args, "shard_strategy", "hash"),
         resilience=_resilience_of(args),
+        capture=not getattr(args, "no_stitch", False),
     )
 
 
@@ -283,6 +302,10 @@ def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
     wanted = (
         getattr(args, "trace", None)
         or getattr(args, "profile", False)
+        # --stats needs a tracer too: without one a --parallel run has
+        # nothing to stitch worker kernel counters into, and the kernel
+        # table would report parent-only (near-zero) cache activity
+        or getattr(args, "stats", False)
         or getattr(args, "verbose", 0)
         or getattr(args, "log_jsonl", None)
         or getattr(args, "metrics_out", None)
@@ -323,7 +346,16 @@ def _report_observation(args: argparse.Namespace,
             # even though the process-wide cache is re-enabled by now
             stats["cache.enabled"] = False
             stats["intern.enabled"] = False
-        print(kernel_stats_table(stats), file=sys.stderr)
+        merged = None
+        if tracer is not None:
+            run_counters = {
+                name: value
+                for name, value in tracer.metrics.counters.items()
+                if name.startswith("kernel.")
+            }
+            if run_counters:
+                merged = run_counters
+        print(kernel_stats_table(stats, merged), file=sys.stderr)
     if tracer is None:
         return
     if args.verbose:
@@ -484,6 +516,32 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a query or program purely for its per-operator cost ledger."""
+    db = _load(args.database)
+    budget = _budget_of(args)
+    guard = EvaluationGuard(budget)  # guard stats ride along in --out
+    tracer = Tracer()
+    is_program = args.query.endswith(".dl") or os.path.exists(args.query)
+    ctx = _context_of(args)
+    try:
+        with _cache_context(args), tracer, (
+            ctx if ctx is not None else contextlib.nullcontext()
+        ):
+            summary = _run_explain(args, db, guard, is_program)
+        print(summary)
+    finally:
+        # a budget abort must not lose the partial ledger: the records
+        # appended before the trip are rendered and exported either way
+        print()
+        print(render_cost_ledger(tracer.ledger))
+        if args.out:
+            write_profile(args.out, tracer, guard)
+        if ctx is not None:
+            ctx.close()
+    return 0
+
+
 def _run_explain(args, db, guard, is_program) -> str:
     """One explain evaluation; returns the one-line result summary."""
     if is_program:
@@ -606,6 +664,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_parallel_flags(explain_cmd)
     _add_telemetry_flags(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run a query or .dl program and print the per-operator "
+        "cost ledger (estimated vs actual cardinalities)",
+    )
+    profile_cmd.add_argument("database")
+    profile_cmd.add_argument(
+        "query",
+        help="an FO formula, or a path to a Datalog(not) program file",
+    )
+    profile_cmd.add_argument(
+        "--engine", choices=("naive", "seminaive", "stratified"), default="naive",
+        help="Datalog engine to profile (program inputs only)",
+    )
+    profile_cmd.add_argument(
+        "--max-rounds", type=int, default=None, help="cap on fixpoint rounds",
+    )
+    profile_cmd.add_argument(
+        "--on-budget", choices=("raise", "partial"), default="raise",
+    )
+    profile_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the ledger as a repro.profile/1 JSON document",
+    )
+    _add_budget_flags(profile_cmd)
+    _add_cache_flag(profile_cmd)
+    _add_parallel_flags(profile_cmd)
+    profile_cmd.set_defaults(fn=_cmd_profile)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")
     roundtrip.add_argument("database")

@@ -17,7 +17,15 @@ without changing any engine signature:
   (``repro.trace/1``), validation, and round-trip loading;
 * :mod:`repro.obs.profile` — the per-phase cost tree behind
   ``python -m repro.cli explain`` and the profile ingestion in
-  ``benchmarks/collect_results.py``.
+  ``benchmarks/collect_results.py``;
+* :mod:`repro.obs.ledger` — the per-operator cost ledger
+  (``repro.profile/1``): estimated-vs-actual cardinalities, kernel
+  cache attribution, and dispatch shape per relation-algebra call
+  (the ``repro profile`` subcommand);
+* :mod:`repro.obs.stitch` — cross-process trace stitching: worker-side
+  telemetry snapshots (``repro.worker-telemetry/1``) grafted into the
+  parent tracer at shard-harvest time, so traces, stats, and the
+  flight recorder see inside the worker pool.
 
 Typical use::
 
@@ -59,6 +67,16 @@ from repro.obs.history import (
     render_watch_report,
     validate_history_record,
 )
+from repro.obs.ledger import (
+    PROFILE_SCHEMA,
+    CostLedger,
+    CostRecord,
+    load_profile,
+    profile_document,
+    render_cost_ledger,
+    validate_profile,
+    write_profile,
+)
 from repro.obs.log import LOG_SCHEMA, log_event
 from repro.obs.metrics import Histogram, Metrics
 from repro.obs.profile import phase_breakdown, render_metrics_summary, render_profile
@@ -71,6 +89,11 @@ from repro.obs.sink import (
     prometheus_text,
     write_prometheus,
 )
+from repro.obs.stitch import (
+    WORKER_TELEMETRY_SCHEMA,
+    snapshot_telemetry,
+    stitch_telemetry,
+)
 from repro.obs.trace import SpanRecord, Tracer, active_tracer, event, span
 
 __all__ = [
@@ -78,8 +101,12 @@ __all__ = [
     "LEVELS",
     "LOG_SCHEMA",
     "POSTMORTEM_SCHEMA",
+    "PROFILE_SCHEMA",
     "TRACE_SCHEMA",
+    "WORKER_TELEMETRY_SCHEMA",
     "CollectingSink",
+    "CostLedger",
+    "CostRecord",
     "FlightRecorder",
     "Histogram",
     "JsonlSink",
@@ -99,18 +126,25 @@ __all__ = [
     "last_postmortem",
     "load_history",
     "load_postmortem",
+    "load_profile",
     "load_trace",
     "log_event",
     "phase_breakdown",
+    "profile_document",
     "prometheus_text",
+    "render_cost_ledger",
     "render_metrics_summary",
     "render_profile",
     "render_watch_report",
+    "snapshot_telemetry",
     "span",
+    "stitch_telemetry",
     "trace_document",
     "validate_history_record",
     "validate_postmortem",
+    "validate_profile",
     "validate_trace",
+    "write_profile",
     "write_prometheus",
     "write_trace",
 ]

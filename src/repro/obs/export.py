@@ -144,6 +144,8 @@ def validate_trace(document: Any) -> dict:
         by_id[entry["id"]] = entry
     for entry in spans:
         parent = entry["parent"]
+        if parent == entry["id"]:
+            _fail(f"span {entry['id']} is its own parent")
         if parent is not None and parent not in by_id:
             _fail(f"span {entry['id']} references unknown parent {parent}")
         start, end = entry["start"], entry["end"]
@@ -153,6 +155,19 @@ def validate_trace(document: Any) -> dict:
             outer = by_id[parent]
             if start < outer["start"]:
                 _fail(f"span {entry['id']} starts before its parent")
+    # parent chains must reach a root: stitching rewrites parent ids, so
+    # a cycle (A under B under A) is a representable corruption, not a
+    # can't-happen — walk each chain once with a memo of known-safe ids
+    safe: set = set()
+    for entry in spans:
+        seen: list = []
+        node = entry["id"]
+        while node is not None and node not in safe:
+            if node in seen:
+                _fail(f"span parent chain contains a cycle at {node}")
+            seen.append(node)
+            node = by_id[node]["parent"]
+        safe.update(seen)
     for entry in events:
         if not isinstance(entry, dict) or "name" not in entry or "time" not in entry:
             _fail("event missing name/time")
@@ -189,9 +204,17 @@ def guard_stats_table(stats: dict) -> str:
     return "\n".join(lines)
 
 
-def kernel_stats_table(stats: dict) -> str:
+def kernel_stats_table(stats: dict, merged: Optional[dict] = None) -> str:
     """The :func:`repro.perf.kernel_stats` payload as aligned text
-    (printed by ``--stats`` next to the guard table)."""
+    (printed by ``--stats`` next to the guard table).
+
+    ``stats`` is process-wide (this process, since startup).  ``merged``
+    is an optional dict of this run's ``kernel.*`` tracer counters —
+    the parent's delta *plus stitched worker deltas* — appended as an
+    extra line so a ``--parallel --stats`` run shows the kernel
+    activity that actually happened inside the pool, which the
+    parent-process counters alone cannot see.
+    """
     lookups = stats["cache.hits"] + stats["cache.misses"]
     rate = (100.0 * stats["cache.hits"] / lookups) if lookups else 0.0
     lines = [
@@ -215,4 +238,14 @@ def kernel_stats_table(stats: dict) -> str:
             stats["intern.live"],
         ),
     ]
+    if merged is not None:
+        hits = merged.get("kernel.cache.hits", 0)
+        misses = merged.get("kernel.cache.misses", 0)
+        run_lookups = hits + misses
+        run_rate = (100.0 * hits / run_lookups) if run_lookups else 0.0
+        lines.append(
+            "  this run (incl. workers): hits %d, misses %d, "
+            "hit rate %.1f%%, interned reused %d"
+            % (hits, misses, run_rate, merged.get("kernel.intern.reused", 0))
+        )
     return "\n".join(lines)

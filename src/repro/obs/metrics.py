@@ -54,6 +54,11 @@ Metric-name conventions (all emitted by the instrumented hot paths):
 ``parallel.quarantined``                shards re-executed serially in-process
 ``parallel.dropped_shards``             shards abandoned (on_failure=partial)
 ``parallel.pool_restarts``              fresh pools after worker crashes
+``parallel.stitched_shards``            worker telemetry snapshots grafted
+                                        into the parent tracer
+``parallel.stitched_spans``             worker spans added by stitching
+``parallel.stitch_errors``              snapshots that failed to stitch
+                                        (counted, never raised)
 ======================================  =====================================
 
 The six resilience gauges (``pool_fallbacks`` through

@@ -11,7 +11,11 @@ report the ``explain`` CLI subcommand prints:
   output representation sizes, and total seconds, from the metrics
   histograms the algebra records;
 * the **QE / fixpoint summary lines** — eliminations performed, rounds
-  per engine, per-round delta sizes from the round events.
+  per engine, per-round delta sizes from the round events;
+* the **cost-ledger table** — estimated-vs-actual cardinalities and
+  kernel-cache hit rates per operator, when the tracer's
+  :class:`~repro.obs.ledger.CostLedger` recorded any calls (also
+  available standalone via the ``repro profile`` subcommand).
 
 :func:`phase_breakdown` returns the same content as a plain dict —
 the machine-readable form ``benchmarks/collect_results.py`` folds into
@@ -216,6 +220,11 @@ def render_profile(tracer: Tracer, guard=None) -> str:
             f"kernel cache: {hits} hit(s), {misses} miss(es) "
             f"({rate:.1f}% hit rate), {reused} interned tuple reuse(s)"
         )
+    if not tracer.ledger.is_empty():
+        from repro.obs.ledger import render_cost_ledger
+
+        lines.append("")
+        lines.append(render_cost_ledger(tracer.ledger))
     if guard is not None:
         from repro.obs.export import guard_stats_table
 

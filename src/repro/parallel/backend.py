@@ -25,6 +25,11 @@ Two invariants carry the correctness story:
 Every driver emits ``parallel.*`` metrics into the active tracer:
 shard count, skew (max/mean shard size), summed worker seconds, merge
 seconds, and utilization (worker seconds over wall seconds × workers).
+Each dispatch runs under an ambient ``parallel.<op>.dispatch`` span —
+the graft point for cross-process trace stitching
+(:mod:`repro.obs.stitch`) — and returns a ``dispatch_info`` dict
+(shards, skew, stitched worker cache deltas) that the relation ops
+fold into the cost ledger (:mod:`repro.obs.ledger`).
 """
 
 from __future__ import annotations
@@ -32,12 +37,36 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from repro.obs.trace import active_tracer
+from repro.obs.trace import active_tracer, span
 from repro.parallel.context import ExecutionContext
 from repro.parallel.shards import index_ranges, shard_indices, shard_skew
 from repro.parallel.worker import absorb_shard, join_shard, project_shard
 
 __all__ = ["parallel_join", "parallel_project", "parallel_absorb"]
+
+
+def _run(op: str, ctx: ExecutionContext, fn, payloads, shards, degraded=None):
+    """Dispatch one batch under an ambient ``parallel.<op>.dispatch``
+    span — the graft point: worker telemetry harvested inside
+    ``run_shards`` stitches under the innermost open span, so every
+    worker span nests under the dispatch that ran it."""
+    with span(f"parallel.{op}.dispatch", shards=len(shards),
+              workers=ctx.workers, pool=ctx.pool_kind):
+        return ctx.run_shards(fn, payloads, degraded=degraded)
+
+
+def _dispatch_info(ctx: ExecutionContext, shards) -> dict:
+    """The dispatch shape the cost ledger records per operator call:
+    shard count, skew, and the stitched worker kernel-cache deltas of
+    the batch (zero for thread pools; see
+    :class:`~repro.parallel.resilience.BatchReport`)."""
+    report = ctx.last_report
+    return {
+        "shards": len(shards),
+        "skew": shard_skew(shards),
+        "cache_hits": report.worker_cache_hits if report is not None else 0,
+        "cache_misses": report.worker_cache_misses if report is not None else 0,
+    }
 
 
 def _emit(
@@ -78,13 +107,14 @@ def parallel_join(
     partition,
     ctx: ExecutionContext,
     guard,
-) -> Tuple[list, int]:
+) -> Tuple[list, int, dict]:
     """Fan the left side's pairing loop out across shards.
 
     The right side (already widened) and the partition index are
     replicated to every shard; only the left tuples are partitioned.
-    Returns ``(merged_tuples, pairs_considered)`` — the same multiset
-    of merged tuples and the same pair count as the serial loop.
+    Returns ``(merged_tuples, pairs_considered, dispatch_info)`` — the
+    same multiset of merged tuples and the same pair count as the
+    serial loop, plus the dispatch shape for the cost ledger.
     """
     shards = shard_indices(left_tuples, ctx.workers, ctx.shard_strategy)
     if partition is None:
@@ -102,7 +132,7 @@ def parallel_join(
         for shard in shards
     ]
     t0 = time.perf_counter()
-    results = ctx.run_shards(join_shard, payloads)
+    results = _run("join", ctx, join_shard, payloads, shards)
     wall = time.perf_counter() - t0
     merge0 = time.perf_counter()
     out: List = []
@@ -123,7 +153,7 @@ def parallel_join(
             guard.tick("relation.join")
     merge_seconds = time.perf_counter() - merge0
     _emit("join", shards, ctx, wall, worker_seconds, merge_seconds)
-    return out, considered
+    return out, considered, _dispatch_info(ctx, shards)
 
 
 def parallel_project(
@@ -133,7 +163,7 @@ def parallel_project(
     ctx: ExecutionContext,
     guard,
     tracer,
-) -> list:
+) -> Tuple[list, dict]:
     """Fan the column-elimination pass out across shards of tuples.
 
     Quantifier elimination is tuple-local, so shards run the whole
@@ -141,14 +171,14 @@ def parallel_project(
     loop notes ``qe`` / charges tuples once per column with that
     column's survivor count; the summed per-shard counts are replayed
     here in the same column order, so counters and charged tuples are
-    identical to serial.  Returns the merged, already-reordered tuples.
+    identical to serial.  Returns ``(reordered_tuples, dispatch_info)``.
     """
     shards = shard_indices(tuples, ctx.workers, ctx.shard_strategy)
     payloads = [
         ([tuples[i] for i in shard], tuple(victims), target) for shard in shards
     ]
     t0 = time.perf_counter()
-    results = ctx.run_shards(project_shard, payloads)
+    results = _run("project", ctx, project_shard, payloads, shards)
     wall = time.perf_counter() - t0
     merge0 = time.perf_counter()
     out: List = []
@@ -172,16 +202,19 @@ def parallel_project(
             tracer.metrics.observe("qe.survivors", total)
     merge_seconds = time.perf_counter() - merge0
     _emit("project", shards, ctx, wall, worker_seconds, merge_seconds)
-    return out
+    return out, _dispatch_info(ctx, shards)
 
 
-def parallel_absorb(distinct: Sequence, ctx: ExecutionContext) -> list:
+def parallel_absorb(
+    distinct: Sequence, ctx: ExecutionContext
+) -> Tuple[list, dict]:
     """Fan the absorption survivor scan out across index ranges.
 
     Each shard receives the full deduplicated list (subsumption is a
     global test) and decides one contiguous range; concatenating the
     surviving indices in range order reproduces the serial
-    ``_absorb`` result byte-for-byte.
+    ``_absorb`` result byte-for-byte.  Returns
+    ``(kept_tuples, dispatch_info)``.
     """
     ranges = index_ranges(len(distinct), ctx.workers)
     distinct = list(distinct)
@@ -191,9 +224,8 @@ def parallel_absorb(distinct: Sequence, ctx: ExecutionContext) -> list:
     # failed range unfiltered only leaves redundant (absorbable) tuples
     # in the union, never changes the represented set — so a dropped
     # shard here keeps the whole range instead of losing tuples
-    results = ctx.run_shards(
-        absorb_shard,
-        payloads,
+    results = _run(
+        "absorb", ctx, absorb_shard, payloads, ranges,
         degraded=lambda p: (list(range(p[1], p[2])), 0.0),
     )
     wall = time.perf_counter() - t0
@@ -208,4 +240,4 @@ def parallel_absorb(distinct: Sequence, ctx: ExecutionContext) -> list:
         worker_seconds += seconds
     merge_seconds = time.perf_counter() - merge0
     _emit("absorb", ranges, ctx, wall, worker_seconds, merge_seconds)
-    return kept
+    return kept, _dispatch_info(ctx, ranges)

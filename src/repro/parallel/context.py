@@ -77,6 +77,11 @@ class ExecutionContext:
     ``resilience``: a :class:`~repro.parallel.resilience.ResiliencePolicy`
     (``None``: the default — no per-shard deadline, two retries,
     quarantine before failing).
+    ``capture``: allow worker-side telemetry capture + cross-process
+    trace stitching when a tracer is active in the dispatching
+    process (default on; the capture only happens under a tracer, so
+    untraced runs never pay for it — ``capture=False`` is the
+    explicit off-switch the E19 benchmark gates).
 
     The executor is created on first use and reused across
     activations; call :meth:`close` (or use the context as an argument
@@ -89,6 +94,7 @@ class ExecutionContext:
         "pool",
         "min_tuples",
         "resilience",
+        "capture",
         "fallbacks",
         "batches",
         "retries",
@@ -112,6 +118,7 @@ class ExecutionContext:
         pool: str = "auto",
         min_tuples: int = 8,
         resilience=None,
+        capture: bool = True,
     ) -> None:
         if shard_strategy not in SHARD_STRATEGIES:
             raise ValueError(
@@ -127,6 +134,7 @@ class ExecutionContext:
         self.pool = pool
         self.min_tuples = int(min_tuples)
         self.resilience = resilience  # opaque here; resolved at dispatch
+        self.capture = bool(capture)
         self.fallbacks = 0  #: process-pool degradations to threads
         self.batches = 0  #: shard batches dispatched to the pool
         self.retries = 0  #: shard re-dispatches after failures/timeouts
@@ -174,6 +182,7 @@ class ExecutionContext:
             "workers": self.workers,
             "shard_strategy": self.shard_strategy,
             "pool": self._pool_kind,
+            "capture": self.capture,
             "batches": self.batches,
             "fallbacks": self.fallbacks,
             "retries": self.retries,

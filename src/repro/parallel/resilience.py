@@ -33,6 +33,18 @@ so a fixed chaos seed reproduces the exact retry schedule.  Backoff
 waits go through :meth:`EvaluationGuard.wait` when a guard is active,
 so deadlines and cancellation keep binding between attempts.
 
+Telemetry crosses the process boundary here too: when the dispatching
+process has a tracer active (and the context's ``capture`` flag is
+on), shards run through :func:`~repro.parallel.worker.run_shard` in
+capture mode and come back as
+:class:`~repro.parallel.worker.ShardEnvelope` objects; every harvest
+site — first-try results, retried attempts, shards rescued from a
+dying pool, and quarantined re-runs — unwraps the envelope and
+stitches the worker telemetry into the parent tracer
+(:mod:`repro.obs.stitch`) with ``shard`` / ``attempt`` /
+``quarantined`` provenance, so the stitched trace covers exactly the
+attempts that produced the merged results.
+
 Recovery preserves the PR-5 invariants: shard kernels are pure
 functions of their payloads, so a retried, re-pooled, or quarantined
 shard returns the same value as a first-try shard, the merge is
@@ -56,9 +68,16 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ShardFailedError
 from repro.obs.log import log_event
+from repro.obs.stitch import stitch_telemetry
+from repro.obs.trace import active_tracer
 from repro.runtime.faults import active_fault_registry
 from repro.runtime.guard import active_guard
-from repro.parallel.worker import run_quarantined, run_shard, shard_site
+from repro.parallel.worker import (
+    ShardEnvelope,
+    run_quarantined,
+    run_shard,
+    shard_site,
+)
 
 __all__ = ["ResiliencePolicy", "BatchReport", "dispatch_shards", "DEFAULT_POLICY"]
 
@@ -123,10 +142,17 @@ DEFAULT_POLICY = ResiliencePolicy()
 
 
 class BatchReport:
-    """Recovery accounting for one shard batch (one ``run_shards``)."""
+    """Recovery accounting for one shard batch (one ``run_shards``).
+
+    ``worker_cache_hits`` / ``worker_cache_misses`` accumulate the
+    stitched ``kernel.*`` deltas of the batch's *cross-process*
+    shards (zero for thread pools, where the parent's process-wide
+    counters already saw the traffic) — the backend drivers fold them
+    into the cost ledger's per-call cache attribution.
+    """
 
     __slots__ = ("retries", "deadline_exceeded", "quarantined", "dropped",
-                 "pool_restarts")
+                 "pool_restarts", "worker_cache_hits", "worker_cache_misses")
 
     def __init__(self) -> None:
         self.retries = 0
@@ -134,6 +160,8 @@ class BatchReport:
         self.quarantined = 0
         self.dropped = 0
         self.pool_restarts = 0
+        self.worker_cache_hits = 0
+        self.worker_cache_misses = 0
 
     def as_dict(self) -> dict:
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -217,6 +245,12 @@ def dispatch_shards(
     guard = active_guard()
     rng = _jitter_rng(policy)
     spec = _chaos_spec()
+    # worker telemetry capture: only when someone is watching AND the
+    # context allows it — with neither chaos nor capture in play the
+    # payloads ship bare, keeping the no-telemetry path byte-identical
+    # to the pre-stitching dispatch (the E19 off-switch gate)
+    tracer = active_tracer()
+    capture = tracer is not None and getattr(ctx, "capture", True)
 
     results: List = [None] * len(payloads)
     attempts = [0] * len(payloads)
@@ -224,9 +258,21 @@ def dispatch_shards(
     round_index = 0
 
     def submit(executor, i):
-        if spec is not None:
-            return executor.submit(run_shard, (spec, fn, payloads[i]))
+        if spec is not None or capture:
+            return executor.submit(run_shard, (spec, fn, payloads[i], capture))
         return executor.submit(fn, payloads[i])
+
+    def land(i, raw):
+        """Unwrap a shard result, stitching any telemetry envelope
+        into the parent tracer under the currently open span."""
+        if not isinstance(raw, ShardEnvelope):
+            return raw
+        delta = stitch_telemetry(
+            tracer, raw.telemetry, shard=i, attempt=attempts[i] + 1,
+        )
+        report.worker_cache_hits += delta.get("cache.hits", 0)
+        report.worker_cache_misses += delta.get("cache.misses", 0)
+        return raw.result
 
     while pending:
         executor = ctx._ensure_executor()
@@ -260,7 +306,7 @@ def dispatch_shards(
                 # infrastructure-failed, not shard-failed
                 if future.done():
                     try:
-                        results[i] = future.result(timeout=0)
+                        results[i] = land(i, future.result(timeout=0))
                         continue
                     except Exception:
                         pass
@@ -270,7 +316,7 @@ def dispatch_shards(
             try:
                 remaining = (None if deadline is None
                              else max(0.0, deadline - time.monotonic()))
-                results[i] = future.result(timeout=remaining)
+                results[i] = land(i, future.result(timeout=remaining))
                 continue
             except FuturesTimeoutError:
                 future.cancel()
@@ -349,7 +395,17 @@ def dispatch_shards(
                 op=fn.__name__, shard=i, attempts=attempts[i],
             )
             try:
-                results[i] = run_quarantined(fn, payloads[i])
+                raw = run_quarantined(fn, payloads[i], capture=capture)
+                if isinstance(raw, ShardEnvelope):
+                    # a quarantined re-run is the shard's final attempt;
+                    # same-process, so the kernel delta is empty and the
+                    # graft carries the quarantined marker
+                    stitch_telemetry(
+                        tracer, raw.telemetry, shard=i,
+                        attempt=attempts[i] + 1, quarantined=True,
+                    )
+                    raw = raw.result
+                results[i] = raw
             except Exception as error:
                 if policy.on_failure != "partial":
                     raise ShardFailedError(

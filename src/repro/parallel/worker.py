@@ -14,6 +14,20 @@ Every kernel returns its own wall-clock seconds as the last element,
 so the parent can report worker utilization without a second clock
 source in the children.
 
+Worker-side telemetry capture: when the dispatching process has a
+tracer active, the resilient dispatch loop asks :func:`run_shard` for
+*capture* mode — the shard runs under a lightweight in-worker
+:class:`~repro.obs.trace.Tracer` (its own object, never the parent's
+inherited one) whose spans, metric deltas (including the ``kernel.*``
+cache counters), and ``repro.log/1`` records ride back to the parent
+inside a :class:`ShardEnvelope` as a picklable
+``repro.worker-telemetry/1`` snapshot.  The parent grafts the snapshot
+into its own tracer at harvest time (:mod:`repro.obs.stitch`), so
+``--trace`` / ``--stats`` / ``explain`` / the flight recorder finally
+see inside the pool.  Guard and execution-context variables stay
+untouched in workers: budgets and charge parity remain the parent's
+job, exactly as before.
+
 Cross-process chaos: when a :class:`~repro.runtime.faults.FaultRegistry`
 with faults armed at the ``worker.*`` sites is active in the parent,
 the resilient dispatch loop wraps each shard in :func:`run_shard`,
@@ -27,6 +41,7 @@ ambient registry, so the serial quarantine path is chaos-visible too.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import List, Optional, Tuple
 
@@ -34,6 +49,7 @@ from repro.core.relation import _absorb_survivors
 from repro.runtime.faults import FaultRegistry, fault_point
 
 __all__ = [
+    "ShardEnvelope",
     "join_shard",
     "project_shard",
     "absorb_shard",
@@ -42,6 +58,32 @@ __all__ = [
     "run_quarantined",
     "probe_fault_sequence",
 ]
+
+#: span cap for one shard's in-worker tracer: a shard runs one kernel,
+#: so this is pure blast-radius protection, not a tuning knob
+_WORKER_MAX_SPANS = 2048
+
+
+class ShardEnvelope:
+    """A shard result plus its ``repro.worker-telemetry/1`` snapshot.
+
+    The dispatch loop unwraps envelopes at harvest time (stitching the
+    telemetry into the parent tracer); merge drivers only ever see the
+    bare ``result``.  Picklable by construction: both fields are plain
+    data.
+    """
+
+    __slots__ = ("result", "telemetry")
+
+    def __init__(self, result: object, telemetry: dict) -> None:
+        self.result = result
+        self.telemetry = telemetry
+
+    def __getstate__(self):
+        return (self.result, self.telemetry)
+
+    def __setstate__(self, state):
+        self.result, self.telemetry = state
 
 
 def shard_site(fn) -> str:
@@ -66,34 +108,68 @@ def _rehydrated(spec: Optional[dict]) -> Optional[FaultRegistry]:
     return _CACHED_REGISTRY
 
 
-def run_shard(payload) -> object:
-    """Worker-side entry point for chaos-wrapped shards.
+def _captured(kernel, kernel_payload) -> "ShardEnvelope":
+    """Run one kernel under a fresh in-worker tracer; envelope the
+    result with the telemetry snapshot.
 
-    Payload: ``(spec, kernel, kernel_payload)`` where ``spec`` is an
-    exported armed-fault table (or ``None``).  Rehydrates the faults,
-    fires the kernel's ``worker.*`` site, then runs the kernel.  The
-    rehydrated registry is cached per process, so its hit counters and
-    seeded random stream persist across the tasks this worker runs —
-    the same deterministic schedule semantics as the parent's registry.
+    The root span is the kernel's ``worker.*`` site name with the
+    worker ``pid`` attached; ``shard`` / ``attempt`` provenance is
+    stamped parent-side at stitch time (the worker does not know its
+    shard index).  Imported lazily so capture-free dispatches never
+    pay the obs imports in a cold worker.
     """
-    spec, kernel, kernel_payload = payload
+    from repro.obs.sink import CollectingSink
+    from repro.obs.stitch import snapshot_telemetry
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(max_spans=_WORKER_MAX_SPANS)
+    logs = tracer.add_sink(CollectingSink())
+    with tracer:
+        with tracer.span(shard_site(kernel), pid=os.getpid()):
+            result = kernel(kernel_payload)
+    return ShardEnvelope(result, snapshot_telemetry(tracer, logs.records))
+
+
+def run_shard(payload) -> object:
+    """Worker-side entry point for chaos-wrapped / captured shards.
+
+    Payload: ``(spec, kernel, kernel_payload)`` or
+    ``(spec, kernel, kernel_payload, capture)`` where ``spec`` is an
+    exported armed-fault table (or ``None``) and ``capture`` asks for
+    a :class:`ShardEnvelope` with the in-worker telemetry snapshot.
+    Rehydrates the faults, fires the kernel's ``worker.*`` site, then
+    runs the kernel.  The rehydrated registry is cached per process,
+    so its hit counters and seeded random stream persist across the
+    tasks this worker runs — the same deterministic schedule semantics
+    as the parent's registry.  The fault point fires *before* capture
+    starts: a failed attempt ships no telemetry (the attempt that
+    succeeds does).
+    """
+    spec, kernel, kernel_payload = payload[0], payload[1], payload[2]
+    capture = len(payload) > 3 and payload[3]
     registry = _rehydrated(spec)
     if registry is None:
-        return kernel(kernel_payload)
+        return _captured(kernel, kernel_payload) if capture else kernel(kernel_payload)
     with registry:
         fault_point(shard_site(kernel))
-        return kernel(kernel_payload)
+        return _captured(kernel, kernel_payload) if capture else kernel(kernel_payload)
 
 
-def run_quarantined(fn, payload) -> object:
+def run_quarantined(fn, payload, capture: bool = False) -> object:
     """Serial in-process re-execution of a poisoned shard.
 
     Fires the kernel's ``worker.*`` site against the *ambient* (parent)
     registry — a deterministically poisoned shard stays poisoned here,
     which is what lets tests drive the quarantine-failure path — then
-    runs the kernel on the caller's thread.
+    runs the kernel on the caller's thread.  With ``capture``, the
+    kernel runs under a fresh in-worker tracer exactly like a pool
+    shard (the nested activation shadows the parent's tracer for the
+    kernel's duration) and returns a :class:`ShardEnvelope`, so
+    quarantined re-runs stitch into the trace like any other attempt.
     """
     fault_point(shard_site(fn))
+    if capture:
+        return _captured(fn, payload)
     return fn(payload)
 
 

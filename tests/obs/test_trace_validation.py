@@ -65,14 +65,49 @@ class TestSpanNesting:
         with pytest.raises(EncodingError, match="before its parent"):
             validate_trace(doc)
 
-    def test_self_parent_cycle_needs_no_special_case(self):
-        # a span claiming itself as parent is structurally fine for the
-        # parent-exists check but still must not start before "its
-        # parent" vacuously -- the validator accepts or rejects it
-        # purely by the declared invariants
+    def test_self_parent_rejected(self):
+        # stitching rewrites parent ids, so a span claiming itself as
+        # parent is a representable corruption the validator must catch
+        # (it would make the span tree unrenderable)
         doc = base_document()
         doc["spans"] = [span_entry(1, parent=1)]
-        validate_trace(doc)
+        with pytest.raises(EncodingError, match="own parent"):
+            validate_trace(doc)
+
+    def test_two_span_parent_cycle_rejected(self):
+        # A under B under A: every parent reference resolves and every
+        # span nests "inside" the other, so only the chain walk sees it
+        doc = base_document()
+        doc["spans"] = [
+            span_entry(1, parent=2, start=1.0, end=2.0),
+            span_entry(2, parent=1, start=1.0, end=2.0),
+        ]
+        with pytest.raises(EncodingError, match="cycle"):
+            validate_trace(doc)
+
+    def test_cycle_below_valid_subtree_rejected(self):
+        # the memo of known-safe ids must not mask a cycle elsewhere
+        doc = base_document()
+        doc["spans"] = [
+            span_entry(1, start=0.0, end=9.0),
+            span_entry(2, parent=1, start=1.0, end=2.0),
+            span_entry(3, parent=4, start=3.0, end=4.0),
+            span_entry(4, parent=3, start=3.0, end=4.0),
+        ]
+        with pytest.raises(EncodingError, match="cycle"):
+            validate_trace(doc)
+
+    def test_colliding_span_ids_rejected(self):
+        # span ids are the join key for events, log records, and
+        # stitched worker subtrees — a collision silently reparents
+        # all of them, so the validator must refuse the document
+        doc = base_document()
+        doc["spans"] = [
+            span_entry(1, start=0.0, end=2.0),
+            span_entry(1, start=1.0, end=2.0, name="imposter"),
+        ]
+        with pytest.raises(EncodingError, match="duplicate span id"):
+            validate_trace(doc)
 
     def test_forward_parent_reference_allowed(self):
         # span order in the document is collection order, not tree
