@@ -1,0 +1,240 @@
+"""E20 -- cost-based planner: never worse than the best fixed backend.
+
+The planner's pitch is that per-operator dispatch decisions beat both
+blanket policies: always-serial leaves speedup on the table on big
+inputs, always-parallel pays process-pool dispatch on every operator
+(the 1-core regression BENCH_PARALLEL documented).  This benchmark
+calibrates a cost model from an in-bench profile run, then times three
+backends on each workload:
+
+* **serial** -- the plain evaluator, no context;
+* **always-parallel** -- the legacy ``--parallel`` behavior: a global
+  :class:`ExecutionContext` activation, every join/project/absorb
+  sharded regardless of size;
+* **cost-planned** -- ``QueryPlanner(mode="cost")`` with the fitted
+  model and the same context granted as a capability.
+
+Gates (EXPERIMENTS.md E20): cost-planned within 5% of the best fixed
+backend on every workload (best-of-5 timings, the logical-plan cache
+warm -- the steady state Datalog actually runs in; hard CI gate at
+25% for shared-runner noise, as in E13-E19), and on a single-core box
+faster than always-parallel, which is the regression the planner
+exists to fix.  Equivalence with the serial
+reference is asserted here too, but the exhaustive matrix lives in
+``tests/parallel/test_planned_differential.py``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.costmodel import fit_cost_model
+from repro.core.database import Database
+from repro.core.evaluator import evaluate
+from repro.core.formula import Not, constraint, exists, rel
+from repro.core.atoms import lt
+from repro.core.physical import QueryPlanner
+from repro.core.relation import Relation
+from repro.datalog.engine import evaluate_program
+from repro.obs import Tracer, profile_document
+from repro.parallel import ExecutionContext
+from repro.queries.library import transitive_closure_program
+from repro.workloads.generators import path_graph
+
+CORES = os.cpu_count() or 1
+
+#: cost-planned must stay within this factor of the best fixed backend
+TOLERANCE = 1.05
+
+#: hard CI gate -- headroom over TOLERANCE for shared-runner noise, the
+#: same slack every overhead gate since E13 carries
+HARD_GATE = 1.25
+
+
+def _edge_db(n=80):
+    edges = [(i, (i * 7 + 3) % n) for i in range(n)]
+    return Database({
+        "E": Relation.from_points(("x", "y"), edges),
+        "S": Relation.from_points(("x",), [(i,) for i in range(12)]),
+    })
+
+
+def two_hop_formula():
+    return exists("y", rel("E", "x", "y") & rel("E", "y", "z"))
+
+
+def filtered_join_formula():
+    return (
+        rel("E", "x", "y") & rel("E", "y", "z")
+        & constraint(lt("x", 40)) & constraint(lt("z", 40))
+    )
+
+
+def negation_formula():
+    # complement over one variable: 2-D complements grow a DNF product
+    # per input tuple and would dominate the whole benchmark
+    return Not(rel("S", "x")) & constraint(lt(0, "x")) & constraint(lt("x", 8))
+
+
+def _best(thunk, repeat=5):
+    out = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        thunk()
+        out = min(out, time.perf_counter() - t0)
+    return out
+
+
+def _context():
+    """The legacy always-parallel shape: every sizable op shards."""
+    return ExecutionContext(workers=min(4, max(2, CORES)), pool="process",
+                            min_tuples=8)
+
+
+def calibrated_model():
+    """Fit a cost model from this machine's own ledger records: the
+    serial workloads price the operators, one parallel run prices the
+    dispatch overhead."""
+    db = _edge_db()
+    documents = []
+    tracer = Tracer()
+    with tracer:
+        with tracer.span("calibrate.serial"):
+            evaluate(two_hop_formula(), db)
+            evaluate(negation_formula(), db)
+            evaluate_program(transitive_closure_program(), path_graph(8))
+    documents.append(profile_document(tracer))
+    ctx = _context()
+    try:
+        tracer = Tracer()
+        with tracer, ctx:
+            with tracer.span("calibrate.parallel"):
+                evaluate(two_hop_formula(), db)
+    finally:
+        ctx.close()
+    documents.append(profile_document(tracer))
+    return fit_cost_model(documents, source="bench-e20")
+
+
+def _workloads(db, planner, ctx):
+    """(label, serial, always_parallel, cost_planned) thunk rows."""
+    program = transitive_closure_program()
+    chain = path_graph(8)
+    rows = []
+    for label, formula in (
+        ("two_hop", two_hop_formula()),
+        ("filtered_join", filtered_join_formula()),
+        ("negation", negation_formula()),
+    ):
+        rows.append((
+            label,
+            lambda f=formula: evaluate(f, db),
+            lambda f=formula: evaluate(f, db, context=ctx),
+            lambda f=formula: planner.run(f, db, db.theory),
+        ))
+    rows.append((
+        "datalog_tc",
+        lambda: evaluate_program(program, chain),
+        lambda: evaluate_program(program, chain, context=ctx),
+        lambda: evaluate_program(program, chain, planner=planner),
+    ))
+    return rows
+
+
+# ----------------------------------------------------------- benchmark trio
+
+
+@pytest.mark.parametrize("mode", ["serial", "always_parallel", "cost_planned"])
+def test_two_hop_backends(benchmark, mode):
+    db = _edge_db()
+    f = two_hop_formula()
+    if mode == "serial":
+        benchmark(lambda: evaluate(f, db))
+    elif mode == "always_parallel":
+        ctx = _context()
+        try:
+            with ctx:
+                evaluate(f, db)  # warm the pool
+            benchmark(lambda: evaluate(f, db, context=ctx))
+        finally:
+            ctx.close()
+    else:
+        planner = QueryPlanner(mode="cost", model=calibrated_model())
+        planner.run(f, db, db.theory)  # warm the logical-plan cache
+        benchmark(lambda: planner.run(f, db, db.theory))
+
+
+# ------------------------------------------------------------------- report
+
+
+def test_report_planner(capsys):
+    """Time all three backends per workload and enforce the E20 gates."""
+    db = _edge_db()
+    model = calibrated_model()
+    ctx = _context()
+    lines = ["", f"E20: cost-based planner ({CORES} cores, "
+             f"model fitted from {model.records_used} records)"]
+    failures = []
+    try:
+        planner = QueryPlanner(mode="cost", model=model, context=ctx)
+        with ctx:
+            evaluate(two_hop_formula(), db)  # warm the pool once
+        for label, serial_t, parallel_t, planned_t in _workloads(db, planner, ctx):
+            planned_t()  # warm the logical-plan cache
+            serial = _best(serial_t)
+            parallel = _best(parallel_t)
+            planned = _best(planned_t)
+            best = min(serial, parallel)
+            lines.append(
+                f"  {label:<16} serial {serial:8.4f}s  "
+                f"always-parallel {parallel:8.4f}s  "
+                f"planned {planned:8.4f}s  "
+                f"(vs best {planned / best - 1.0:+.1%})"
+            )
+            if planned > best * TOLERANCE:
+                lines.append(
+                    f"    ^ above the {TOLERANCE:.2f}x target "
+                    f"(hard gate {HARD_GATE:.2f}x)"
+                )
+            if planned > best * HARD_GATE:
+                failures.append(
+                    f"{label}: planned {planned:.4f}s > "
+                    f"{HARD_GATE:.2f}x best fixed backend {best:.4f}s"
+                )
+            if CORES == 1 and planned >= parallel * TOLERANCE:
+                failures.append(
+                    f"{label}: planned {planned:.4f}s not faster than "
+                    f"always-parallel {parallel:.4f}s on a 1-core box"
+                )
+    finally:
+        ctx.close()
+    with capsys.disabled():
+        print("\n".join(lines))
+    assert not failures, "; ".join(failures)
+
+
+def test_planned_agrees():
+    """Planned results match the serial reference on every workload.
+
+    The database is deliberately small: ``Relation.equivalent`` cell-
+    decomposes over every constant in either operand, which is minutes
+    of work at the timing workloads' 80-edge size (and measures the
+    checker, not the planner).  The exhaustive equivalence matrix lives
+    in tests/parallel/test_planned_differential.py.
+    """
+    db = _edge_db(12)
+    model = calibrated_model()
+    ctx = ExecutionContext(workers=2, pool="thread", min_tuples=2)
+    try:
+        planner = QueryPlanner(mode="cost", model=model, context=ctx)
+        for f in (two_hop_formula(), filtered_join_formula(), negation_formula()):
+            assert planner.run(f, db, db.theory).equivalent(evaluate(f, db))
+        program = transitive_closure_program()
+        chain = path_graph(8)
+        serial = evaluate_program(program, chain)
+        planned = evaluate_program(program, chain, planner=planner)
+        assert serial.rounds == planned.rounds
+        assert serial["tc"].equivalent(planned["tc"])
+    finally:
+        ctx.close()

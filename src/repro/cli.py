@@ -26,7 +26,16 @@ per-site counters plus the kernel cache/interning statistics,
 subcommand runs a query or program purely for its cost tree, and the
 ``profile`` subcommand runs one purely for its per-operator cost
 ledger — the estimated-vs-actual cardinality table, exportable as a
-schema-versioned ``repro.profile/1`` document with ``--out``.
+schema-versioned ``repro.profile/1`` document with ``--out`` (and
+``--fit`` to turn the run's ledger straight into a cost model).
+
+Query planning: ``--optimize={none,heuristic,cost}`` picks the
+planning mode on ``query``/``datalog``/``explain`` (default: ``cost``
+when ``--parallel`` is granted, ``none`` otherwise), the ``plan``
+subcommand prints the chosen plan — per-node estimated rows, modeled
+cost, serial-vs-parallel verdict — without executing, and
+``calibrate`` fits the planner's ``repro.cost-model/1`` coefficients
+from saved ``repro.profile/1`` documents.
 
 Telemetry exports (the :mod:`repro.obs.telemetry` pipeline):
 ``--log-jsonl FILE`` streams every structured log record
@@ -49,13 +58,18 @@ the README table; asserted by ``tests/obs/test_cli_exit_codes.py``).
 pool (:mod:`repro.perf`) for the run — the escape hatch for timing
 comparisons and for ruling the cache out when debugging.
 
-``--parallel`` (with ``--workers`` and ``--shard-strategy``) shards
-the expensive relation kernels across a worker pool
+``--parallel`` (with ``--workers`` and ``--shard-strategy``) grants a
+worker pool for the expensive relation kernels
 (:mod:`repro.parallel`); serial evaluation remains the default and
-the reference, and results are set-equivalent either way.  On a
-single-CPU machine ``--parallel`` without an explicit ``--workers``
-auto-degrades to serial (a pool of one worker only adds overhead) with
-a warning.  Shard dispatch is fault-tolerant: ``--shard-timeout``
+the reference, and results are set-equivalent either way.  Where the
+pool is *used* is decided per operator by the cost-based planner:
+``--parallel`` implies ``--optimize=cost`` unless ``--optimize`` says
+otherwise, and the planner dispatches only the Join/Project/Absorb
+nodes whose modeled parallel cost beats serial (so a 1-core box
+simply gets serial decisions — no host-level special case).
+``--optimize=none`` restores the legacy behavior: the pool is
+activated globally and every eligible kernel shards.  Shard dispatch
+is fault-tolerant: ``--shard-timeout``
 bounds each shard, ``--shard-retries`` caps pool re-dispatches before
 a failing shard is quarantined (re-executed serially in-process), and
 ``--on-shard-failure`` picks the terminal behavior — ``fail`` (exit
@@ -272,20 +286,22 @@ def _resilience_of(args: argparse.Namespace):
 
 
 def _context_of(args: argparse.Namespace):
-    """An ExecutionContext when --parallel was requested, else None."""
+    """An ExecutionContext when --parallel was requested, else None.
+
+    No host-level degrade here any more: on a 1-core machine the
+    cost planner's dispatch decisions come out serial by themselves
+    (``--optimize=none`` bypasses the planner, so forcing a pool there
+    is on the user).  A warning is kept for the explicitly forced case.
+    """
     if not getattr(args, "parallel", False):
         return None
     workers = getattr(args, "workers", None)
-    if workers is None and (os.cpu_count() or 1) == 1:
-        # one CPU and no explicit pool size: a worker pool can only add
-        # dispatch overhead, so degrade to the serial reference path
+    if workers is not None and workers > 1 and (os.cpu_count() or 1) == 1:
         print(
-            "warning: --parallel on a single-CPU machine without "
-            "--workers; evaluating serially (pass --workers to force "
-            "a pool)",
+            f"warning: --workers {workers} on a single-CPU machine; "
+            "shards will time-slice one core",
             file=sys.stderr,
         )
-        return None
     from repro.parallel import ExecutionContext
 
     return ExecutionContext(
@@ -293,6 +309,49 @@ def _context_of(args: argparse.Namespace):
         shard_strategy=getattr(args, "shard_strategy", "hash"),
         resilience=_resilience_of(args),
         capture=not getattr(args, "no_stitch", False),
+    )
+
+
+def _add_optimize_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--optimize", choices=("none", "heuristic", "cost"), default=None,
+        help="query planning mode: none (direct evaluator; the default "
+        "without --parallel), heuristic (rule-engine rewrites, serial "
+        "execution), or cost (rewrites plus per-operator serial-vs-"
+        "parallel dispatch; the default with --parallel)",
+    )
+    parser.add_argument(
+        "--cost-model", default=None, metavar="FILE", dest="cost_model",
+        help="plan with a fitted repro.cost-model/1 document (see "
+        "'repro calibrate'; default: conservative built-in coefficients)",
+    )
+
+
+def _optimize_mode(args: argparse.Namespace) -> str:
+    """The resolved --optimize mode: an explicit choice wins; otherwise
+    --parallel turns planning on (the planner owns the dispatch
+    decisions) and plain runs stay on the reference evaluator."""
+    mode = getattr(args, "optimize", None)
+    if mode is not None:
+        return mode
+    return "cost" if getattr(args, "parallel", False) else "none"
+
+
+def _planner_of(args: argparse.Namespace, mode: str, ctx):
+    """A QueryPlanner for the resolved mode (``"none"`` -> ``None``)."""
+    if mode == "none":
+        return None
+    from repro.core.costmodel import load_cost_model
+    from repro.core.physical import QueryPlanner
+
+    model = None
+    if getattr(args, "cost_model", None):
+        model = load_cost_model(args.cost_model)
+    return QueryPlanner(
+        mode=mode,
+        model=model,
+        context=ctx,
+        default_strategy=getattr(args, "shard_strategy", "hash"),
     )
 
 
@@ -426,11 +485,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
     ctx = _context_of(args)
+    mode = _optimize_mode(args)
+    planner = _planner_of(args, mode, ctx)
     try:
         with _cache_context(args), (
             tracer if tracer is not None else contextlib.nullcontext()
         ):
-            result = evaluate(formula, db, guard=guard, context=ctx)
+            if planner is not None:
+                result = planner.run(formula, db, db.theory, guard=guard)
+            else:
+                result = evaluate(formula, db, guard=guard, context=ctx)
         _note_partial_shards(ctx)
         if not result.schema:
             print("true" if not result.is_empty() else "false")
@@ -451,6 +515,8 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
     tracer = _tracer_of(args)
     guard = _guard_of(args, budget)
     ctx = _context_of(args)
+    mode = _optimize_mode(args)
+    planner = _planner_of(args, mode, ctx)
     try:
         with _cache_context(args), (
             tracer if tracer is not None else contextlib.nullcontext()
@@ -461,7 +527,10 @@ def _cmd_datalog(args: argparse.Namespace) -> int:
                 max_rounds=args.max_rounds,
                 guard=guard,
                 on_budget=args.on_budget,
-                context=ctx,
+                # a planner owns the context (per-operator activation);
+                # --optimize=none activates it globally, as before
+                context=ctx if planner is None else None,
+                planner=planner,
             )
         _note_partial_shards(ctx)
         if result.reached_fixpoint:
@@ -489,15 +558,20 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         tracer.add_sink(JsonlSink(args.log_jsonl))
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
     ctx = _context_of(args)
+    mode = _optimize_mode(args)
+    planner = _planner_of(args, mode, ctx)
     summary: str
     try:
         with _cache_context(args), tracer, (
-            ctx if ctx is not None else contextlib.nullcontext()
+            ctx if ctx is not None and planner is None
+            else contextlib.nullcontext()
         ):
-            # the context is *activated* around the whole run (rather
-            # than passed to one engine) so the stratified engine and
-            # any nested evaluation see it through the context variable
-            summary = _run_explain(args, db, guard, is_program)
+            # without a planner the context is *activated* around the
+            # whole run (rather than passed to one engine) so the
+            # stratified engine and any nested evaluation see it through
+            # the context variable; with a planner, activation is
+            # per-operator inside the planned executor
+            summary = _run_explain(args, db, guard, is_program, planner)
         print(summary)
     finally:
         # a budget abort must not lose the partial telemetry: the cost
@@ -537,25 +611,110 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(render_cost_ledger(tracer.ledger))
         if args.out:
             write_profile(args.out, tracer, guard)
+        if getattr(args, "fit", None):
+            from repro.core.costmodel import fit_cost_model
+            from repro.obs.ledger import profile_document
+
+            model = fit_cost_model([profile_document(tracer, guard)])
+            model.save(args.fit)
+            print(
+                f"cost model fitted from {model.records_used} ledger "
+                f"record(s) -> {args.fit}"
+            )
         if ctx is not None:
             ctx.close()
     return 0
 
 
-def _run_explain(args, db, guard, is_program) -> str:
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print the chosen plan: per-node est rows/cost + dispatch verdict."""
+    from repro.core.costmodel import load_cost_model
+    from repro.core.physical import render_plan
+    from repro.core.planner import compile_formula, explain, optimize
+    from repro.datalog.engine import body_formula
+
+    db = _load(args.database)
+    model = load_cost_model(args.cost_model) if args.cost_model else None
+    workers = 1
+    if getattr(args, "parallel", False):
+        workers = (
+            args.workers if args.workers is not None else (os.cpu_count() or 1)
+        )
+    strategy = getattr(args, "shard_strategy", "hash")
+
+    def show(formula) -> None:
+        plan = optimize(compile_formula(formula), db)
+        print(explain(plan))
+        print()
+        print(
+            render_plan(
+                plan, db, model,
+                max_workers=workers, default_strategy=strategy,
+            )
+        )
+
+    if args.query.endswith(".dl") or os.path.exists(args.query):
+        with open(args.query, encoding="utf-8") as handle:
+            program = parse_program(handle.read())
+        for index, rule in enumerate(program.rules):
+            if index:
+                print()
+            print(f"-- rule {index + 1}: {rule}")
+            show(body_formula(rule))
+    else:
+        show(parse_formula(args.query))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit a cost model from recorded repro.profile/1 documents."""
+    from repro.core.costmodel import fit_cost_model
+    from repro.obs.ledger import load_profile
+
+    documents = [load_profile(path) for path in args.profiles]
+    model = fit_cost_model(documents)
+    print(
+        f"fitted cost model from {model.records_used} record(s) across "
+        f"{len(documents)} profile document(s)"
+    )
+    for op in sorted(model.coefficients):
+        coefs = model.coefficients[op]
+        print(
+            f"  {op:<12} base={coefs['base']:.3e} "
+            f"per_input={coefs['per_input']:.3e} "
+            f"per_unit={coefs['per_unit']:.3e} "
+            f"per_output={coefs['per_output']:.3e}"
+        )
+    for kind in sorted(model.ratios):
+        print(f"  ratio {kind:<20} {model.ratios[kind]:.3f}")
+    if args.out:
+        model.save(args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def _run_explain(args, db, guard, is_program, planner=None) -> str:
     """One explain evaluation; returns the one-line result summary."""
     if is_program:
         with open(args.query, encoding="utf-8") as handle:
             program = parse_program(handle.read())
+        kwargs = {}
         if args.engine == "seminaive":
             from repro.datalog.seminaive import evaluate_seminaive as engine
         elif args.engine == "stratified":
             from repro.datalog.stratified import evaluate_stratified as engine
         else:
             engine = evaluate_program
+            kwargs["planner"] = planner
+        if planner is not None and args.engine in ("seminaive", "stratified"):
+            print(
+                f"warning: --optimize applies to the naive engine only; "
+                f"running {args.engine} unplanned",
+                file=sys.stderr,
+            )
         result = engine(
             program, db, max_rounds=args.max_rounds, guard=guard,
-            on_budget=args.on_budget,
+            on_budget=args.on_budget, **kwargs,
         )
         idb_tuples = sum(len(result[name]) for name in program.idb)
         if result.reached_fixpoint:
@@ -565,7 +724,10 @@ def _run_explain(args, db, guard, is_program) -> str:
             )
         return f"result: cut off after {result.rounds} round(s): {result.cut}"
     formula = parse_formula(args.query)
-    relation = evaluate(formula, db, guard=guard)
+    if planner is not None:
+        relation = planner.run(formula, db, db.theory, guard=guard)
+    else:
+        relation = evaluate(formula, db, guard=guard)
     if not relation.schema:
         return f"result: {'true' if not relation.is_empty() else 'false'}"
     return (
@@ -614,6 +776,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_obs_flags(query)
     _add_cache_flag(query)
     _add_parallel_flags(query)
+    _add_optimize_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
@@ -634,6 +797,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_obs_flags(datalog)
     _add_cache_flag(datalog)
     _add_parallel_flags(datalog)
+    _add_optimize_flags(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
 
     explain_cmd = sub.add_parser(
@@ -662,6 +826,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_budget_flags(explain_cmd)
     _add_cache_flag(explain_cmd)
     _add_parallel_flags(explain_cmd)
+    _add_optimize_flags(explain_cmd)
     _add_telemetry_flags(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
 
@@ -689,10 +854,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="FILE",
         help="also write the ledger as a repro.profile/1 JSON document",
     )
+    profile_cmd.add_argument(
+        "--fit", default=None, metavar="FILE",
+        help="also fit a repro.cost-model/1 document from this run's "
+        "ledger and write it here (see 'repro calibrate' for fitting "
+        "from saved --out documents)",
+    )
     _add_budget_flags(profile_cmd)
     _add_cache_flag(profile_cmd)
     _add_parallel_flags(profile_cmd)
     profile_cmd.set_defaults(fn=_cmd_profile)
+
+    plan_cmd = sub.add_parser(
+        "plan",
+        help="print the optimized plan with per-node estimated rows, "
+        "modeled cost, and the serial-vs-parallel verdict (no execution)",
+    )
+    plan_cmd.add_argument("database")
+    plan_cmd.add_argument(
+        "query",
+        help="an FO formula, or a path to a Datalog(not) program file "
+        "(one plan per rule body)",
+    )
+    plan_cmd.add_argument(
+        "--cost-model", default=None, metavar="FILE", dest="cost_model",
+        help="plan with a fitted repro.cost-model/1 document",
+    )
+    _add_parallel_flags(plan_cmd)
+    plan_cmd.set_defaults(fn=_cmd_plan)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit a repro.cost-model/1 document from recorded "
+        "repro.profile/1 documents (see 'repro profile --out')",
+    )
+    calibrate.add_argument(
+        "profiles", nargs="+", metavar="PROFILE",
+        help="repro.profile/1 JSON documents to fit against",
+    )
+    calibrate.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the fitted model here (printed either way)",
+    )
+    calibrate.set_defaults(fn=_cmd_calibrate)
 
     roundtrip = sub.add_parser("reencode", help="normalize a database file")
     roundtrip.add_argument("database")

@@ -7,6 +7,11 @@ Public surface re-exported here:
 * :class:`GTuple` and :class:`Relation` -- generalized tuples/relations;
 * the formula AST (:class:`Formula`, :func:`exists`, :func:`forall`,
   :func:`rel`, ...) and :func:`evaluate` / :func:`evaluate_boolean`;
+* the query-planner stack: plan IR (:func:`compile_formula`,
+  :func:`execute`, :func:`explain`), rewrite rules
+  (:class:`RuleEngine`, :func:`optimize`), the ledger-calibrated
+  :class:`CostModel`, and per-operator dispatch
+  (:class:`QueryPlanner`, :func:`plan_physical`);
 * quantifier elimination and decision procedures in :mod:`repro.core.qe`;
 * the canonical 1-D form (:class:`Interval`, :class:`IntervalSet`) and
   the box fast path (:class:`Box`, :class:`BoxSet`).
@@ -42,7 +47,15 @@ from repro.core.normal_forms import (
     to_nnf,
     to_prenex,
 )
+from repro.core.costmodel import (
+    CostModel,
+    estimate_plan,
+    fit_cost_model,
+    load_cost_model,
+)
+from repro.core.physical import QueryPlanner, execute_plan, plan_physical, render_plan
 from repro.core.planner import compile_formula, execute, explain, optimize
+from repro.core.rules import RewriteRule, RuleEngine, heuristic_engine
 from repro.core.qe import (
     eliminate_quantifiers,
     equivalent,
@@ -98,6 +111,17 @@ __all__ = [
     "execute",
     "explain",
     "optimize",
+    "CostModel",
+    "estimate_plan",
+    "fit_cost_model",
+    "load_cost_model",
+    "QueryPlanner",
+    "execute_plan",
+    "plan_physical",
+    "render_plan",
+    "RewriteRule",
+    "RuleEngine",
+    "heuristic_engine",
     "eliminate_quantifiers",
     "equivalent",
     "formula_to_relation",

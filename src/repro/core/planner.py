@@ -6,24 +6,27 @@ an explicit plan stage: compile the formula to an algebra tree, apply
 rewrite passes, then execute.  This module provides exactly that:
 
 * :class:`Plan` nodes: ``Scan``, ``ConstraintScan``, ``Select``,
-  ``Project``, ``Join``, ``Union``, ``Complement``, ``Universe``;
+  ``Project``, ``Join``, ``Union``, ``Complement``, ``Absorb``,
+  ``Shared``, ``Universe``, ``Empty``;
 * :func:`compile_formula` -- formula to a naive plan mirroring the
-  evaluator's recursion;
-* :func:`optimize` -- rewrite passes:
-
-  1. *selection pushdown*: push constraint selections below joins and
-     unions toward the scans they filter (smaller intermediates);
-  2. *projection pulling of unions / pushdown over joins*: drop dead
-     columns as early as the join structure allows;
-  3. *join reordering*: order n-ary join chains by an estimated
-     representation size (tuple counts), smallest first;
-
+  evaluator's recursion (Datalog¬ rule bodies compile through the same
+  IR: :mod:`repro.datalog.engine` builds the body formula and hands it
+  here when a planner is attached);
+* :func:`optimize` -- the heuristic rewrite entry point, now a thin
+  wrapper over the HepPlanner-style rule engine in
+  :mod:`repro.core.rules` (named :class:`~repro.core.rules.RewriteRule`
+  objects applied to fixpoint under a firing budget);
 * :func:`execute` -- run a plan against a database;
 * :func:`explain` -- a readable indented plan dump.
 
+Cost-based planning lives one layer up: :mod:`repro.core.costmodel`
+annotates a plan with calibrated per-node cardinality/cost estimates
+and :mod:`repro.core.physical` decides serial-vs-parallel dispatch per
+operator.
+
 ``execute(optimize(compile_formula(f)), db)`` is equivalence-tested
-against ``evaluate(f, db)`` on random formulas; the E12 ablation
-benchmark measures the optimizer's effect.
+against ``evaluate(f, db)`` on random formulas; the E12/E20 ablation
+benchmarks measure the optimizer's effect.
 """
 
 from __future__ import annotations
@@ -60,6 +63,8 @@ __all__ = [
     "Join",
     "Union",
     "Complement",
+    "Absorb",
+    "Shared",
     "compile_formula",
     "optimize",
     "execute",
@@ -185,6 +190,47 @@ class Complement(Plan):
         return (self.source,)
 
 
+@dataclass(frozen=True)
+class Absorb(Plan):
+    """Containment absorption (``Relation.simplify``) as a plan node.
+
+    Semantics-free on the pointset (absorption only drops subsumed
+    tuples); placed by the rule engine where a smaller representation
+    pays downstream — above unions that accumulate redundant tuples
+    and below complements, whose cost is exponential in the input
+    tuple count.
+    """
+
+    source: Plan
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.source.schema
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class Shared(Plan):
+    """A marker for a subplan occurring more than once in the tree.
+
+    Plan nodes are value objects, so equal duplicated subtrees compare
+    equal; the common-subplan-dedup rule wraps every occurrence in
+    ``Shared`` and executors memoize on the wrapped source, evaluating
+    it once per query.  Plain :func:`execute` just unwraps.
+    """
+
+    source: Plan
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.source.schema
+
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.source,)
+
+
 # ------------------------------------------------------------------ compile
 
 
@@ -280,6 +326,8 @@ def _estimate(plan: Plan, db: Optional[Database]) -> int:
         return sum(_estimate(p, db) for p in plan.parts)
     if isinstance(plan, Complement):
         return 2 ** min(_estimate(plan.source, db), 16)
+    if isinstance(plan, (Absorb, Shared)):
+        return _estimate(plan.source, db)
     return 4  # pragma: no cover
 
 
@@ -302,6 +350,10 @@ def _rewrite_children(plan: Plan, rewrite) -> Plan:
         return Union(tuple(rewrite(p) for p in plan.parts))
     if isinstance(plan, Complement):
         return Complement(rewrite(plan.source))
+    if isinstance(plan, Absorb):
+        return Absorb(rewrite(plan.source))
+    if isinstance(plan, Shared):
+        return Shared(rewrite(plan.source))
     return plan
 
 
@@ -336,12 +388,14 @@ def _constraint_joins_to_selects(plan: Plan) -> Plan:
 
 
 def optimize(plan: Plan, database: Optional[Database] = None) -> Plan:
-    """Apply the rewrite passes (semantics-preserving)."""
-    plan = _flatten_joins(plan)
-    plan = _push_selections(plan)
-    plan = _constraint_joins_to_selects(plan)
-    plan = _reorder_joins(plan, database)
-    return plan
+    """Apply the heuristic rewrite rules (semantics-preserving).
+
+    Thin wrapper over the rule engine in :mod:`repro.core.rules`; the
+    historical pass functions above remain for targeted use and tests.
+    """
+    from repro.core.rules import heuristic_engine
+
+    return heuristic_engine(database).run(plan)
 
 
 # ------------------------------------------------------------------ execute
@@ -392,6 +446,10 @@ def execute(
         return result
     if isinstance(plan, Complement):
         return execute(plan.source, db, theory).complement()
+    if isinstance(plan, Absorb):
+        return execute(plan.source, db, theory).simplify()
+    if isinstance(plan, Shared):
+        return execute(plan.source, db, theory)
     raise EvaluationError(f"cannot execute plan node {type(plan).__name__}")
 
 
@@ -419,4 +477,8 @@ def explain(plan: Plan, indent: int = 0) -> str:
         return "\n".join(lines)
     if isinstance(plan, Complement):
         return f"{pad}Complement\n" + explain(plan.source, indent + 1)
+    if isinstance(plan, Absorb):
+        return f"{pad}Absorb\n" + explain(plan.source, indent + 1)
+    if isinstance(plan, Shared):
+        return f"{pad}Shared\n" + explain(plan.source, indent + 1)
     return f"{pad}?{type(plan).__name__}"  # pragma: no cover

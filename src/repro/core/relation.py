@@ -196,23 +196,34 @@ class Relation:
         metrics = tracer.metrics
         metrics.count("relation.complement.calls")
         metrics.observe("relation.complement.in_tuples", len(self.tuples))
-        # pre-execution estimate: DNF negation distributes one negated
-        # atom per input atom across the partial product, so the output
-        # is bounded by the product of per-tuple atom counts (capped --
-        # the estimate is for the profile table, not for arithmetic)
-        est = 1
+        # pre-execution estimate.  The worst-case DNF bound is the
+        # product of per-tuple negated-disjunct counts (each atom
+        # negates to at most two atoms over dense order), but per-stage
+        # absorption keeps real outputs near-linear: complementing n
+        # interval pieces yields about n+1 pieces, not 2^n.  Take the
+        # smaller of the two figures and record which estimator fired,
+        # so calibration can weight the linear regime separately from
+        # the (rare) genuinely multiplicative one.
+        total_atoms = sum(len(t.atoms) for t in self.tuples)
+        product = 1
         for t in self.tuples:
-            est *= max(1, len(t.atoms))
-            if est > 10**12:
-                est = 10**12
+            product *= max(1, 2 * len(t.atoms))
+            if product > 10**12:
+                product = 10**12
                 break
+        linear = 1 + 2 * total_atoms
+        est, estimator = (
+            (linear, "complement.linear")
+            if linear <= product
+            else (product, "complement.product")
+        )
         result = self._complement()
         metrics.observe("relation.complement.out_tuples", len(result.tuples))
         seconds = tracer.clock() - t0
         metrics.observe("relation.complement.seconds", seconds)
         _ledger(tracer, "complement", k0, None,
                 in_tuples=len(self.tuples), out_tuples=len(result.tuples),
-                est_out=est,
+                est_out=est, estimator=estimator,
                 out_atoms=sum(len(t.atoms) for t in result.tuples),
                 seconds=seconds)
         return result
@@ -334,7 +345,7 @@ class Relation:
             # planner's working figure (not a hard bound)
             _ledger(tracer, "project", k0, dispatch,
                     in_tuples=in_count, out_tuples=len(reordered),
-                    est_out=in_count,
+                    est_out=in_count, estimator="project.input",
                     out_atoms=sum(len(t.atoms) for t in reordered),
                     seconds=seconds)
         return Relation._trusted(self.theory, target, reordered)
@@ -441,6 +452,7 @@ class Relation:
             _ledger(tracer, "join", k0, dispatch,
                     in_tuples=len(self.tuples) + len(other.tuples),
                     out_tuples=len(result.tuples), est_out=est,
+                    estimator="join.cross" if partition is None else "join.indexed",
                     out_atoms=sum(len(t.atoms) for t in result.tuples),
                     seconds=seconds)
         return result
@@ -486,7 +498,7 @@ class Relation:
 
 def _ledger(tracer, op: str, k0: dict, dispatch: Optional[dict], *,
             in_tuples: int, out_tuples: int, est_out: int, out_atoms: int,
-            seconds: float) -> None:
+            seconds: float, estimator: str = "") -> None:
     """Append one :class:`~repro.obs.ledger.CostRecord` to the active
     tracer's ledger.
 
@@ -514,6 +526,7 @@ def _ledger(tracer, op: str, k0: dict, dispatch: Optional[dict], *,
         shards=info.get("shards", 0),
         skew=info.get("skew", 1.0),
         parallel=dispatch is not None,
+        estimator=estimator,
     )
 
 
@@ -562,7 +575,7 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
         # the deduplicated input size is a hard upper bound
         _ledger(tracer, "absorb", k0, dispatch,
                 in_tuples=len(tuples), out_tuples=len(kept),
-                est_out=len(distinct),
+                est_out=len(distinct), estimator="absorb.dedup",
                 out_atoms=sum(len(t.atoms) for t in kept),
                 seconds=tracer.clock() - t0)
     return kept

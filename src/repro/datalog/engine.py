@@ -101,11 +101,17 @@ class FixpointResult:
 
 
 def _derive(
-    r: Rule, state: Database, theory: ConstraintTheory
+    r: Rule, state: Database, theory: ConstraintTheory, planner=None
 ) -> Relation:
     """Evaluate one rule against the current state; relation over head schema."""
     body = body_formula(r)
-    derived = evaluate(body, state, theory)
+    if planner is not None:
+        # rule bodies compile through the same plan IR as FO queries;
+        # the planner caches the logical plan per body formula and
+        # recomputes physical dispatch from current relation sizes
+        derived = planner.run(body, state, theory)
+    else:
+        derived = evaluate(body, state, theory)
     head_names = [v.name for v in r.head_args]
     missing = [n for n in head_names if n not in derived.schema]
     if missing:
@@ -129,6 +135,7 @@ def evaluate_program(
     guard: Optional[EvaluationGuard] = None,
     on_budget: str = "raise",
     context=None,
+    planner=None,
 ) -> FixpointResult:
     """Run ``program`` to its inflationary fixpoint over ``database``.
 
@@ -149,6 +156,14 @@ def evaluate_program(
     :class:`~repro.parallel.context.ExecutionContext` for the whole
     run, sharding the expensive relation kernels of every round across
     its worker pool; serial evaluation stays the reference.
+
+    ``planner`` optionally routes every rule-body evaluation through a
+    :class:`~repro.core.physical.QueryPlanner` (compile → rule-engine
+    rewrites → cost-modeled per-operator dispatch) instead of the
+    direct evaluator.  Pass *either* ``context`` (global activation)
+    or a planner holding the context (per-operator activation), not
+    both — a globally active context would pre-empt the planner's
+    per-node decisions.
     """
     check_on_budget(on_budget)
     guard = resolve_guard(guard, budget)
@@ -183,7 +198,7 @@ def evaluate_program(
                         fault_point("datalog.round")
                         new_values: Dict[str, Relation] = {}
                         for r in program.rules:
-                            derived = _derive(r, state, theory)
+                            derived = _derive(r, state, theory, planner)
                             current = new_values.get(r.head_name, state[r.head_name])
                             new_values[r.head_name] = current.union(derived)
                         changed = False

@@ -80,15 +80,18 @@ class CostRecord:
     """One operator invocation's observed cost and cardinalities.
 
     ``est_out`` is the pre-execution output-cardinality estimate (see
-    the module docstring for the per-operator estimators); ``shards``
-    is 0 and ``skew`` 1.0 for a serial call; ``cache_hits`` /
-    ``cache_misses`` include stitched worker deltas for process-pool
-    dispatches.
+    the module docstring for the per-operator estimators);
+    ``estimator`` names which estimator produced it (e.g.
+    ``"join.indexed"`` vs ``"join.cross"``), so calibration can weight
+    estimators separately instead of pooling a tight index-derived
+    bound with a loose cross-product one; ``shards`` is 0 and ``skew``
+    1.0 for a serial call; ``cache_hits`` / ``cache_misses`` include
+    stitched worker deltas for process-pool dispatches.
     """
 
     __slots__ = ("op", "in_tuples", "out_tuples", "est_out", "out_atoms",
                  "cache_hits", "cache_misses", "seconds", "shards", "skew",
-                 "parallel")
+                 "parallel", "estimator")
 
     def __init__(
         self,
@@ -104,8 +107,10 @@ class CostRecord:
         shards: int = 0,
         skew: float = 1.0,
         parallel: bool = False,
+        estimator: str = "",
     ) -> None:
         self.op = op
+        self.estimator = estimator or op
         self.in_tuples = in_tuples
         self.out_tuples = out_tuples
         self.est_out = est_out
@@ -125,7 +130,7 @@ class CostRecord:
         return self.out_atoms / self.out_tuples if self.out_tuples else 0.0
 
     def as_dict(self) -> dict:
-        out: dict = {"op": self.op}
+        out: dict = {"op": self.op, "estimator": self.estimator}
         for field in _NUMERIC_FIELDS:
             out[field] = getattr(self, field)
         out["parallel"] = self.parallel
@@ -271,6 +276,10 @@ def validate_profile(document: Any) -> dict:
             _fail("record is not an object")
         if not isinstance(entry.get("op"), str):
             _fail("record op is not a string")
+        # estimator is optional (documents written before the field
+        # existed stay loadable); when present it must be a string
+        if "estimator" in entry and not isinstance(entry["estimator"], str):
+            _fail("record estimator is not a string")
         for field in _NUMERIC_FIELDS:
             value = entry.get(field)
             if not isinstance(value, (int, float)) or isinstance(value, bool):

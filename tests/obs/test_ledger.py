@@ -60,6 +60,18 @@ class TestCostRecord:
         assert d["op"] == "join" and d["parallel"] is True
         assert d["est_out"] == 8 and d["skew"] == 1.2
 
+    def test_estimator_defaults_to_op(self):
+        record = CostRecord("join", in_tuples=1, out_tuples=1, est_out=1)
+        assert record.estimator == "join"
+        assert record.as_dict()["estimator"] == "join"
+
+    def test_explicit_estimator_kind_exported(self):
+        record = CostRecord(
+            "join", in_tuples=1, out_tuples=1, est_out=1,
+            estimator="join.indexed",
+        )
+        assert record.as_dict()["estimator"] == "join.indexed"
+
     def test_negative_cache_counts_clamped(self):
         record = CostRecord(
             "join", in_tuples=1, out_tuples=1, est_out=1,
@@ -108,6 +120,23 @@ class TestTracerLedger:
         assert ops == set(OPERATORS)
         assert all(not record.parallel for record in tracer.ledger)
         assert all(record.shards == 0 for record in tracer.ledger)
+
+    def test_records_carry_estimator_kinds(self):
+        tracer = _traced_workload()
+        kinds = {record.op: record.estimator for record in tracer.ledger}
+        assert kinds["join"] in ("join.indexed", "join.cross")
+        assert kinds["project"] == "project.input"
+        assert kinds["complement"] in ("complement.linear", "complement.product")
+        assert kinds["absorb"] == "absorb.dedup"
+
+    def test_complement_estimate_is_an_upper_bound(self):
+        # the tightened estimator (min of the per-stage linear bound
+        # and the capped DNF product) must still never under-estimate
+        tracer = _traced_workload()
+        complements = [r for r in tracer.ledger if r.op == "complement"]
+        assert complements
+        for record in complements:
+            assert record.est_out >= record.out_tuples
 
     def test_join_estimate_is_an_upper_bound(self):
         tracer = _traced_workload()
@@ -175,6 +204,7 @@ class TestProfileDocument:
             (lambda d: d.update(records=7), "arrays"),
             (lambda d: d.update(dropped_records=-1), "dropped_records"),
             (lambda d: d["records"][0].update(op=3), "op"),
+            (lambda d: d["records"][0].update(estimator=3), "estimator"),
             (lambda d: d["records"][0].update(in_tuples="x"), "in_tuples"),
             (lambda d: d["records"][0].update(seconds=-1.0), "negative"),
             (lambda d: d["records"][0].update(parallel="yes"), "parallel"),
@@ -187,6 +217,13 @@ class TestProfileDocument:
         mutate(document)
         with pytest.raises(EncodingError, match=match):
             validate_profile(document)
+
+    def test_estimator_field_is_optional(self):
+        # documents written before the estimator column existed load
+        document = profile_document(_traced_workload())
+        for record in document["records"]:
+            record.pop("estimator", None)
+        validate_profile(document)
 
     def test_parallel_record_without_shards_rejected(self):
         document = profile_document(_traced_workload())

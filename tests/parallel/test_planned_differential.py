@@ -1,0 +1,160 @@
+"""Differential suite for the cost-based planner: planned execution vs
+the serial reference.
+
+``--optimize=cost`` replaces the evaluator with compile → rule-engine
+rewrites → cost-modeled per-operator dispatch, which is exactly the
+kind of change that silently diverges from the reference semantics.
+Every point of the {hash, cell} × {1, 2, 4} worker matrix is pinned
+twice:
+
+* **semantic equivalence** — the planned result (with a dispatch-eager
+  cost model, so parallel decisions actually fire at workers > 1)
+  denotes the same pointset as the plain serial evaluator's;
+* **guard parity** — planned-serial and planned-parallel walk the
+  *same* plan, so a guard must report identical relation-level
+  counters, materialized tuples, and completed rounds on both sides.
+  (Parity against the unplanned evaluator is deliberately not asserted:
+  executing fewer/cheaper operator calls than the naive evaluation
+  order is exactly what the optimizer is for.)
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import CostModel
+from repro.core.evaluator import evaluate
+from repro.core.physical import QueryPlanner
+from repro.datalog.engine import evaluate_program
+from repro.encoding.cells import relations_equivalent
+from repro.queries.library import transitive_closure_program
+from repro.runtime.guard import EvaluationGuard
+
+from tests.parallel.oracle import STRATEGIES, WORKER_COUNTS, guard_totals, make_context
+from tests.parallel.test_differential import _edge_db, small_digraphs
+from tests.strategies import formulas
+
+MATRIX = [
+    (strategy, workers) for strategy in STRATEGIES for workers in WORKER_COUNTS
+]
+
+_CONTEXTS = {}
+
+
+def _context(strategy, workers):
+    key = (strategy, workers)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = make_context(workers, strategy)
+    return _CONTEXTS[key]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_contexts():
+    yield
+    while _CONTEXTS:
+        _CONTEXTS.popitem()[1].close()
+
+
+def _eager_model():
+    """Dispatch priced near zero so worker counts > 1 actually take the
+    parallel path on Hypothesis-sized inputs; serial semantics must
+    survive the planner *choosing* parallel, not just declining it."""
+    return CostModel(
+        dispatch={"base": 1e-9, "per_shard": 1e-9, "per_tuple": 1e-12,
+                  "efficiency": 1.0},
+        source="test-eager",
+    )
+
+
+def _planner(strategy, workers):
+    return QueryPlanner(
+        mode="cost",
+        model=_eager_model(),
+        context=_context(strategy, workers),
+        default_strategy=strategy,
+    )
+
+
+def check_fo_planned(formula, database=None, planner=None):
+    """Assert planner.run == evaluate (semantics) and that a serial
+    planner run of the same mode/model agrees on guard accounting."""
+    serial = evaluate(formula, database)
+    theory = database.theory if database is not None else serial.theory
+    baseline_guard = EvaluationGuard()
+    baseline = QueryPlanner(mode=planner.mode, model=planner.model).run(
+        formula, database, theory, guard=baseline_guard
+    )
+    planned_guard = EvaluationGuard()
+    planned = planner.run(formula, database, theory, guard=planned_guard)
+    assert serial.schema == planned.schema
+    assert relations_equivalent(serial, planned), (
+        f"planned FO result diverged from serial for {formula}:\n"
+        f"serial:\n{serial.pretty()}\nplanned:\n{planned.pretty()}"
+    )
+    assert relations_equivalent(baseline, planned)
+    assert guard_totals(baseline_guard) == guard_totals(planned_guard), (
+        f"guard accounting diverged for {formula}: "
+        f"{guard_totals(baseline_guard)} != {guard_totals(planned_guard)}"
+    )
+
+
+@pytest.mark.parametrize("strategy,workers", MATRIX)
+class TestPlannedDifferential:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(formula=formulas())
+    def test_fo_formulas(self, strategy, workers, formula):
+        check_fo_planned(formula, planner=_planner(strategy, workers))
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edges=small_digraphs())
+    def test_datalog_rule_bodies_through_the_planner(
+        self, strategy, workers, edges
+    ):
+        program = transitive_closure_program()
+        db = _edge_db(edges)
+        serial = evaluate_program(program, db)
+        baseline_guard = EvaluationGuard()
+        baseline = evaluate_program(
+            program, db, guard=baseline_guard,
+            planner=QueryPlanner(mode="cost", model=_eager_model()),
+        )
+        planned_guard = EvaluationGuard()
+        planned = evaluate_program(
+            program, db, guard=planned_guard,
+            planner=_planner(strategy, workers),
+        )
+        assert serial.rounds == planned.rounds == baseline.rounds
+        assert serial.reached_fixpoint == planned.reached_fixpoint
+        for name in program.idb:
+            assert relations_equivalent(serial[name], planned[name]), (
+                f"planned IDB {name!r} diverged from serial:\n"
+                f"serial:\n{serial[name].pretty()}\n"
+                f"planned:\n{planned[name].pretty()}"
+            )
+        assert guard_totals(baseline_guard) == guard_totals(planned_guard)
+
+
+class TestDefaultModelEquivalence:
+    """The conservative default model (everything serial on small
+    inputs) must agree with the evaluator too — both planner paths,
+    with and without a granted context."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(formula=formulas())
+    def test_cost_mode_without_context(self, formula):
+        check_fo_planned(formula, planner=QueryPlanner(mode="cost"))
+
+    @settings(max_examples=25, deadline=None)
+    @given(formula=formulas())
+    def test_heuristic_mode(self, formula):
+        check_fo_planned(formula, planner=QueryPlanner(mode="heuristic"))

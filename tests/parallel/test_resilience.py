@@ -407,7 +407,10 @@ class TestCli:
 
     def test_exit_code_5_on_unrecoverable_shard(self, workload):
         # a poisoned join-shard site with an unspent parent budget:
-        # retries exhaust, quarantine fails, the CLI reports exit 5
+        # retries exhaust, quarantine fails, the CLI reports exit 5.
+        # --optimize=none pins the legacy global-dispatch path (the
+        # cost planner would route this small join serially and never
+        # hit the poisoned site)
         registry = FaultRegistry(seed=9)
         registry.inject(
             "worker.join_shard",
@@ -416,14 +419,17 @@ class TestCli:
         )
         with registry:
             code, _, err = _run_cli(
-                ["query", workload, "--raw", QUERY,
+                ["query", workload, "--raw", QUERY, "--optimize=none",
                  "--parallel", "--workers", "2", "--shard-retries", "0"]
             )
         assert code == EXIT_SHARD == 5
         assert "shard failure" in err
         assert "diagnostics:" in err
 
-    def test_single_cpu_auto_degrades_to_serial(self, workload, monkeypatch):
+    def test_single_cpu_parallel_is_planner_decided(self, workload, monkeypatch):
+        # the blunt host-level auto-degrade is gone: --parallel on one
+        # CPU just hands the planner a pool it will decide not to use
+        # for a workload this small — same result, no degrade warning
         import repro.cli as cli_module
 
         monkeypatch.setattr(cli_module.os, "cpu_count", lambda: 1)
@@ -431,10 +437,12 @@ class TestCli:
         code_s, out_s, _ = _run_cli(argv)
         code_p, out_p, err = _run_cli(argv + ["--parallel"])
         assert code_s == code_p == 0
-        assert "single-CPU" in err and "serially" in err
+        assert "serially" not in err
         assert sorted(out_s.splitlines()) == sorted(out_p.splitlines())
 
-    def test_explicit_workers_overrides_auto_degrade(self, workload, monkeypatch):
+    def test_forced_workers_on_single_cpu_warns_but_runs(
+        self, workload, monkeypatch
+    ):
         import repro.cli as cli_module
 
         monkeypatch.setattr(cli_module.os, "cpu_count", lambda: 1)
@@ -443,4 +451,4 @@ class TestCli:
         )
         assert code == 0
         assert out.strip()
-        assert "single-CPU" not in err
+        assert "single-CPU" in err  # the explicit-force warning stays
