@@ -37,6 +37,7 @@ ci:
 	pytest benchmarks/bench_e15_kernel_cache.py -s
 	pytest benchmarks/bench_e16_telemetry_overhead.py -s
 	pytest benchmarks/bench_e18_resilience.py -s --benchmark-disable
+	pytest benchmarks/bench_e21_analysis.py -s --benchmark-disable
 
 # the cross-process chaos matrix: deterministic faults and worker
 # crashes injected inside pool workers; the oracle must still match

@@ -818,6 +818,108 @@ def _planner_vs_best_backend_pct() -> float:
     return max(5.0, 100.0 * (planned / serial - 1.0))
 
 
+def e21_analysis() -> None:
+    """Time the trace-analysis pipeline on the synthetic 5,000-span
+    document and the ``--memory`` backends on the E21 workloads,
+    writing ``BENCH_ANALYSIS.json`` so the CI gate and EXPERIMENTS.md
+    read the same numbers."""
+    header("E21 -- trace analysis toolkit (repro.obs.analyze/flame/diff)")
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_e21_analysis import (
+        SPAN_COUNT,
+        _best,
+        _e14_workloads,
+        _traced,
+        synthetic_trace,
+    )
+    from repro.obs import (
+        analyze_trace,
+        diff_traces,
+        speedscope_document,
+        validate_speedscope,
+    )
+
+    before = synthetic_trace()
+    after = synthetic_trace()
+    analyze_s = _best(lambda: analyze_trace(after), repeat=3)
+    flame_s = _best(
+        lambda: validate_speedscope(speedscope_document(after)), repeat=3
+    )
+    diff_s = _best(lambda: diff_traces(before, after), repeat=3)
+    pipeline_s = analyze_s + flame_s + diff_s
+
+    print("| measurement | value |")
+    print("|---|---|")
+    print(f"| spans analyzed | {SPAN_COUNT} |")
+    print(f"| analyze (s) | {analyze_s:.4f} |")
+    print(f"| flame export (s) | {flame_s:.4f} |")
+    print(f"| trace diff (s) | {diff_s:.4f} |")
+    print(f"| full pipeline (s) | {pipeline_s:.4f} (target < 1.0) |")
+
+    memory = {}
+    for name, thunk in _e14_workloads().items():
+        base = _best(_traced(thunk), repeat=3)
+        rss = _best(_traced(thunk, "rss"), repeat=3)
+        traced = _best(_traced(thunk, "tracemalloc"), repeat=3)
+        memory[name] = {
+            "traced_seconds": base,
+            "rss_seconds": rss,
+            "rss_overhead": rss / base - 1.0,
+            "tracemalloc_seconds": traced,
+            "tracemalloc_overhead": traced / base - 1.0,
+        }
+        print(
+            f"| --memory rss overhead, {name} | "
+            f"{memory[name]['rss_overhead']:+.2%} (target < 5%) |"
+        )
+        print(
+            f"| --memory tracemalloc overhead, {name} | "
+            f"{memory[name]['tracemalloc_overhead']:+.2%} (reported, not gated) |"
+        )
+
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_ANALYSIS.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "schema": "repro.bench-analysis/1",
+                "cores": os.cpu_count() or 1,
+                "spans": SPAN_COUNT,
+                "analyze_seconds": analyze_s,
+                "flame_seconds": flame_s,
+                "diff_seconds": diff_s,
+                "pipeline_seconds": pipeline_s,
+                "memory": memory,
+            },
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    print()
+    print(f"(machine-readable numbers written to {out_path})")
+
+
+def _trace_analysis_seconds() -> float:
+    """The 5k-span analyze+flame+diff pipeline for the history record —
+    the interactivity claim ``repro bench-watch`` keeps honest."""
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_e21_analysis import _best, synthetic_trace
+    from repro.obs import analyze_trace, diff_traces, speedscope_document
+
+    before = synthetic_trace()
+    after = synthetic_trace()
+
+    def pipeline():
+        analyze_trace(after)
+        speedscope_document(after)
+        diff_traces(before, after)
+
+    return _best(pipeline, repeat=3)
+
+
 def bench_history(history_path: str) -> None:
     """Append one provenance-stamped timing record to the bench history.
 
@@ -868,6 +970,11 @@ def bench_history(history_path: str) -> None:
         f"| planner_vs_best_backend_pct | "
         f"{metrics['planner_vs_best_backend_pct']:.1f} (floored at 5.0) |"
     )
+    metrics["trace_analysis_seconds"] = _trace_analysis_seconds()
+    print(
+        f"| trace_analysis_seconds | "
+        f"{metrics['trace_analysis_seconds']:.4f} |"
+    )
     record = append_history(history_path, metrics)
     print()
     print(
@@ -912,6 +1019,7 @@ def main(argv=None) -> None:
     e18_resilience()
     e19_stitching()
     e20_planner()
+    e21_analysis()
     bench_history(args.history)
     print()
 

@@ -46,8 +46,27 @@ final metrics snapshot in the Prometheus text format, and
 ``repro.postmortem/1`` document there with the last telemetry events
 and the partial guard counters.
 
+Trace analysis (the :mod:`repro.obs` analysis toolkit): ``repro trace
+analyze TRACE`` prints the critical path and the per-operator /
+per-phase bottleneck tables of a saved ``repro.trace/1`` document;
+``repro trace flame TRACE`` exports it as a speedscope JSON profile
+(or ``--format collapsed`` stack lines); ``repro trace diff BEFORE
+AFTER`` structurally diffs two traces of the same workload and
+attributes the latency delta to named operators, optionally writing a
+``repro.trace-diff/1`` document with ``-o``.
+
+``--memory`` (on ``query``/``datalog``/``explain``/``profile``) turns
+on per-span memory attribution: every traced span gains
+``mem_alloc_blocks``/``mem_peak_bytes`` attrs, the cost ledger gains
+per-operator memory columns, and ``--parallel`` runs capture the same
+attrs inside pool workers.  The default ``rss`` backend is cheap
+(gated < 5% overhead by E21); ``--memory-backend tracemalloc`` adds
+exact ``mem_alloc_bytes`` at tracemalloc's documented cost.
+
 ``repro bench-watch`` compares the newest ``BENCH_HISTORY.jsonl``
-record against the trailing baseline and exits ``4`` on regression.
+record against the trailing baseline and exits ``4`` on regression;
+with ``--trace-before``/``--trace-after`` a regression report also
+includes the trace diff naming the operators that slowed down.
 
 Exit codes are uniform across subcommands: ``0`` ok, ``1``
 encoding/input error, ``2`` usage error, ``3`` budget exhausted,
@@ -215,6 +234,29 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     _add_telemetry_flags(parser)
 
 
+def _add_memory_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="attribute memory per span and per operator (span attrs, "
+        "cost-ledger memory fields, worker spans on --parallel runs)",
+    )
+    parser.add_argument(
+        "--memory-backend", choices=("rss", "tracemalloc"), default="rss",
+        dest="memory_backend",
+        help="rss (default): near-free peak-RSS growth + allocator-block "
+        "deltas; tracemalloc: exact allocated bytes at tracemalloc's "
+        "documented cost (~3x on allocation-heavy runs)",
+    )
+
+
+def _arm_memory(args: argparse.Namespace, tracer: Tracer) -> None:
+    """Hang a MemoryProfiler on the tracer when --memory was given."""
+    if getattr(args, "memory", False):
+        from repro.obs.memory import MemoryProfiler
+
+        tracer.memory = MemoryProfiler(getattr(args, "memory_backend", "rss"))
+
+
 def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -309,6 +351,10 @@ def _context_of(args: argparse.Namespace):
         shard_strategy=getattr(args, "shard_strategy", "hash"),
         resilience=_resilience_of(args),
         capture=not getattr(args, "no_stitch", False),
+        memory=(
+            getattr(args, "memory_backend", "rss")
+            if getattr(args, "memory", False) else None
+        ),
     )
 
 
@@ -369,10 +415,13 @@ def _tracer_of(args: argparse.Namespace) -> Optional[Tracer]:
         or getattr(args, "log_jsonl", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "postmortem_dir", None)
+        # --memory needs span attribution, which needs a tracer
+        or getattr(args, "memory", False)
     )
     if not wanted:
         return None
     tracer = Tracer()
+    _arm_memory(args, tracer)
     if getattr(args, "log_jsonl", None):
         tracer.add_sink(JsonlSink(args.log_jsonl))
     return tracer
@@ -415,6 +464,22 @@ def _report_observation(args: argparse.Namespace,
             if run_counters:
                 merged = run_counters
         print(kernel_stats_table(stats, merged), file=sys.stderr)
+    if args.stats and tracer is not None:
+        quantile_rows = [
+            (name, tracer.metrics.histograms[name])
+            for name in sorted(tracer.metrics.histograms)
+            if name.endswith(".seconds") and tracer.metrics.histograms[name].count
+        ]
+        if quantile_rows:
+            print("latency quantiles:", file=sys.stderr)
+            width = max(len(name) for name, _ in quantile_rows)
+            for name, h in quantile_rows:
+                print(
+                    f"  {name.ljust(width)}  p50={h.quantile(0.5):.6f} "
+                    f"p95={h.quantile(0.95):.6f} p99={h.quantile(0.99):.6f} "
+                    f"(n={h.count})",
+                    file=sys.stderr,
+                )
     if tracer is None:
         return
     if args.verbose:
@@ -554,6 +619,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     guard = EvaluationGuard(budget)  # guard stats are part of the tree
     tracer = Tracer()
+    _arm_memory(args, tracer)
     if getattr(args, "log_jsonl", None):
         tracer.add_sink(JsonlSink(args.log_jsonl))
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
@@ -596,6 +662,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     guard = EvaluationGuard(budget)  # guard stats ride along in --out
     tracer = Tracer()
+    _arm_memory(args, tracer)
     is_program = args.query.endswith(".dl") or os.path.exists(args.query)
     ctx = _context_of(args)
     try:
@@ -742,17 +809,103 @@ def _cmd_roundtrip(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """Critical path + bottleneck aggregation of one trace document."""
+    from repro.obs import analyze_trace, load_trace, render_analysis
+
+    document = load_trace(args.trace)
+    print(render_analysis(analyze_trace(document), max_path=args.max_path))
+    return EXIT_OK
+
+
+def _cmd_trace_flame(args: argparse.Namespace) -> int:
+    """Export one trace document as a flame graph."""
+    from repro.obs import (
+        collapsed_stacks,
+        load_trace,
+        speedscope_document,
+        validate_speedscope,
+        write_flame,
+    )
+
+    document = load_trace(args.trace)
+    name = args.name or os.path.basename(args.trace)
+    if args.out:
+        write_flame(args.out, document, fmt=args.format, name=name)
+        print(f"{args.format} flame graph -> {args.out}")
+    elif args.format == "collapsed":
+        print(collapsed_stacks(document))
+    else:
+        import json
+
+        print(
+            json.dumps(
+                validate_speedscope(speedscope_document(document, name=name)),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return EXIT_OK
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Diff two trace documents, attributing the latency delta."""
+    from repro.obs import (
+        diff_traces,
+        load_trace,
+        render_trace_diff,
+        write_trace_diff,
+    )
+
+    before = load_trace(args.before)
+    after = load_trace(args.after)
+    document = diff_traces(
+        before,
+        after,
+        label_before=args.label_before or os.path.basename(args.before),
+        label_after=args.label_after or os.path.basename(args.after),
+    )
+    print(render_trace_diff(document))
+    if args.out:
+        write_trace_diff(args.out, document)
+        print(f"trace-diff document -> {args.out}")
+    return EXIT_OK
+
+
 def _cmd_bench_watch(args: argparse.Namespace) -> int:
     """Compare the newest bench-history record against the trailing
-    baseline; exit 4 when any metric regressed past the threshold."""
+    baseline; exit 4 when any metric regressed past the threshold.
+
+    With ``--trace-before``/``--trace-after`` pointing at saved trace
+    documents of the watched workload, a detected regression also
+    renders the trace diff — the report names the operators that
+    slowed down, not just the fact of the slowdown.
+    """
     records = load_history(args.history)
     report = compare_latest(
         records, threshold=args.threshold, window=args.window
     )
     print(render_watch_report(report))
-    if report["status"] == "regression":
-        return EXIT_REGRESSION
-    return EXIT_OK
+    if report["status"] != "regression":
+        return EXIT_OK
+    if args.trace_before and args.trace_after:
+        from repro.obs import diff_traces, load_trace, render_trace_diff
+
+        try:
+            document = diff_traces(
+                load_trace(args.trace_before),
+                load_trace(args.trace_after),
+                label_before=os.path.basename(args.trace_before),
+                label_after=os.path.basename(args.trace_after),
+            )
+        except (ReproError, OSError) as error:
+            # the watch verdict stands on the history alone; a missing
+            # or malformed trace only costs the attribution report
+            print(f"note: trace diff unavailable: {error}", file=sys.stderr)
+        else:
+            print()
+            print(render_trace_diff(document))
+    return EXIT_REGRESSION
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -777,6 +930,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cache_flag(query)
     _add_parallel_flags(query)
     _add_optimize_flags(query)
+    _add_memory_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     datalog = sub.add_parser("datalog", help="run a Datalog(not) program")
@@ -798,6 +952,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_cache_flag(datalog)
     _add_parallel_flags(datalog)
     _add_optimize_flags(datalog)
+    _add_memory_flags(datalog)
     datalog.set_defaults(fn=_cmd_datalog)
 
     explain_cmd = sub.add_parser(
@@ -828,6 +983,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_parallel_flags(explain_cmd)
     _add_optimize_flags(explain_cmd)
     _add_telemetry_flags(explain_cmd)
+    _add_memory_flags(explain_cmd)
     explain_cmd.set_defaults(fn=_cmd_explain)
 
     profile_cmd = sub.add_parser(
@@ -863,6 +1019,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_budget_flags(profile_cmd)
     _add_cache_flag(profile_cmd)
     _add_parallel_flags(profile_cmd)
+    _add_memory_flags(profile_cmd)
     profile_cmd.set_defaults(fn=_cmd_profile)
 
     plan_cmd = sub.add_parser(
@@ -902,6 +1059,68 @@ def main(argv: Optional[List[str]] = None) -> int:
     roundtrip.add_argument("database")
     roundtrip.set_defaults(fn=_cmd_roundtrip)
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="analyze saved repro.trace/1 documents: critical paths, "
+        "flame graphs, structural diffs",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+
+    analyze = trace_sub.add_parser(
+        "analyze",
+        help="critical path, per-operator hotspots, and per-phase "
+        "totals of one trace",
+    )
+    analyze.add_argument("trace", help="a repro.trace/1 JSON document")
+    analyze.add_argument(
+        "--max-path", type=int, default=40, metavar="N", dest="max_path",
+        help="cap on critical-path segments printed (default 40)",
+    )
+    analyze.set_defaults(fn=_cmd_trace_analyze)
+
+    flame = trace_sub.add_parser(
+        "flame",
+        help="export a trace as a flame graph (speedscope JSON or "
+        "collapsed stacks)",
+    )
+    flame.add_argument("trace", help="a repro.trace/1 JSON document")
+    flame.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write here instead of stdout",
+    )
+    flame.add_argument(
+        "--format", choices=("speedscope", "collapsed"), default="speedscope",
+        help="speedscope (default): load at https://speedscope.app; "
+        "collapsed: flamegraph.pl-style 'a;b;c <µs>' lines",
+    )
+    flame.add_argument(
+        "--name", default=None,
+        help="profile name embedded in the export (default: the trace "
+        "file's basename)",
+    )
+    flame.set_defaults(fn=_cmd_trace_flame)
+
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="diff two traces of the same workload, attributing the "
+        "latency delta to named operators and phases",
+    )
+    tdiff.add_argument("before", help="baseline repro.trace/1 document")
+    tdiff.add_argument("after", help="candidate repro.trace/1 document")
+    tdiff.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="also write the repro.trace-diff/1 JSON document here",
+    )
+    tdiff.add_argument(
+        "--label-before", default=None, dest="label_before", metavar="LABEL",
+        help="label for the baseline column (default: its basename)",
+    )
+    tdiff.add_argument(
+        "--label-after", default=None, dest="label_after", metavar="LABEL",
+        help="label for the candidate column (default: its basename)",
+    )
+    tdiff.set_defaults(fn=_cmd_trace_diff)
+
     watch = sub.add_parser(
         "bench-watch",
         help="compare the latest bench-history record against the "
@@ -918,6 +1137,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     watch.add_argument(
         "--window", type=int, default=5, metavar="N",
         help="baseline = median of the previous up-to-N records (default 5)",
+    )
+    watch.add_argument(
+        "--trace-before", default=None, dest="trace_before", metavar="FILE",
+        help="baseline repro.trace/1 document of the watched workload; "
+        "with --trace-after, a regression also renders the trace diff",
+    )
+    watch.add_argument(
+        "--trace-after", default=None, dest="trace_after", metavar="FILE",
+        help="candidate repro.trace/1 document (see --trace-before)",
     )
     watch.set_defaults(fn=_cmd_bench_watch)
 

@@ -193,6 +193,7 @@ class Relation:
             return self._complement()
         t0 = tracer.clock()
         k0 = kernel_counters()
+        m0 = _mem_mark(tracer)
         metrics = tracer.metrics
         metrics.count("relation.complement.calls")
         metrics.observe("relation.complement.in_tuples", len(self.tuples))
@@ -225,7 +226,7 @@ class Relation:
                 in_tuples=len(self.tuples), out_tuples=len(result.tuples),
                 est_out=est, estimator=estimator,
                 out_atoms=sum(len(t.atoms) for t in result.tuples),
-                seconds=seconds)
+                seconds=seconds, m0=m0)
         return result
 
     def _complement(self) -> "Relation":
@@ -307,10 +308,12 @@ class Relation:
             guard.note("relation.project")
         t0 = 0.0
         k0 = None
+        m0 = None
         in_count = len(current)
         if tracer is not None:
             t0 = tracer.clock()
             k0 = kernel_counters()
+            m0 = _mem_mark(tracer)
             metrics = tracer.metrics
             metrics.count("relation.project.calls")
             metrics.observe("relation.project.in_tuples", in_count)
@@ -347,7 +350,7 @@ class Relation:
                     in_tuples=in_count, out_tuples=len(reordered),
                     est_out=in_count, estimator="project.input",
                     out_atoms=sum(len(t.atoms) for t in reordered),
-                    seconds=seconds)
+                    seconds=seconds, m0=m0)
         return Relation._trusted(self.theory, target, reordered)
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
@@ -383,9 +386,11 @@ class Relation:
         tracer = active_tracer()
         t0 = 0.0
         k0 = None
+        m0 = None
         if tracer is not None:
             t0 = tracer.clock()
             k0 = kernel_counters()
+            m0 = _mem_mark(tracer)
             metrics = tracer.metrics
             metrics.count("relation.join.calls")
             metrics.observe("relation.join.in_tuples", len(self.tuples) + len(other.tuples))
@@ -454,7 +459,7 @@ class Relation:
                     out_tuples=len(result.tuples), est_out=est,
                     estimator="join.cross" if partition is None else "join.indexed",
                     out_atoms=sum(len(t.atoms) for t in result.tuples),
-                    seconds=seconds)
+                    seconds=seconds, m0=m0)
         return result
 
     # ------------------------------------------------------------- comparisons
@@ -496,9 +501,16 @@ class Relation:
         return [t.sample_point() for t in self.tuples]
 
 
+def _mem_mark(tracer):
+    """Open a memory frame for one operator call (``None`` unless the
+    tracer carries a :class:`~repro.obs.memory.MemoryProfiler`)."""
+    memory = tracer.memory
+    return memory.push() if memory is not None else None
+
+
 def _ledger(tracer, op: str, k0: dict, dispatch: Optional[dict], *,
             in_tuples: int, out_tuples: int, est_out: int, out_atoms: int,
-            seconds: float, estimator: str = "") -> None:
+            seconds: float, estimator: str = "", m0=None) -> None:
     """Append one :class:`~repro.obs.ledger.CostRecord` to the active
     tracer's ledger.
 
@@ -508,10 +520,20 @@ def _ledger(tracer, op: str, k0: dict, dispatch: Optional[dict], *,
     ``dispatch_info`` dict a parallel driver returned (``None`` for a
     serial call); its stitched worker cache deltas are added on top so
     process-pool runs attribute worker-side cache work to the operator
-    that dispatched it.
+    that dispatched it.  ``m0`` is the :func:`_mem_mark` frame from the
+    same preamble: closing it here attributes the call's allocation to
+    the record's memory fields (all zero without ``--memory``).
     """
     k1 = kernel_counters()
     info = dispatch or {}
+    memory = {}
+    if m0 is not None and tracer.memory is not None:
+        measured = tracer.memory.pop(m0)
+        memory = {
+            "alloc_blocks": measured.get("mem_alloc_blocks", 0),
+            "alloc_bytes": measured.get("mem_alloc_bytes", 0),
+            "peak_bytes": measured.get("mem_peak_bytes", 0),
+        }
     tracer.ledger.add(
         op,
         in_tuples=in_tuples,
@@ -527,6 +549,7 @@ def _ledger(tracer, op: str, k0: dict, dispatch: Optional[dict], *,
         skew=info.get("skew", 1.0),
         parallel=dispatch is not None,
         estimator=estimator,
+        **memory,
     )
 
 
@@ -547,9 +570,11 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
     tracer = active_tracer()
     t0 = 0.0
     k0 = None
+    m0 = None
     if tracer is not None:
         t0 = tracer.clock()
         k0 = kernel_counters()
+        m0 = _mem_mark(tracer)
     distinct: List[GTuple] = list(dict.fromkeys(tuples))
     dispatch = None
     kept: Optional[List[GTuple]] = None
@@ -577,7 +602,7 @@ def _absorb(tuples: List[GTuple]) -> List[GTuple]:
                 in_tuples=len(tuples), out_tuples=len(kept),
                 est_out=len(distinct), estimator="absorb.dedup",
                 out_atoms=sum(len(t.atoms) for t in kept),
-                seconds=tracer.clock() - t0)
+                seconds=tracer.clock() - t0, m0=m0)
     return kept
 
 

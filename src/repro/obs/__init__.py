@@ -25,7 +25,18 @@ without changing any engine signature:
 * :mod:`repro.obs.stitch` — cross-process trace stitching: worker-side
   telemetry snapshots (``repro.worker-telemetry/1``) grafted into the
   parent tracer at shard-harvest time, so traces, stats, and the
-  flight recorder see inside the worker pool.
+  flight recorder see inside the worker pool;
+* :mod:`repro.obs.analyze` — critical-path extraction and per-operator
+  / per-phase bottleneck aggregation over exported trace documents
+  (the ``repro trace analyze`` subcommand);
+* :mod:`repro.obs.flame` — collapsed-stack and speedscope flame-graph
+  export (``repro trace flame``);
+* :mod:`repro.obs.diff` — structural trace diffing attributing a
+  latency delta to named operators (``repro.trace-diff/1``; the
+  ``repro trace diff`` subcommand and bench-watch regression reports);
+* :mod:`repro.obs.memory` — opt-in per-span memory attribution
+  (``--memory``): cheap RSS-based by default, exact tracemalloc on
+  request, flowing into span attrs and cost-ledger memory fields.
 
 Typical use::
 
@@ -41,6 +52,22 @@ is gated < 5% by ``benchmarks/bench_e14_trace_overhead.py``, next to
 E13's budget-guard gate.
 """
 
+from repro.obs.analyze import (
+    analyze_trace,
+    critical_path,
+    operator_hotspots,
+    phase_totals,
+    render_analysis,
+    span_self_seconds,
+)
+from repro.obs.diff import (
+    TRACE_DIFF_SCHEMA,
+    diff_traces,
+    load_trace_diff,
+    render_trace_diff,
+    validate_trace_diff,
+    write_trace_diff,
+)
 from repro.obs.export import (
     TRACE_SCHEMA,
     guard_stats_table,
@@ -49,6 +76,13 @@ from repro.obs.export import (
     trace_document,
     validate_trace,
     write_trace,
+)
+from repro.obs.flame import (
+    SPEEDSCOPE_SCHEMA,
+    collapsed_stacks,
+    speedscope_document,
+    validate_speedscope,
+    write_flame,
 )
 from repro.obs.flightrec import (
     POSTMORTEM_SCHEMA,
@@ -78,6 +112,7 @@ from repro.obs.ledger import (
     write_profile,
 )
 from repro.obs.log import LOG_SCHEMA, log_event
+from repro.obs.memory import MemoryProfiler, memory_summary
 from repro.obs.metrics import Histogram, Metrics
 from repro.obs.profile import phase_breakdown, render_metrics_summary, render_profile
 from repro.obs.sink import (
@@ -102,6 +137,8 @@ __all__ = [
     "LOG_SCHEMA",
     "POSTMORTEM_SCHEMA",
     "PROFILE_SCHEMA",
+    "SPEEDSCOPE_SCHEMA",
+    "TRACE_DIFF_SCHEMA",
     "TRACE_SCHEMA",
     "WORKER_TELEMETRY_SCHEMA",
     "CollectingSink",
@@ -110,15 +147,20 @@ __all__ = [
     "FlightRecorder",
     "Histogram",
     "JsonlSink",
+    "MemoryProfiler",
     "Metrics",
     "RingBufferSink",
     "Sink",
     "SpanRecord",
     "Tracer",
     "active_tracer",
+    "analyze_trace",
     "append_history",
+    "collapsed_stacks",
     "compare_latest",
     "configure_flight_recorder",
+    "critical_path",
+    "diff_traces",
     "event",
     "flight_recorder",
     "guard_stats_table",
@@ -128,22 +170,33 @@ __all__ = [
     "load_postmortem",
     "load_profile",
     "load_trace",
+    "load_trace_diff",
     "log_event",
+    "memory_summary",
+    "operator_hotspots",
     "phase_breakdown",
+    "phase_totals",
     "profile_document",
     "prometheus_text",
+    "render_analysis",
     "render_cost_ledger",
     "render_metrics_summary",
     "render_profile",
+    "render_trace_diff",
     "render_watch_report",
     "snapshot_telemetry",
     "span",
+    "span_self_seconds",
+    "speedscope_document",
     "stitch_telemetry",
     "trace_document",
     "validate_history_record",
     "validate_postmortem",
     "validate_profile",
+    "validate_speedscope",
     "validate_trace",
+    "validate_trace_diff",
+    "write_flame",
     "write_profile",
     "write_prometheus",
     "write_trace",

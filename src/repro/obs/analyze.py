@@ -1,0 +1,295 @@
+"""Trace analysis: critical paths and bottleneck aggregation.
+
+The obs layer *captures* where the time went (``repro.trace/1``
+documents, stitched across processes); this module *answers* the
+question.  Everything here consumes the plain exported document — not
+a live :class:`~repro.obs.trace.Tracer` — so analyses run offline, on
+traces from other machines, and inside the ``repro trace`` CLI family
+without re-executing anything.
+
+* :func:`critical_path` — the chain of spans that determined the
+  trace's wall time.  On a stitched parallel trace the worker spans
+  participate: when the latest work under a dispatch span happened
+  inside a pool worker, the path descends into that worker's grafted
+  spans, so "the query was slow because shard 3's join kernel was
+  slow" falls out of the walk.
+
+* :func:`analyze_trace` — the full report: the critical path, per-span-
+  name operator aggregates (calls, total, *self* seconds — duration
+  minus child durations, the time a span spent in its own code), and
+  per-phase aggregates (the leading dotted component of the span name:
+  ``fo``, ``seminaive``, ``relation``, ``parallel``, ``worker``, ...).
+
+* :func:`render_analysis` — the aligned-text form ``repro trace
+  analyze`` prints.
+
+Critical-path algorithm (the standard one for span trees): walk
+backwards from a span's end; repeatedly take the *latest-ending* child
+that closed before the cursor, attribute the uncovered gap to the
+current span, recurse into that child, and continue from the child's
+start.  Gaps are the span's own (self) contribution; the segment
+seconds therefore partition the root's duration exactly — the
+reconciliation invariant ``sum(segment.seconds) == root.duration``
+(within float error) that ``tests/obs/test_analyze.py`` pins.
+Overlapping siblings (parallel workers) are handled naturally: the
+cursor jumps to the chosen child's start, skipping siblings whose work
+was hidden under it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "critical_path",
+    "span_self_seconds",
+    "operator_hotspots",
+    "phase_totals",
+    "analyze_trace",
+    "render_analysis",
+]
+
+
+def _closed_spans(document: dict) -> List[dict]:
+    """The document's closed spans (open spans carry no duration and
+    cannot sit on a timed path)."""
+    return [s for s in document.get("spans", ()) if s.get("end") is not None]
+
+
+def _children_index(spans: List[dict]) -> Dict[Optional[int], List[dict]]:
+    index: Dict[Optional[int], List[dict]] = {}
+    for span in spans:
+        index.setdefault(span["parent"], []).append(span)
+    return index
+
+
+def _descend(span: dict, index, segments: List[dict], depth: int) -> None:
+    """Attribute ``span``'s interval to the critical chain below it."""
+    children = sorted(
+        index.get(span["id"], ()), key=lambda s: s["end"], reverse=True
+    )
+    cursor = span["end"]
+    chosen: List[dict] = []
+    for child in children:
+        # the latest-ending child that closed before the cursor is the
+        # one that determined the wall clock at that instant; children
+        # overlapping it (parallel siblings) were hidden under it
+        if child["end"] <= cursor and child["end"] > child["start"]:
+            chosen.append(child)
+            cursor = child["start"]
+            if cursor <= span["start"]:
+                break
+    # chosen is in reverse time order; the gaps between consecutive
+    # chosen children (and before the first / after the last) are the
+    # span's own contribution
+    gap_total = span["end"] - span["start"]
+    for child in chosen:
+        gap_total -= min(child["end"], span["end"]) - max(
+            child["start"], span["start"]
+        )
+    segments.append(
+        {
+            "span": span["id"],
+            "name": span["name"],
+            "depth": depth,
+            "start": span["start"],
+            "end": span["end"],
+            "seconds": max(gap_total, 0.0),
+            "attrs": dict(span.get("attrs") or {}),
+        }
+    )
+    for child in reversed(chosen):  # chronological order
+        _descend(child, index, segments, depth + 1)
+
+
+def critical_path(document: dict) -> List[dict]:
+    """The spans that determined the trace's wall time, in tree order.
+
+    Returns one segment dict per span on the path: ``span`` (id),
+    ``name``, ``depth``, ``start``/``end`` (the span's own interval),
+    ``seconds`` (the *exclusive* share of wall time attributed to the
+    span — its duration minus the path-children intervals inside it),
+    and ``attrs``.  Segment seconds over all entries sum to the total
+    duration of the root spans, so the path is an exact decomposition
+    of the wall time, not a sampling.
+    """
+    spans = _closed_spans(document)
+    if not spans:
+        return []
+    index = _children_index(spans)
+    segments: List[dict] = []
+    roots = sorted(index.get(None, ()), key=lambda s: s["start"])
+    for root in roots:
+        _descend(root, index, segments, 0)
+    return segments
+
+
+def span_self_seconds(spans: List[dict]) -> Dict[int, float]:
+    """Per-span *self* time: duration minus the summed durations of its
+    direct children, clamped at zero (overlapping worker children can
+    sum past the parent)."""
+    child_total: Dict[Optional[int], float] = {}
+    for span in spans:
+        child_total[span["parent"]] = child_total.get(span["parent"], 0.0) + (
+            span["end"] - span["start"]
+        )
+    return {
+        span["id"]: max(
+            span["end"] - span["start"] - child_total.get(span["id"], 0.0), 0.0
+        )
+        for span in spans
+    }
+
+
+def operator_hotspots(document: dict) -> List[dict]:
+    """Per-span-name aggregates, hottest self-time first.
+
+    One row per distinct span name: ``name``, ``calls``, ``seconds``
+    (summed durations), ``self_seconds`` (summed exclusive time — the
+    honest bottleneck metric: a parent that merely waits on children
+    aggregates near zero), ``max_seconds`` (slowest single call).
+    """
+    spans = _closed_spans(document)
+    self_seconds = span_self_seconds(spans)
+    rows: Dict[str, dict] = {}
+    for span in spans:
+        row = rows.get(span["name"])
+        if row is None:
+            row = rows[span["name"]] = {
+                "name": span["name"], "calls": 0, "seconds": 0.0,
+                "self_seconds": 0.0, "max_seconds": 0.0,
+            }
+        duration = span["end"] - span["start"]
+        row["calls"] += 1
+        row["seconds"] += duration
+        row["self_seconds"] += self_seconds[span["id"]]
+        row["max_seconds"] = max(row["max_seconds"], duration)
+    return sorted(
+        rows.values(), key=lambda r: (-r["self_seconds"], r["name"])
+    )
+
+
+def phase_totals(document: dict) -> List[dict]:
+    """Self-time grouped by phase — the leading dotted component of the
+    span name (``relation.join`` → ``relation``) — largest first."""
+    spans = _closed_spans(document)
+    self_seconds = span_self_seconds(spans)
+    rows: Dict[str, dict] = {}
+    for span in spans:
+        phase = span["name"].split(".", 1)[0]
+        row = rows.get(phase)
+        if row is None:
+            row = rows[phase] = {"phase": phase, "spans": 0, "self_seconds": 0.0}
+        row["spans"] += 1
+        row["self_seconds"] += self_seconds[span["id"]]
+    return sorted(rows.values(), key=lambda r: (-r["self_seconds"], r["phase"]))
+
+
+def analyze_trace(document: dict) -> dict:
+    """The full analysis of one ``repro.trace/1`` document.
+
+    Keys: ``total_seconds`` (summed root durations), ``spans`` (closed
+    span count), ``open_spans``, ``critical_path`` (see
+    :func:`critical_path`, each segment with a ``pct`` share of total),
+    ``operators`` (:func:`operator_hotspots`), ``phases``
+    (:func:`phase_totals`), ``worker_seconds`` (summed durations of
+    stitched ``worker.*`` spans — 0.0 on a serial trace).
+    """
+    spans = _closed_spans(document)
+    roots = [s for s in spans if s["parent"] is None]
+    total = sum(s["end"] - s["start"] for s in roots)
+    path = critical_path(document)
+    for segment in path:
+        segment["pct"] = 100.0 * segment["seconds"] / total if total else 0.0
+    return {
+        "total_seconds": total,
+        "spans": len(spans),
+        "open_spans": len(document.get("spans", ())) - len(spans),
+        "critical_path": path,
+        "operators": operator_hotspots(document),
+        "phases": phase_totals(document),
+        "worker_seconds": sum(
+            s["end"] - s["start"]
+            for s in spans
+            if s["name"].startswith("worker.")
+        ),
+    }
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f} s "
+    if seconds >= 0.001:
+        return f"{seconds * 1000:9.3f} ms"
+    return f"{seconds * 1e6:9.1f} µs"
+
+
+def render_analysis(analysis: dict, *, max_path: int = 40) -> str:
+    """The :func:`analyze_trace` report as aligned text (the
+    ``repro trace analyze`` surface)."""
+    total = analysis["total_seconds"]
+    lines = [
+        f"trace analysis: {analysis['spans']} span(s), "
+        f"total {_fmt(total).strip()}"
+        + (f", {analysis['open_spans']} never closed"
+           if analysis["open_spans"] else "")
+    ]
+    if analysis["worker_seconds"]:
+        lines[0] += (
+            f", {_fmt(analysis['worker_seconds']).strip()} inside workers"
+        )
+    path = analysis["critical_path"]
+    if path:
+        lines.append("")
+        lines.append(f"critical path ({len(path)} segment(s)):")
+        shown = path[:max_path]
+        for segment in shown:
+            indent = "  " * segment["depth"]
+            extras = ""
+            attrs = segment["attrs"]
+            marks = [
+                f"{key}={attrs[key]}"
+                for key in ("pid", "shard", "attempt", "quarantined")
+                if key in attrs
+            ]
+            if marks:
+                extras = f" [{', '.join(marks)}]"
+            lines.append(
+                f"  {_fmt(segment['seconds'])} {segment['pct']:5.1f}%  "
+                f"{indent}{segment['name']}{extras}"
+            )
+        if len(path) > max_path:
+            rest = sum(s["seconds"] for s in path[max_path:])
+            lines.append(
+                f"  {_fmt(rest)} {100.0 * rest / total if total else 0.0:5.1f}%  "
+                f"… {len(path) - max_path} more segment(s)"
+            )
+    operators = analysis["operators"]
+    if operators:
+        lines.append("")
+        lines.append("hotspots (self time):")
+        width = max(len(r["name"]) for r in operators[:15])
+        width = max(width, len("span"))
+        lines.append(
+            f"  {'span'.ljust(width)} {'calls':>6} {'self':>12} "
+            f"{'total':>12} {'max call':>12}"
+        )
+        for row in operators[:15]:
+            lines.append(
+                f"  {row['name'].ljust(width)} {row['calls']:>6} "
+                f"{_fmt(row['self_seconds'])} {_fmt(row['seconds'])} "
+                f"{_fmt(row['max_seconds'])}"
+            )
+    phases = analysis["phases"]
+    if phases:
+        lines.append("")
+        lines.append("phases (self time):")
+        width = max(len(r["phase"]) for r in phases)
+        width = max(width, len("phase"))
+        for row in phases:
+            share = 100.0 * row["self_seconds"] / total if total else 0.0
+            lines.append(
+                f"  {row['phase'].ljust(width)} {_fmt(row['self_seconds'])} "
+                f"{share:5.1f}%  ({row['spans']} span(s))"
+            )
+    return "\n".join(lines)

@@ -75,6 +75,10 @@ _NUMERIC_FIELDS = (
     "skew",
 )
 
+#: memory-attribution fields (``--memory``); optional in validation so
+#: documents written before the fields existed stay loadable
+_MEMORY_FIELDS = ("alloc_blocks", "alloc_bytes", "peak_bytes")
+
 
 class CostRecord:
     """One operator invocation's observed cost and cardinalities.
@@ -91,7 +95,8 @@ class CostRecord:
 
     __slots__ = ("op", "in_tuples", "out_tuples", "est_out", "out_atoms",
                  "cache_hits", "cache_misses", "seconds", "shards", "skew",
-                 "parallel", "estimator")
+                 "parallel", "estimator", "alloc_blocks", "alloc_bytes",
+                 "peak_bytes")
 
     def __init__(
         self,
@@ -108,6 +113,9 @@ class CostRecord:
         skew: float = 1.0,
         parallel: bool = False,
         estimator: str = "",
+        alloc_blocks: int = 0,
+        alloc_bytes: int = 0,
+        peak_bytes: int = 0,
     ) -> None:
         self.op = op
         self.estimator = estimator or op
@@ -123,6 +131,11 @@ class CostRecord:
         self.shards = shards
         self.skew = skew
         self.parallel = parallel
+        # memory attribution (0 unless the run traced with --memory;
+        # see repro.obs.memory for the backend semantics)
+        self.alloc_blocks = max(0, alloc_blocks)
+        self.alloc_bytes = max(0, alloc_bytes)
+        self.peak_bytes = max(0, peak_bytes)
 
     @property
     def atoms_per_tuple(self) -> float:
@@ -134,6 +147,10 @@ class CostRecord:
         for field in _NUMERIC_FIELDS:
             out[field] = getattr(self, field)
         out["parallel"] = self.parallel
+        for field in _MEMORY_FIELDS:
+            value = getattr(self, field)
+            if value:
+                out[field] = value
         return out
 
     def __repr__(self) -> str:
@@ -184,7 +201,9 @@ class CostLedger:
         Keys per row: ``operator``, ``calls``, ``in_tuples``,
         ``out_tuples``, ``est_out``, ``out_atoms``, ``cache_hits``,
         ``cache_misses``, ``seconds``, ``parallel_calls``,
-        ``max_skew``.
+        ``max_skew``, ``alloc_blocks``, ``alloc_bytes``,
+        ``peak_bytes`` (summed allocation, max single-call peak; all
+        zero unless the run traced with ``--memory``).
         """
         by_op: dict = {}
         for record in self.records:
@@ -195,11 +214,14 @@ class CostLedger:
                     "out_tuples": 0, "est_out": 0, "out_atoms": 0,
                     "cache_hits": 0, "cache_misses": 0, "seconds": 0.0,
                     "parallel_calls": 0, "max_skew": 0.0,
+                    "alloc_blocks": 0, "alloc_bytes": 0, "peak_bytes": 0,
                 }
             row["calls"] += 1
             for field in ("in_tuples", "out_tuples", "est_out", "out_atoms",
-                          "cache_hits", "cache_misses", "seconds"):
+                          "cache_hits", "cache_misses", "seconds",
+                          "alloc_blocks", "alloc_bytes"):
                 row[field] += getattr(record, field)
+            row["peak_bytes"] = max(row["peak_bytes"], record.peak_bytes)
             if record.parallel:
                 row["parallel_calls"] += 1
                 row["max_skew"] = max(row["max_skew"], record.skew)
@@ -290,6 +312,17 @@ def validate_profile(document: Any) -> dict:
             _fail("record parallel flag is not a boolean")
         if entry["parallel"] and entry["shards"] < 1:
             _fail("parallel record has no shards")
+        # memory fields are optional (pre---memory documents); when
+        # present they must be non-negative numbers
+        for field in _MEMORY_FIELDS:
+            if field in entry:
+                value = entry[field]
+                if (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or value < 0
+                ):
+                    _fail(f"record field {field!r} is not a non-negative number")
     for row in operators:
         if not isinstance(row, dict) or not isinstance(row.get("operator"), str):
             _fail("operator summary row lacks an operator name")
@@ -311,6 +344,9 @@ def render_cost_ledger(ledger: CostLedger) -> str:
     summed pre-execution estimates, the est/actual ratio (the
     planner's misestimation factor), mean atoms per output tuple,
     kernel-cache hit rate, seconds, and how many calls went parallel.
+    A run traced with ``--memory`` adds a per-operator memory block;
+    a ledger that hit its record cap ends with an explicit warning —
+    the totals above it are truncated, and the reader must know.
     """
     if ledger.is_empty():
         return "cost ledger: (no operator calls recorded)"
@@ -346,5 +382,31 @@ def render_cost_ledger(ledger: CostLedger) -> str:
             f"{row['in_tuples']:>10} {row['est_out']:>9} "
             f"{row['out_tuples']:>10} {ratio} {atoms} {hit} "
             f"{row['seconds']:>10.4f} {par:>9}"
+        )
+    if any(
+        row["alloc_blocks"] or row["alloc_bytes"] or row["peak_bytes"]
+        for row in rows
+    ):
+        lines.append(
+            f"  {'memory':<12} {'alloc blocks':>14} {'alloc bytes':>13} "
+            f"{'peak bytes':>12}"
+        )
+        for row in rows:
+            if not (
+                row["alloc_blocks"] or row["alloc_bytes"] or row["peak_bytes"]
+            ):
+                continue
+            alloc_bytes = (
+                f"{row['alloc_bytes']:>13}" if row["alloc_bytes"]
+                else f"{'—':>13}"
+            )
+            lines.append(
+                f"  {row['operator']:<12} {row['alloc_blocks']:>14} "
+                f"{alloc_bytes} {row['peak_bytes']:>12}"
+            )
+    if ledger.dropped:
+        lines.append(
+            f"  warning: {ledger.dropped} cost record(s) dropped at the "
+            f"{ledger.max_records}-record cap; totals above are truncated"
         )
     return "\n".join(lines)

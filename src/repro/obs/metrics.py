@@ -12,9 +12,11 @@ Two instrument kinds:
 
 * **counters** — monotone event counts (``metrics.count(name, n)``);
 * **histograms** — summaries of an observed quantity
-  (``metrics.observe(name, value)``): count, sum, min, max.
-  Histograms keep aggregates only, never samples, so recording stays
-  O(1) in space no matter how hot the path.
+  (``metrics.observe(name, value)``): count, sum, min, max, plus a
+  fixed set of power-of-two buckets from which p50/p95/p99 are
+  estimated.  Histograms keep aggregates and bucket counts only,
+  never samples, so recording stays O(1) in space no matter how hot
+  the path.
 
 Metric-name conventions (all emitted by the instrumented hot paths):
 
@@ -69,21 +71,54 @@ differential oracle need as an explicit data point, not a missing key.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Optional
 
-__all__ = ["Histogram", "Metrics"]
+__all__ = ["Histogram", "Metrics", "QUANTILES", "histogram_from_snapshot"]
+
+#: the quantiles every surface reports for a histogram, in order
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: bucket ``i`` covers values in ``[2**(i - _BUCKET_OFFSET),
+#: 2**(i + 1 - _BUCKET_OFFSET))``; the offset puts 2**-40 (~1e-12, well
+#: below a clock tick) in bucket 0 and 2**55 (~3.6e16 — bytes, tuples,
+#: seconds all fit) in the last bucket
+_BUCKET_OFFSET = 40
+_BUCKET_COUNT = 96
+
+
+def _bucket_index(value: float) -> int:
+    if value <= 0.0:
+        return 0
+    index = int(math.log2(value)) + _BUCKET_OFFSET
+    # int() truncates toward zero: values below 1.0 need the floor
+    if value < 1.0 and 2.0 ** (index - _BUCKET_OFFSET) > value:
+        index -= 1
+    if index < 0:
+        return 0
+    if index >= _BUCKET_COUNT:
+        return _BUCKET_COUNT - 1
+    return index
 
 
 class Histogram:
-    """Aggregate summary of an observed quantity (no samples kept)."""
+    """Aggregate summary of an observed quantity (no samples kept).
 
-    __slots__ = ("count", "total", "min", "max")
+    Alongside count/total/min/max, observations land in sparse
+    power-of-two buckets (``buckets[i]`` counts values in
+    ``[2**(i-40), 2**(i-39))``), from which :meth:`quantile` estimates
+    p50/p95/p99 by geometric interpolation — good to a factor of
+    ``sqrt(2)``, which is what a latency summary needs, at O(1) space.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -92,10 +127,37 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``None`` on an empty histogram).
+
+        Walks the buckets to the one holding the ``q``-th observation
+        and returns its geometric midpoint, clamped into
+        ``[min, max]`` so a single-bucket histogram reports exact
+        bounds rather than a bucket artifact.
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        seen = 0
+        estimate = self.max if self.max is not None else 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                low = 2.0 ** (index - _BUCKET_OFFSET)
+                estimate = low * math.sqrt(2.0)
+                break
+        if self.min is not None and estimate < self.min:
+            estimate = self.min
+        if self.max is not None and estimate > self.max:
+            estimate = self.max
+        return estimate
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's aggregates into this one."""
@@ -108,15 +170,28 @@ class Histogram:
                 self.min = bound
             if self.max is None or bound > self.max:
                 self.max = bound
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
 
     def snapshot(self) -> dict:
-        """The aggregates as a plain dict (stable keys; JSON-safe)."""
+        """The aggregates as a plain dict (stable keys; JSON-safe).
+
+        Buckets are exported with string keys (JSON objects cannot key
+        on integers); :func:`histogram_from_snapshot` reverses the
+        round-trip.  Quantile estimates ride along so exported trace
+        documents carry p50/p95/p99 without the reader reimplementing
+        the bucket walk.
+        """
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:
@@ -124,6 +199,20 @@ class Histogram:
             f"<Histogram n={self.count} total={self.total:g} "
             f"min={self.min} max={self.max}>"
         )
+
+
+def histogram_from_snapshot(aggregate: Mapping) -> "Histogram":
+    """Rebuild a :class:`Histogram` from a :meth:`Histogram.snapshot`
+    dict (tolerates pre-bucket documents: buckets default empty, so
+    quantiles degrade to the min/max clamp)."""
+    histogram = Histogram()
+    histogram.count = int(aggregate.get("count", 0))
+    histogram.total = float(aggregate.get("total", 0.0))
+    histogram.min = aggregate.get("min")
+    histogram.max = aggregate.get("max")
+    for key, n in (aggregate.get("buckets") or {}).items():
+        histogram.buckets[int(key)] = int(n)
+    return histogram
 
 
 class Metrics:

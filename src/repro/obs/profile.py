@@ -162,6 +162,22 @@ def phase_breakdown(tracer: Tracer) -> dict:
     }
 
 
+def _memory_rows(tracer: Tracer) -> List[dict]:
+    """Per-span-name memory aggregates when the run traced with
+    ``--memory`` (empty otherwise); delegates to
+    :func:`repro.obs.memory.memory_summary` over the span attrs."""
+    from repro.obs.memory import memory_summary
+
+    return memory_summary(
+        {
+            "spans": [
+                {"name": s.name, "attrs": s.attrs}
+                for s in tracer.spans
+            ]
+        }
+    )
+
+
 def render_profile(tracer: Tracer, guard=None) -> str:
     """The full EXPLAIN-style report: span tree + per-phase tables."""
     lines: List[str] = []
@@ -210,6 +226,41 @@ def render_profile(tracer: Tracer, guard=None) -> str:
             sizes = deltas.get(engine)
             suffix = f", delta sizes {sizes}" if sizes else ""
             lines.append(f"  {engine}: {round_counters[engine]} round(s){suffix}")
+    quantile_rows = [
+        (name, metrics.histograms[name])
+        for name in sorted(metrics.histograms)
+        if name.endswith(".seconds") and metrics.histograms[name].count
+    ]
+    if quantile_rows:
+        lines.append("")
+        lines.append("latency quantiles")
+        width = max(len(name) for name, _ in quantile_rows)
+        for name, h in quantile_rows:
+            lines.append(
+                f"  {name.ljust(width)}  p50={h.quantile(0.5):.6f} "
+                f"p95={h.quantile(0.95):.6f} p99={h.quantile(0.99):.6f} "
+                f"(n={h.count})"
+            )
+    memory_rows = _memory_rows(tracer)
+    if memory_rows:
+        lines.append("")
+        lines.append("memory attribution")
+        width = max(len(r["name"]) for r in memory_rows)
+        width = max(width, len("span"))
+        lines.append(
+            f"  {'span'.ljust(width)} {'calls':>6} {'alloc blocks':>13} "
+            f"{'alloc bytes':>12} {'peak bytes':>11}"
+        )
+        for row in memory_rows:
+            alloc_bytes = (
+                f"{row['alloc_bytes']:>12}" if row["alloc_bytes"]
+                else f"{'—':>12}"
+            )
+            lines.append(
+                f"  {row['name'].ljust(width)} {row['calls']:>6} "
+                f"{row['alloc_blocks']:>13} {alloc_bytes} "
+                f"{row['peak_bytes']:>11}"
+            )
     hits = metrics.counter("kernel.cache.hits")
     misses = metrics.counter("kernel.cache.misses")
     if hits or misses:
@@ -247,4 +298,9 @@ def render_metrics_summary(metrics: Metrics) -> str:
             f"  {name}: n={h.count} total={h.total:g} mean={h.mean:g} "
             f"min={h.min:g} max={h.max:g}"
         )
+        if h.count:
+            lines.append(
+                f"  {name}: p50={h.quantile(0.5):g} "
+                f"p95={h.quantile(0.95):g} p99={h.quantile(0.99):g}"
+            )
     return "\n".join(lines)

@@ -167,9 +167,9 @@ def prometheus_text(metrics, namespace: str = "repro") -> str:
     ``snapshot()`` dict) in the Prometheus text exposition format.
 
     Counters become ``counter`` samples; histograms become ``summary``
-    ``_count``/``_sum`` pairs plus ``_min``/``_max`` gauges (the
-    registry keeps aggregates, never samples, so quantiles are not
-    available — min/max bound them).
+    metrics — ``{quantile="0.5"|"0.95"|"0.99"}`` samples estimated from
+    the registry's power-of-two buckets, plus the ``_count``/``_sum``
+    pair and ``_min``/``_max`` gauges bounding the estimates.
     """
     snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
     lines: List[str] = []
@@ -183,6 +183,10 @@ def prometheus_text(metrics, namespace: str = "repro") -> str:
         metric = _metric_name(name, namespace)
         lines.append(f"# HELP {metric} repro histogram {name}")
         lines.append(f"# TYPE {metric} summary")
+        for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            value = aggregate.get(key)
+            if value is not None:
+                lines.append(f'{metric}{{quantile="{label}"}} {value}')
         lines.append(f"{metric}_count {aggregate['count']}")
         lines.append(f"{metric}_sum {aggregate['total']}")
         for bound in ("min", "max"):

@@ -47,7 +47,7 @@ import os
 from typing import Dict, List, Optional
 
 from repro.obs.flightrec import record as _flight_record
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import histogram_from_snapshot
 from repro.obs.sink import level_number
 from repro.obs.trace import SpanRecord, Tracer
 
@@ -91,15 +91,12 @@ def snapshot_telemetry(tracer: Tracer, logs: List[dict]) -> dict:
 
 
 def _merge_histogram(metrics, name: str, aggregate: dict) -> None:
-    other = Histogram()
-    other.count = int(aggregate.get("count", 0))
-    other.total = float(aggregate.get("total", 0.0))
-    other.min = aggregate.get("min")
-    other.max = aggregate.get("max")
+    other = histogram_from_snapshot(aggregate)
     mine = metrics.histograms.get(name)
     if mine is None:
-        mine = metrics.histograms[name] = Histogram()
-    mine.merge(other)
+        mine = metrics.histograms[name] = other
+    else:
+        mine.merge(other)
 
 
 def stitch_telemetry(

@@ -163,10 +163,12 @@ class Tracer:
         "dropped_spans",
         "trace_id",
         "sinks",
+        "memory",
         "_stack",
         "_next_id",
         "_tokens",
         "_kernel_baseline",
+        "_mem_frames",
     )
 
     def __init__(
@@ -186,10 +188,12 @@ class Tracer:
         self.dropped_spans = 0
         self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:12]
         self.sinks: List[Sink] = []
+        self.memory = None  # a MemoryProfiler when --memory is on
         self._stack: List[SpanRecord] = []
         self._next_id = 0
         self._tokens: list = []
         self._kernel_baseline: Optional[Dict[str, int]] = None
+        self._mem_frames: Dict[int, list] = {}
 
     # ------------------------------------------------------------ activation
 
@@ -198,6 +202,8 @@ class Tracer:
             # snapshot the process-wide kernel-cache counters so the
             # outermost exit can attribute their growth to this tracer
             self._kernel_baseline = kernel_counters()
+            if self.memory is not None:
+                self.memory.start()
         self._tokens.append(_ACTIVE.set(self))
         return self
 
@@ -211,6 +217,9 @@ class Tracer:
                 if grew:
                     self.metrics.count(f"kernel.{name}", grew)
         if outermost:
+            if self.memory is not None:
+                self.memory.stop()
+                self._mem_frames.clear()
             for sink in self.sinks:
                 sink.flush()
 
@@ -230,9 +239,15 @@ class Tracer:
         record = SpanRecord(self._next_id, parent, name, self.now(), attrs)
         self.spans.append(record)
         self._stack.append(record)
+        if self.memory is not None:
+            self._mem_frames[record.span_id] = self.memory.push()
         return _SpanContext(self, record)
 
     def _close(self, record: SpanRecord) -> None:
+        if self.memory is not None:
+            frame = self._mem_frames.pop(record.span_id, None)
+            if frame is not None:
+                record.attrs.update(self.memory.pop(frame))
         record.end = self.now()
         # pop to (and including) the record; tolerates a missed close below it
         while self._stack:

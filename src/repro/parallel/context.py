@@ -45,6 +45,10 @@ __all__ = ["ExecutionContext", "active_execution_context"]
 SHARD_STRATEGIES = ("hash", "cell")
 #: accepted pool kinds ("auto" resolves at construction)
 POOL_KINDS = ("auto", "process", "thread")
+#: accepted worker memory-attribution backends (mirrors
+#: ``repro.obs.memory.BACKENDS``; duplicated so this module stays
+#: stdlib-only — a unit test pins the two tuples equal)
+MEMORY_BACKENDS = ("rss", "tracemalloc")
 
 _ACTIVE: ContextVar[Optional["ExecutionContext"]] = ContextVar(
     "repro_active_execution_context", default=None
@@ -82,6 +86,10 @@ class ExecutionContext:
     process (default on; the capture only happens under a tracer, so
     untraced runs never pay for it — ``capture=False`` is the
     explicit off-switch the E19 benchmark gates).
+    ``memory``: a memory-attribution backend name (``"rss"`` /
+    ``"tracemalloc"``) to arm on the in-worker tracer of captured
+    shards, so stitched worker spans carry memory attrs like parent
+    spans do (``None``, the default, costs workers nothing).
 
     The executor is created on first use and reused across
     activations; call :meth:`close` (or use the context as an argument
@@ -95,6 +103,7 @@ class ExecutionContext:
         "min_tuples",
         "resilience",
         "capture",
+        "memory",
         "fallbacks",
         "batches",
         "retries",
@@ -119,7 +128,13 @@ class ExecutionContext:
         min_tuples: int = 8,
         resilience=None,
         capture: bool = True,
+        memory: Optional[str] = None,
     ) -> None:
+        if memory is not None and memory not in MEMORY_BACKENDS:
+            raise ValueError(
+                f"memory must be one of {MEMORY_BACKENDS} or None, "
+                f"got {memory!r}"
+            )
         if shard_strategy not in SHARD_STRATEGIES:
             raise ValueError(
                 f"shard_strategy must be one of {SHARD_STRATEGIES}, "
@@ -135,6 +150,7 @@ class ExecutionContext:
         self.min_tuples = int(min_tuples)
         self.resilience = resilience  # opaque here; resolved at dispatch
         self.capture = bool(capture)
+        self.memory = memory
         self.fallbacks = 0  #: process-pool degradations to threads
         self.batches = 0  #: shard batches dispatched to the pool
         self.retries = 0  #: shard re-dispatches after failures/timeouts
@@ -183,6 +199,7 @@ class ExecutionContext:
             "shard_strategy": self.shard_strategy,
             "pool": self._pool_kind,
             "capture": self.capture,
+            "memory": self.memory,
             "batches": self.batches,
             "fallbacks": self.fallbacks,
             "retries": self.retries,

@@ -251,6 +251,7 @@ def dispatch_shards(
     # to the pre-stitching dispatch (the E19 off-switch gate)
     tracer = active_tracer()
     capture = tracer is not None and getattr(ctx, "capture", True)
+    memory = getattr(ctx, "memory", None) if capture else None
 
     results: List = [None] * len(payloads)
     attempts = [0] * len(payloads)
@@ -259,7 +260,9 @@ def dispatch_shards(
 
     def submit(executor, i):
         if spec is not None or capture:
-            return executor.submit(run_shard, (spec, fn, payloads[i], capture))
+            return executor.submit(
+                run_shard, (spec, fn, payloads[i], capture, memory)
+            )
         return executor.submit(fn, payloads[i])
 
     def land(i, raw):
@@ -395,7 +398,9 @@ def dispatch_shards(
                 op=fn.__name__, shard=i, attempts=attempts[i],
             )
             try:
-                raw = run_quarantined(fn, payloads[i], capture=capture)
+                raw = run_quarantined(
+                    fn, payloads[i], capture=capture, memory=memory
+                )
                 if isinstance(raw, ShardEnvelope):
                     # a quarantined re-run is the shard's final attempt;
                     # same-process, so the kernel delta is empty and the

@@ -108,21 +108,30 @@ def _rehydrated(spec: Optional[dict]) -> Optional[FaultRegistry]:
     return _CACHED_REGISTRY
 
 
-def _captured(kernel, kernel_payload) -> "ShardEnvelope":
+def _captured(kernel, kernel_payload, memory=None) -> "ShardEnvelope":
     """Run one kernel under a fresh in-worker tracer; envelope the
     result with the telemetry snapshot.
 
     The root span is the kernel's ``worker.*`` site name with the
     worker ``pid`` attached; ``shard`` / ``attempt`` provenance is
     stamped parent-side at stitch time (the worker does not know its
-    shard index).  Imported lazily so capture-free dispatches never
-    pay the obs imports in a cold worker.
+    shard index).  ``memory`` names a
+    :class:`~repro.obs.memory.MemoryProfiler` backend to arm on the
+    in-worker tracer (the parent's ``--memory`` flag crossing the
+    process boundary): the root span then carries memory attrs, which
+    are plain ints and ride the snapshot like any other attr.
+    Imported lazily so capture-free dispatches never pay the obs
+    imports in a cold worker.
     """
     from repro.obs.sink import CollectingSink
     from repro.obs.stitch import snapshot_telemetry
     from repro.obs.trace import Tracer
 
     tracer = Tracer(max_spans=_WORKER_MAX_SPANS)
+    if memory is not None:
+        from repro.obs.memory import MemoryProfiler
+
+        tracer.memory = MemoryProfiler(memory)
     logs = tracer.add_sink(CollectingSink())
     with tracer:
         with tracer.span(shard_site(kernel), pid=os.getpid()):
@@ -133,29 +142,36 @@ def _captured(kernel, kernel_payload) -> "ShardEnvelope":
 def run_shard(payload) -> object:
     """Worker-side entry point for chaos-wrapped / captured shards.
 
-    Payload: ``(spec, kernel, kernel_payload)`` or
-    ``(spec, kernel, kernel_payload, capture)`` where ``spec`` is an
-    exported armed-fault table (or ``None``) and ``capture`` asks for
-    a :class:`ShardEnvelope` with the in-worker telemetry snapshot.
-    Rehydrates the faults, fires the kernel's ``worker.*`` site, then
-    runs the kernel.  The rehydrated registry is cached per process,
-    so its hit counters and seeded random stream persist across the
-    tasks this worker runs — the same deterministic schedule semantics
-    as the parent's registry.  The fault point fires *before* capture
-    starts: a failed attempt ships no telemetry (the attempt that
-    succeeds does).
+    Payload: ``(spec, kernel, kernel_payload)``, optionally extended
+    with ``capture`` and a ``memory`` backend name, where ``spec`` is
+    an exported armed-fault table (or ``None``) and ``capture`` asks
+    for a :class:`ShardEnvelope` with the in-worker telemetry
+    snapshot.  Rehydrates the faults, fires the kernel's ``worker.*``
+    site, then runs the kernel.  The rehydrated registry is cached per
+    process, so its hit counters and seeded random stream persist
+    across the tasks this worker runs — the same deterministic
+    schedule semantics as the parent's registry.  The fault point
+    fires *before* capture starts: a failed attempt ships no telemetry
+    (the attempt that succeeds does).
     """
     spec, kernel, kernel_payload = payload[0], payload[1], payload[2]
     capture = len(payload) > 3 and payload[3]
+    memory = payload[4] if len(payload) > 4 else None
     registry = _rehydrated(spec)
     if registry is None:
-        return _captured(kernel, kernel_payload) if capture else kernel(kernel_payload)
+        return (
+            _captured(kernel, kernel_payload, memory)
+            if capture else kernel(kernel_payload)
+        )
     with registry:
         fault_point(shard_site(kernel))
-        return _captured(kernel, kernel_payload) if capture else kernel(kernel_payload)
+        return (
+            _captured(kernel, kernel_payload, memory)
+            if capture else kernel(kernel_payload)
+        )
 
 
-def run_quarantined(fn, payload, capture: bool = False) -> object:
+def run_quarantined(fn, payload, capture: bool = False, memory=None) -> object:
     """Serial in-process re-execution of a poisoned shard.
 
     Fires the kernel's ``worker.*`` site against the *ambient* (parent)
@@ -169,7 +185,7 @@ def run_quarantined(fn, payload, capture: bool = False) -> object:
     """
     fault_point(shard_site(fn))
     if capture:
-        return _captured(fn, payload)
+        return _captured(fn, payload, memory)
     return fn(payload)
 
 

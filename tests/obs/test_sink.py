@@ -133,3 +133,16 @@ class TestPrometheus:
         content = path.read_text(encoding="utf-8")
         assert content.endswith("\n")
         assert "repro_qe_vars_count 2" in content
+
+    def test_summaries_include_quantile_samples(self):
+        text = prometheus_text(self.metrics())
+        assert 'repro_qe_vars{quantile="0.5"}' in text
+        assert 'repro_qe_vars{quantile="0.95"}' in text
+        assert 'repro_qe_vars{quantile="0.99"}' in text
+
+    def test_quantile_samples_are_bounded_by_min_max(self):
+        text = prometheus_text(self.metrics())
+        for line in text.splitlines():
+            if "{quantile=" in line:
+                value = float(line.rsplit(" ", 1)[1])
+                assert 2 <= value <= 5
