@@ -1,0 +1,906 @@
+"""Columnar bounds-matrix constraint kernel (the vectorized fast path).
+
+The object kernel (:class:`~repro.core.ordergraph.OrderGraph`) walks
+per-atom Python object graphs: dict-of-dicts adjacency, per-term hash
+lookups, one graph per conjunction.  This module re-encodes one
+conjunction's order constraints as a *dense bounds matrix*: one row and
+column per variable-or-constant slot, entries drawn from::
+
+    0  unconstrained        (no derived relation row -> col)
+    1  weak                 (row <= col derivable, row < col not)
+    2  strict               (row <  col derivable)
+
+backed by a flat ``bytearray`` (pure python; an optional numpy
+acceleration path is gated behind ``REPRO_COLUMNAR_NUMPY=1`` because
+DESIGN.md restricts numpy to workloads and benchmarks).  The closure is
+the same Floyd–Warshall pass the object kernel runs, over the max
+semiring on ``{0, 1, 2}`` -- a path is strict iff any edge on it is --
+so every verdict (satisfiability, entailment, strongest derived
+relation, canonical atom set, witness) is **identical by construction**,
+not merely equivalent; the differential harness in
+``tests/perf/test_columnar_equivalence.py`` and the oracle's
+kernel-backend axis pin that byte for byte.
+
+On top of the matrix sit the batch kernels -- :func:`batch_satisfiable`
+(an SCC check: a conjunction is unsatisfiable iff some strongly
+connected component contains a strict edge or two distinct constants,
+which skips the cubic closure entirely), :func:`batch_implies`, and
+:func:`batch_canonical` -- plus the blocked ``Relation`` fast paths
+(:func:`merge_block`, :func:`tuple_matrix`) that check many candidate
+tuples per closure instead of issuing one theory call each.
+
+Backend selection mirrors the kernel cache's one-attribute-read
+discipline: :class:`~repro.core.theory.DenseOrderTheory` consults the
+process-wide :class:`KernelSelector` (seeded from ``REPRO_KERNEL``,
+runtime-switchable via :func:`configure_kernel` / the ``--kernel`` CLI
+flag) with a single attribute read per kernel construction, so the
+disabled path costs one branch.  :func:`configure_kernel` also writes
+``REPRO_KERNEL`` back into ``os.environ`` so spawned pool workers
+inherit the selection even without fork semantics.
+
+Shard payloads get cheap pickling: a bounds matrix serializes as its
+term slots plus a flat int array (the pre-closure edge matrix), and
+:func:`pack_gtuple` / :func:`unpack_gtuple` give
+:class:`~repro.core.gtuple.GTuple` the same treatment -- a canonical
+atom set round-trips through ``(slots, matrix bytes)`` instead of a
+graph of atom/term objects, losslessly, because canonical sets carry at
+most one atom per term pair.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.perf.cache import kernel_cache
+
+__all__ = [
+    "BoundsMatrix",
+    "KernelSelector",
+    "batch_canonical",
+    "batch_implies",
+    "batch_satisfiable",
+    "columnar_enabled",
+    "configure_kernel",
+    "kernel_backend",
+    "kernel_backend_context",
+    "kernel_selector",
+    "merge_block",
+    "pack_gtuple",
+    "tuple_matrix",
+    "unpack_gtuple",
+]
+
+#: matrix entries (also the packed-pickle wire values)
+_NONE, _WEAK, _STRICT = 0, 1, 2
+
+#: below this many slots the pure-python closure beats the numpy
+#: round-trip even when the acceleration path is enabled
+_NUMPY_MIN_NODES = 16
+
+_BACKENDS = ("object", "columnar")
+
+
+# ------------------------------------------------------------------- selector
+
+
+class KernelSelector:
+    """The process-wide kernel-backend switch.
+
+    One mutable attribute, read once per kernel construction -- the
+    same disabled-path discipline as ``KernelCache.enabled``.  The
+    singleton (:func:`kernel_selector`) is never replaced, only
+    mutated, so modules may bind it at import time.
+    """
+
+    __slots__ = ("columnar",)
+
+    def __init__(self, columnar: bool = False) -> None:
+        self.columnar = columnar
+
+
+_SELECTOR = KernelSelector(os.environ.get("REPRO_KERNEL", "object") == "columnar")
+
+
+def kernel_selector() -> KernelSelector:
+    """The process-wide selector singleton (bind it, read ``.columnar``)."""
+    return _SELECTOR
+
+
+def kernel_backend() -> str:
+    """The active backend name: ``"object"`` or ``"columnar"``."""
+    return "columnar" if _SELECTOR.columnar else "object"
+
+
+def columnar_enabled() -> bool:
+    return _SELECTOR.columnar
+
+
+def configure_kernel(backend: str) -> str:
+    """Select the kernel backend process-wide; returns the previous one.
+
+    Also exports the choice through ``REPRO_KERNEL`` so worker
+    processes spawned later (which re-read the environment at import)
+    agree with the parent even on non-fork start methods.  Cached
+    :class:`~repro.perf.cache.KernelEntry` objects built under the
+    previous backend stay valid -- both kernels answer identically --
+    so no invalidation happens here; tests wanting counter-exact runs
+    reset the cache themselves.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown kernel backend {backend!r}; expected one of {_BACKENDS}")
+    previous = kernel_backend()
+    _SELECTOR.columnar = backend == "columnar"
+    os.environ["REPRO_KERNEL"] = backend
+    return previous
+
+
+@contextmanager
+def kernel_backend_context(backend: str) -> Iterator[None]:
+    """Run a block under ``backend``, restoring the previous selection."""
+    previous = configure_kernel(backend)
+    try:
+        yield
+    finally:
+        configure_kernel(previous)
+
+
+# ----------------------------------------------------------------- numpy gate
+
+_NUMPY_SENTINEL = object()
+_NUMPY_MOD: object = _NUMPY_SENTINEL
+
+
+def _numpy():
+    """The numpy module when the acceleration path is armed, else None.
+
+    Opt-in (``REPRO_COLUMNAR_NUMPY=1``) and import-gated: the engine
+    core stays pure python per DESIGN.md, and a container without
+    numpy silently keeps the bytearray closure.
+    """
+    global _NUMPY_MOD
+    if os.environ.get("REPRO_COLUMNAR_NUMPY") != "1":
+        return None
+    if _NUMPY_MOD is _NUMPY_SENTINEL:
+        try:
+            import numpy  # noqa: F401  (optional, never a hard dependency)
+
+            _NUMPY_MOD = numpy
+        except ImportError:  # pragma: no cover - numpy is present in CI images
+            _NUMPY_MOD = None
+    return _NUMPY_MOD
+
+
+def _numpy_closure(edges: bytearray, n: int, np) -> bytearray:
+    """Floyd–Warshall over (reach, strict) boolean planes in numpy."""
+    a = np.frombuffer(bytes(edges), dtype=np.uint8).reshape(n, n)
+    reach = a > _NONE
+    strict = a == _STRICT
+    for k in range(n):
+        col_r = reach[:, k].copy()
+        row_r = reach[k].copy()
+        col_s = strict[:, k].copy()
+        row_s = strict[k].copy()
+        reach |= col_r[:, None] & row_r
+        strict |= (col_s[:, None] & row_r) | (col_r[:, None] & row_s)
+    out = np.where(strict, _STRICT, np.where(reach, _WEAK, _NONE)).astype(np.uint8)
+    return bytearray(out.tobytes())
+
+
+# -------------------------------------------------------------- bounds matrix
+
+
+class BoundsMatrix:
+    """One conjunction of NE-free dense-order atoms as a bounds matrix.
+
+    Drop-in for :class:`~repro.core.ordergraph.OrderGraph` behind
+    :class:`~repro.core.theory.DenseOrderTheory` (and inside
+    :class:`~repro.perf.cache.KernelEntry`): same constructor shape,
+    same query surface, same verdicts, same canonical atom sets, same
+    witnesses.  Unlike the object graph it is built once from a whole
+    conjunction (no incremental ``add``), which is the only way the
+    theory ever uses a kernel.
+    """
+
+    __slots__ = ("_terms", "_index", "_n", "_edges", "_matrix", "_sat", "_consts")
+
+    def __init__(self, atoms: Iterable = ()) -> None:
+        index: Dict = {}
+        terms: List = []
+        triples: List[Tuple[int, int, int]] = []
+        for a in atoms:
+            op = a.op
+            if op is Op.NE:
+                raise TheoryError("BoundsMatrix handles NE-free conjunctions only")
+            if op in (Op.GE, Op.GT):  # pragma: no cover - atoms normalize these away
+                raise TheoryError("atoms must be normalized before reaching BoundsMatrix")
+            i = index.get(a.left)
+            if i is None:
+                i = index[a.left] = len(terms)
+                terms.append(a.left)
+            j = index.get(a.right)
+            if j is None:
+                j = index[a.right] = len(terms)
+                terms.append(a.right)
+            if op is Op.LT:
+                triples.append((i, j, _STRICT))
+            elif op is Op.LE:
+                triples.append((i, j, _WEAK))
+            else:  # EQ: weak edges both ways
+                triples.append((i, j, _WEAK))
+                triples.append((j, i, _WEAK))
+        n = len(terms)
+        edges = bytearray(n * n)
+        for i, j, w in triples:
+            k = i * n + j
+            if edges[k] < w:
+                edges[k] = w
+        self._terms = terms
+        self._index = index
+        self._n = n
+        self._edges = edges
+        self._matrix: Optional[bytearray] = None
+        self._sat: Optional[bool] = None
+        self._consts: Optional[List[Tuple[int, Fraction]]] = None
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def nodes(self) -> FrozenSet:
+        return frozenset(self._terms)
+
+    def edge_bytes(self) -> bytes:
+        """The pre-closure edge matrix as a flat int array (row-major)."""
+        return bytes(self._edges)
+
+    def __reduce__(self):
+        # the cheap shard-payload form: term slots + flat int array
+        # (the closure, verdict, and const index are all derived state)
+        return (_restore_matrix, (tuple(self._terms), bytes(self._edges)))
+
+    def __repr__(self) -> str:
+        return f"<BoundsMatrix {self._n} slot(s)>"
+
+    # ---------------------------------------------------------------- closure
+
+    def _const_slots(self) -> List[Tuple[int, Fraction]]:
+        if self._consts is None:
+            self._consts = sorted(
+                ((i, t.value) for i, t in enumerate(self._terms) if isinstance(t, Const)),
+                key=lambda pair: pair[1],
+            )
+        return self._consts
+
+    def _closure(self) -> bytearray:
+        if self._matrix is not None:
+            return self._matrix
+        n = self._n
+        m = bytearray(self._edges)
+        # materialize the numeric order of the constants present
+        consts = self._const_slots()
+        for (lo, _), (hi, _) in zip(consts, consts[1:]):
+            m[lo * n + hi] = _STRICT
+        np = _numpy() if n >= _NUMPY_MIN_NODES else None
+        if np is not None:
+            m = _numpy_closure(m, n, np)
+        else:
+            rng = range(n)
+            for k in rng:
+                kn = k * n
+                for i in rng:
+                    w_ik = m[i * n + k]
+                    if not w_ik:
+                        continue
+                    row = i * n
+                    for j in rng:
+                        w_kj = m[kn + j]
+                        if not w_kj:
+                            continue
+                        w = w_ik if w_ik > w_kj else w_kj
+                        if m[row + j] < w:
+                            m[row + j] = w
+        self._matrix = m
+        return m
+
+    # ---------------------------------------------------------------- queries
+
+    def is_satisfiable(self) -> bool:
+        """True iff the conjunction has a rational solution (memoized)."""
+        if self._sat is None:
+            self._sat = self._satisfiable()
+        return self._sat
+
+    def _satisfiable(self) -> bool:
+        m = self._closure()
+        n = self._n
+        for i in range(n):
+            if m[i * n + i] == _STRICT:  # strict cycle
+                return False
+        # two distinct constants forced equal
+        consts = self._const_slots()
+        for a in range(len(consts)):
+            i = consts[a][0]
+            row = i * n
+            for b in range(a + 1, len(consts)):
+                j = consts[b][0]
+                if m[row + j] and m[j * n + i]:
+                    return False
+        return True
+
+    def relation_between(self, a, b) -> Optional["Op"]:
+        """Strongest derived relation ``a op b``; None if unconstrained."""
+        if a == b:
+            return Op.EQ
+        if isinstance(a, Const) and isinstance(b, Const):
+            return Op.LT if a.value < b.value else (Op.EQ if a.value == b.value else Op.GT)
+        m = self._closure()
+        n = self._n
+        index = self._index
+        ia = index.get(a)
+        ib = index.get(b)
+        fwd = bwd = _NONE
+        if ia is not None and ib is not None:
+            fwd = m[ia * n + ib]
+            bwd = m[ib * n + ia]
+        if fwd and bwd:
+            return Op.EQ  # (unsat if either is strict; caller checks satisfiability)
+        if fwd == _STRICT:
+            return Op.LT
+        if fwd == _WEAK:
+            return Op.LE
+        if bwd == _STRICT:
+            return Op.GT
+        if bwd == _WEAK:
+            return Op.GE
+        # fall back to numeric reasoning when one side is a constant the
+        # matrix has never seen (e.g. {x = -1} entails x <= 0)
+        if isinstance(b, Const) and ib is None and ia is not None:
+            return self._relation_to_fresh_constant(ia, b)
+        if isinstance(a, Const) and ia is None and ib is not None:
+            rel = self._relation_to_fresh_constant(ib, a)
+            return rel.flipped if rel is not None else None
+        return None
+
+    def _relation_to_fresh_constant(self, node: int, c) -> Optional["Op"]:
+        """Strongest relation ``node op c`` for a constant not in the matrix."""
+        m = self._closure()
+        n = self._n
+        value = c.value
+        at_most_c = False
+        at_least_c = False
+        for oi, oval in self._const_slots():
+            fwd = m[node * n + oi]
+            if fwd:  # node </<= other
+                if oval < value or (oval == value and fwd == _STRICT):
+                    return Op.LT
+                if oval == value:
+                    at_most_c = True
+            bwd = m[oi * n + node]
+            if bwd:  # other </<= node
+                if oval > value or (oval == value and bwd == _STRICT):
+                    return Op.GT
+                if oval == value:
+                    at_least_c = True
+        if at_most_c and at_least_c:
+            return Op.EQ
+        if at_most_c:
+            return Op.LE
+        if at_least_c:
+            return Op.GE
+        return None
+
+    def implies(self, candidate) -> bool:
+        """Entailment: does the (satisfiable) conjunction imply ``candidate``?
+
+        An unsatisfiable conjunction implies everything.
+        """
+        if isinstance(candidate, bool):
+            return candidate or not self.is_satisfiable()
+        if not self.is_satisfiable():
+            return True
+        rel = self.relation_between(candidate.left, candidate.right)
+        if candidate.op is Op.NE:
+            return rel in (Op.LT, Op.GT)
+        if rel is None:
+            return False
+        if candidate.op is Op.EQ:
+            return rel is Op.EQ
+        if candidate.op is Op.LT:
+            return rel is Op.LT
+        if candidate.op is Op.LE:
+            return rel in (Op.LT, Op.LE, Op.EQ)
+        raise TheoryError(f"non-normalized candidate atom {candidate}")
+
+    def implies_all(self, atoms: Iterable) -> bool:
+        """One closure, many entailment checks (the blocked-absorb core)."""
+        for a in atoms:
+            if not self.implies(a):
+                return False
+        return True
+
+    # ------------------------------------------------------------ equivalence
+
+    def equality_classes(self) -> List[FrozenSet]:
+        """Partition of the slots' terms into classes forced equal."""
+        m = self._closure()
+        n = self._n
+        terms = self._terms
+        order = sorted(range(n), key=lambda i: term_key(terms[i]))
+        assigned = [False] * n
+        classes: List[FrozenSet] = []
+        for i in order:
+            if assigned[i]:
+                continue
+            assigned[i] = True
+            members = {terms[i]}
+            row = i * n
+            for j in range(n):
+                if assigned[j]:
+                    continue
+                if m[row + j] and m[j * n + i]:
+                    assigned[j] = True
+                    members.add(terms[j])
+            classes.append(frozenset(members))
+        return classes
+
+    def _representatives(self) -> Dict:
+        """Map each term to its class representative (a constant if any)."""
+        rep: Dict = {}
+        for cls in self.equality_classes():
+            consts = sorted((t for t in cls if isinstance(t, Const)), key=term_key)
+            members = sorted(cls, key=term_key)
+            chosen = consts[0] if consts else members[0]
+            for member in cls:
+                rep[member] = chosen
+        return rep
+
+    def canonical_atoms(self) -> FrozenSet:
+        """The object kernel's canonical atom set, byte for byte.
+
+        Same construction as ``OrderGraph.canonical_atoms``: one
+        representative per equality class (preferring constants),
+        ``member = rep`` equalities, then the transitive reduction of
+        the order on the representatives with constant-to-constant
+        edges dropped.  Raises :class:`TheoryError` when unsatisfiable.
+        """
+        if not self.is_satisfiable():
+            raise TheoryError("canonical form of an unsatisfiable conjunction")
+        rep = self._representatives()
+        out: set = set()
+        for member, chosen in rep.items():
+            if member != chosen:
+                made = eq(member, chosen)
+                if not isinstance(made, bool):
+                    out.add(made)
+        m = self._closure()
+        n = self._n
+        index = self._index
+        reps = sorted({r for r in rep.values()}, key=term_key)
+        edges: Dict[Tuple, bool] = {}
+        for i, u in enumerate(reps):
+            for v in reps[i + 1 :]:
+                rel = self.relation_between(u, v)
+                if rel in (Op.LT, Op.LE):
+                    edges[(u, v)] = rel is Op.LT
+                elif rel in (Op.GT, Op.GE):
+                    edges[(v, u)] = rel is Op.GT
+
+        def reachable(a, b) -> Optional[bool]:
+            if isinstance(a, Const) and isinstance(b, Const):
+                if a.value < b.value:
+                    return True
+                return None
+            entry = m[index[a] * n + index[b]]
+            return None if entry == _NONE else entry == _STRICT
+
+        for (u, v), strict in edges.items():
+            if isinstance(u, Const) and isinstance(v, Const):
+                continue  # numeric order is implicit
+            redundant = False
+            for w in reps:
+                if w == u or w == v:
+                    continue
+                first = reachable(u, w)
+                second = reachable(w, v)
+                if first is None or second is None:
+                    continue
+                path_strict = bool(first) or bool(second)
+                if path_strict or not strict:
+                    redundant = True
+                    break
+            if not redundant:
+                made = lt(u, v) if strict else le(u, v)
+                if not isinstance(made, bool):
+                    out.add(made)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(self) -> Optional[Dict]:
+        """An explicit rational witness; None when unsatisfiable.
+
+        Same witness the object kernel produces: representatives are
+        placed in ``term_key`` order inside their feasible intervals.
+        """
+        if not self.is_satisfiable():
+            return None
+        rep = self._representatives()
+        m = self._closure()
+        n = self._n
+        index = self._index
+        reps = sorted(set(rep.values()), key=term_key)
+        values: Dict = {}
+        pending = []
+        for r in reps:
+            if isinstance(r, Const):
+                values[r] = r.value
+            else:
+                pending.append(r)
+        consts = [self._terms[i] for i, _ in self._const_slots()]
+
+        def entry(u, v) -> int:
+            return m[index[u] * n + index[v]]
+
+        def const_bounds(node) -> Tuple[Optional[Fraction], Optional[Fraction]]:
+            lo: Optional[Fraction] = None
+            hi: Optional[Fraction] = None
+            for c in consts:
+                if rep[c] == node:
+                    continue
+                if entry(node, c):  # node <= / < c
+                    hi = c.value if hi is None else min(hi, c.value)
+                if entry(c, node):  # c <= / < node
+                    lo = c.value if lo is None else max(lo, c.value)
+            return lo, hi
+
+        def preds(node) -> List:
+            result = []
+            for other in pending:
+                if other == node:
+                    continue
+                if entry(other, node):
+                    result.append(other)
+            return result
+
+        remaining = list(pending)
+        ordered: List = []
+        placed: set = set()
+        while remaining:
+            progressed = False
+            for node in list(remaining):
+                if all(p in placed for p in preds(node)):
+                    ordered.append(node)
+                    placed.add(node)
+                    remaining.remove(node)
+                    progressed = True
+            if not progressed:  # pragma: no cover - impossible once satisfiable
+                raise TheoryError("cyclic order among distinct classes")
+
+        for node in ordered:
+            lo, hi = const_bounds(node)
+            for p in preds(node):
+                pv = values[p]
+                lo = pv if lo is None else max(lo, pv)
+            if lo is None and hi is None:
+                values[node] = Fraction(0)
+            elif lo is None:
+                values[node] = hi - 1
+            elif hi is None:
+                values[node] = lo + 1
+            else:
+                if not lo < hi:  # pragma: no cover - guarded by satisfiability
+                    raise TheoryError("no interior point available for witness")
+                values[node] = (lo + hi) / 2
+
+        witness: Dict = {}
+        for node in self._terms:
+            if isinstance(node, Var):
+                chosen = rep[node]
+                witness[node] = values[chosen] if isinstance(chosen, Var) else chosen.value
+        return witness
+
+
+def _restore_matrix(terms: tuple, edges: bytes) -> BoundsMatrix:
+    """Rebuild a pickled matrix from its slots + flat int array."""
+    m = BoundsMatrix.__new__(BoundsMatrix)
+    m._terms = list(terms)
+    m._index = {t: i for i, t in enumerate(terms)}
+    m._n = len(terms)
+    m._edges = bytearray(edges)
+    m._matrix = None
+    m._sat = None
+    m._consts = None
+    return m
+
+
+# -------------------------------------------------------------- batch kernels
+
+
+def batch_satisfiable(conjunctions: Sequence[Iterable]) -> List[bool]:
+    """Satisfiability verdicts for a block of conjunctions.
+
+    Skips the cubic closure: over dense order, a conjunction is
+    unsatisfiable iff its constraint graph (with the implicit strict
+    chain between consecutive constants materialized) has a strongly
+    connected component containing a strict edge -- a strict cycle --
+    or two distinct constants -- forced equal.  One Tarjan pass per
+    conjunction, linear in atoms, with verdicts identical to
+    ``OrderGraph.is_satisfiable`` / ``BoundsMatrix.is_satisfiable``.
+    """
+    return [_scc_satisfiable(c) for c in conjunctions]
+
+
+def _scc_satisfiable(atoms: Iterable) -> bool:
+    index: Dict = {}
+    adj: List[List[int]] = []
+    edges: List[Tuple[int, int, bool]] = []
+    const_slots: List[Tuple[int, Fraction]] = []
+
+    def slot(t) -> int:
+        s = index.get(t)
+        if s is None:
+            s = index[t] = len(adj)
+            adj.append([])
+            if isinstance(t, Const):
+                const_slots.append((s, t.value))
+        return s
+
+    for a in atoms:
+        op = a.op
+        if op is Op.NE:
+            raise TheoryError("BoundsMatrix handles NE-free conjunctions only")
+        if op in (Op.GE, Op.GT):  # pragma: no cover - atoms normalize these away
+            raise TheoryError("atoms must be normalized before reaching BoundsMatrix")
+        i, j = slot(a.left), slot(a.right)
+        adj[i].append(j)
+        edges.append((i, j, op is Op.LT))
+        if op is Op.EQ:
+            adj[j].append(i)
+            edges.append((j, i, False))
+    const_slots.sort(key=lambda pair: pair[1])
+    for (lo, _), (hi, _) in zip(const_slots, const_slots[1:]):
+        adj[lo].append(hi)
+        edges.append((lo, hi, True))
+    comp = _scc_ids(adj)
+    for u, v, strict in edges:
+        if strict and comp[u] == comp[v]:
+            return False
+    seen_comp: set = set()
+    for s, _ in const_slots:
+        c = comp[s]
+        if c in seen_comp:  # two distinct constants in one class
+            return False
+        seen_comp.add(c)
+    return True
+
+
+def _scc_ids(adj: List[List[int]]) -> List[int]:
+    """Tarjan strongly-connected components, iterative (no recursion)."""
+    n = len(adj)
+    order = [-1] * n
+    low = [0] * n
+    comp = [-1] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    counter = 0
+    ncomp = 0
+    for root in range(n):
+        if order[root] != -1:
+            continue
+        work: List[List[int]] = [[root, 0]]
+        while work:
+            frame = work[-1]
+            v, pi = frame
+            if pi == 0:
+                order[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            descended = False
+            neighbours = adj[v]
+            while pi < len(neighbours):
+                w = neighbours[pi]
+                pi += 1
+                if order[w] == -1:
+                    frame[1] = pi
+                    work.append([w, 0])
+                    descended = True
+                    break
+                if on_stack[w] and order[w] < low[v]:
+                    low[v] = order[w]
+            if descended:
+                continue
+            work.pop()
+            if work:
+                u = work[-1][0]
+                if low[v] < low[u]:
+                    low[u] = low[v]
+            if low[v] == order[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = ncomp
+                    if w == v:
+                        break
+                ncomp += 1
+    return comp
+
+
+def batch_implies(conjunctions: Sequence[Iterable], candidates: Sequence[Iterable]) -> List[bool]:
+    """``conjunctions[i] implies all of candidates[i]``, per index.
+
+    One matrix closure per conjunction, shared across that entry's
+    candidate atoms -- the shape of the blocked absorption pass.
+    """
+    if len(conjunctions) != len(candidates):
+        raise ValueError("batch_implies needs one candidate block per conjunction")
+    out: List[bool] = []
+    for conjunction, block in zip(conjunctions, candidates):
+        out.append(BoundsMatrix(conjunction).implies_all(block))
+    return out
+
+
+def batch_canonical(conjunctions: Sequence[Iterable]) -> List[Optional[FrozenSet]]:
+    """Fused satisfiability + canonical form for a block of conjunctions.
+
+    ``None`` marks an unsatisfiable entry.  Each conjunction gets its
+    own term universe (sharing slots across a block would add constant
+    nodes that change transitive-reduction witnesses, breaking the
+    byte-identity contract with the object kernel).
+    """
+    out: List[Optional[FrozenSet]] = []
+    for conjunction in conjunctions:
+        m = BoundsMatrix(conjunction)
+        out.append(m.canonical_atoms() if m.is_satisfiable() else None)
+    return out
+
+
+# ------------------------------------------------------- blocked Relation ops
+
+_GTUPLE = None
+
+
+def _gtuple():
+    global _GTUPLE
+    if _GTUPLE is None:
+        from repro.core.gtuple import GTuple
+
+        _GTUPLE = GTuple
+    return _GTUPLE
+
+
+def merge_block(theory, wide_a, wide_b: Sequence, matches: Iterable[int], schema) -> List:
+    """Merge one left tuple against a block of right-side candidates.
+
+    The blocked join inner loop: same conjunction keys, same kernel
+    cache traffic (one ``canonicalize_if_satisfiable`` per candidate
+    pair), same interning, same outputs in the same order as the
+    per-pair ``GTuple.merge`` path -- minus the per-pair schema
+    re-validation that ``GTuple.make`` performs, which is redundant
+    here because both sides already range over ``schema``.
+    """
+    gtuple = _gtuple()
+    base = wide_a.atoms
+    canonicalize = theory.canonicalize_if_satisfiable
+    out: List = []
+    for bi in matches:
+        canonical = canonicalize(base | wide_b[bi].atoms)
+        if canonical is not None:
+            out.append(gtuple._canonical(theory, schema, canonical))
+    return out
+
+
+def tuple_matrix(t) -> Optional[BoundsMatrix]:
+    """The bounds matrix behind a tuple's lazy entailer, or None.
+
+    Builds the entailer exactly the way ``GTuple.entails`` would (same
+    cache lookup, same laziness), then unwraps the kernel it is bound
+    to.  Returns None when the entailer is not matrix-backed -- e.g. a
+    tuple whose entailer predates a backend switch -- in which case the
+    caller falls back to the per-atom path, which is always correct.
+    """
+    entailer = t._entailer
+    if entailer is None:
+        entailer = t.theory.make_entailer(t.atoms)
+        t._entailer = entailer
+    owner = getattr(entailer, "__self__", None)
+    return owner if isinstance(owner, BoundsMatrix) else None
+
+
+# ----------------------------------------------------------- packed gtuples
+
+
+def pack_gtuple(schema, atoms) -> Optional[Tuple[tuple, bytes]]:
+    """A canonical atom set as ``(slots, flat edge-matrix bytes)``.
+
+    Slots are schema positions (int) for variables and
+    ``(numerator, denominator)`` pairs for constants, in first-touch
+    order.  Returns None when the set is not packable -- a non-schema
+    variable, a non-order operator, or two atoms over one term pair
+    (impossible for canonical sets, whose decode is therefore
+    unambiguous: mutual weak edges are an equality, a single edge is a
+    strict or weak bound).
+    """
+    positions = {name: i for i, name in enumerate(schema)}
+    index: Dict = {}
+    slots: List = []
+    triples: List[Tuple[int, int, int, bool]] = []
+    for a in atoms:
+        op = getattr(a, "op", None)
+        if op is Op.LT:
+            w, symmetric = _STRICT, False
+        elif op is Op.LE:
+            w, symmetric = _WEAK, False
+        elif op is Op.EQ:
+            w, symmetric = _WEAK, True
+        else:
+            return None
+        for t in (a.left, a.right):
+            if t in index:
+                continue
+            if isinstance(t, Var):
+                p = positions.get(t.name)
+                if p is None:
+                    return None
+                index[t] = len(slots)
+                slots.append(p)
+            elif isinstance(t, Const):
+                v = t.value
+                index[t] = len(slots)
+                slots.append((v.numerator, v.denominator))
+            else:
+                return None
+        triples.append((index[a.left], index[a.right], w, symmetric))
+    n = len(slots)
+    matrix = bytearray(n * n)
+    pairs: set = set()
+    for i, j, w, symmetric in triples:
+        key = (i, j) if i < j else (j, i)
+        if key in pairs:
+            return None  # two atoms over one pair: decode would be ambiguous
+        pairs.add(key)
+        matrix[i * n + j] = w
+        if symmetric:
+            matrix[j * n + i] = w
+    return tuple(slots), bytes(matrix)
+
+
+def unpack_gtuple(schema, slots: Sequence, matrix: bytes) -> FrozenSet:
+    """Invert :func:`pack_gtuple` (exact: same atoms, same normal forms)."""
+    terms = [
+        Var(schema[s]) if isinstance(s, int) else Const(Fraction(s[0], s[1]))
+        for s in slots
+    ]
+    n = len(terms)
+    out: set = set()
+    for i in range(n):
+        ti = terms[i]
+        row = i * n
+        for j in range(i + 1, n):
+            fwd = matrix[row + j]
+            bwd = matrix[j * n + i]
+            if not fwd and not bwd:
+                continue
+            tj = terms[j]
+            if fwd and bwd:
+                made = eq(ti, tj)
+            elif fwd:
+                made = lt(ti, tj) if fwd == _STRICT else le(ti, tj)
+            else:
+                made = lt(tj, ti) if bwd == _STRICT else le(tj, ti)
+            if not isinstance(made, bool):  # pragma: no cover - defensive
+                out.add(made)
+    return frozenset(out)
+
+
+# Core imports live at the *bottom*: importing ``repro.core.atoms``
+# executes ``repro.core.__init__``, whose import chain re-enters this
+# module through ``repro.core.theory`` (`from repro.perf.columnar
+# import ...`).  Every public name above is already bound by the time
+# that re-entry happens; the names below are only referenced from
+# inside function bodies, at call time.
+from repro.core.atoms import Op, eq, le, lt  # noqa: E402
+from repro.core.terms import Const, Var, term_key  # noqa: E402
+from repro.errors import TheoryError  # noqa: E402
